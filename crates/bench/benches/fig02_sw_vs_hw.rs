@@ -1,0 +1,11 @@
+//! `cargo bench` target regenerating Fig. 2 of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    for r in experiments::fig02::run(&opts) {
+        println!("{r}");
+    }
+    eprintln!("[fig02_sw_vs_hw] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

@@ -1,0 +1,11 @@
+//! `cargo bench` target regenerating Figs. 5/6 of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    for r in experiments::fig05_06::run(&opts) {
+        println!("{r}");
+    }
+    eprintln!("[fig05_06_pwc_hits] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

@@ -1,0 +1,9 @@
+//! `cargo bench` target regenerating Fig. 11 of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    println!("{}", experiments::fig11::run(&opts));
+    eprintln!("[fig11_overall] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

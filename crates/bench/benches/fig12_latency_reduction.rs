@@ -1,0 +1,9 @@
+//! `cargo bench` target regenerating Fig. 12 of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    println!("{}", experiments::fig12::run(&opts));
+    eprintln!("[fig12_latency_reduction] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

@@ -1,0 +1,9 @@
+//! `cargo bench` target regenerating Fig. 18 of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    println!("{}", experiments::fig18::run(&opts));
+    eprintln!("[fig18_walkers] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

@@ -1,0 +1,9 @@
+//! `cargo bench` target regenerating Fig. 26 of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    println!("{}", experiments::fig26::run(&opts));
+    eprintln!("[fig26_uvm_driver] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

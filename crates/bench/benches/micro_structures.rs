@@ -1,0 +1,163 @@
+//! Criterion microbenchmarks for the hot data structures on the
+//! translation critical path: the Cuckoo-filter PRT/FT, the set-associative
+//! TLB, the UTC page-walk cache, the radix page-table walk and the event
+//! queue.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cuckoo::CuckooFilter;
+use ptw::{Location, PageTable, Pte, PwCache, Utc};
+use sim_core::EventQueue;
+use tlb::Tlb;
+use transfw::{Ft, Prt, TransFwConfig};
+
+fn bench_cuckoo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cuckoo");
+    g.bench_function("insert_remove", |b| {
+        b.iter_batched(
+            || CuckooFilter::new(125, 4, 13),
+            |mut f| {
+                for k in 0..400u64 {
+                    let _ = f.insert(black_box(k));
+                }
+                for k in 0..400u64 {
+                    f.remove(black_box(k));
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut filter = CuckooFilter::new(125, 4, 13);
+    for k in 0..400u64 {
+        let _ = filter.insert(k);
+    }
+    g.bench_function("contains_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 400;
+            black_box(filter.contains(black_box(k)))
+        });
+    });
+    g.bench_function("contains_miss", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(filter.contains(black_box(1_000_000 + k)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_prt_ft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfw_tables");
+    let mut prt = Prt::new(&TransFwConfig::default());
+    for vpn in (0..3200u64).step_by(8) {
+        prt.page_arrived(vpn);
+    }
+    g.bench_function("prt_lookup", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 8) % 3200;
+            black_box(prt.may_be_local(black_box(v)))
+        });
+    });
+    let mut ft = Ft::new(&TransFwConfig::default(), 4);
+    for i in 0..1500u64 {
+        ft.page_migrated(i * 8, None, (i % 4) as u16);
+    }
+    g.bench_function("ft_lookup_4gpus", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 8) % 12_000;
+            black_box(ft.lookup(black_box(v)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tlb");
+    let mut l2: Tlb<u64> = Tlb::new(512, 16, 10);
+    for vpn in 0..512u64 {
+        l2.fill(vpn, vpn);
+    }
+    g.bench_function("l2_lookup_hit", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 512;
+            black_box(l2.lookup(black_box(v)).is_some())
+        });
+    });
+    g.bench_function("l2_fill_evict", |b| {
+        let mut v = 512u64;
+        b.iter(|| {
+            v += 1;
+            black_box(l2.fill(black_box(v), v))
+        });
+    });
+    g.finish();
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_table");
+    let mut pt = PageTable::new(5);
+    for vpn in 0..10_000u64 {
+        pt.insert(vpn, Pte::new(vpn, Location::Gpu(0)));
+    }
+    g.bench_function("walk_mapped", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 10_000;
+            black_box(pt.walk(black_box(v), None))
+        });
+    });
+    g.bench_function("walk_unmapped", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            black_box(pt.walk(black_box(1 << 40 | v), None))
+        });
+    });
+    let mut utc = Utc::new(128, 5);
+    for vpn in 0..1000u64 {
+        utc.insert(vpn, 2);
+    }
+    g.bench_function("utc_lookup", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 1) % 1000;
+            black_box(utc.lookup(black_box(v)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1000u64 {
+                    q.push((i * 37) % 500, i);
+                }
+                while let Some(x) = q.pop() {
+                    black_box(x);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cuckoo,
+    bench_prt_ft,
+    bench_tlb,
+    bench_walk,
+    bench_event_queue
+);
+criterion_main!(benches);

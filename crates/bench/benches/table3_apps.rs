@@ -1,0 +1,9 @@
+//! `cargo bench` target regenerating Table III of the Trans-FW paper.
+
+fn main() {
+    let opts = transfw_bench::bench_opts();
+    let t0 = std::time::Instant::now();
+    println!("{}", experiments::table3::run(&opts));
+    eprintln!("[table3_apps] completed in {:.1?} (scale {}, {} seed(s))",
+        t0.elapsed(), opts.scale, opts.seeds.len());
+}

@@ -1,0 +1,46 @@
+//! Bench-harness support crate.
+//!
+//! The interesting content lives in `benches/`: one `cargo bench` target per
+//! paper table/figure (each regenerates the corresponding rows via the
+//! `experiments` crate) plus Criterion microbenchmarks for the hot data
+//! structures (`micro_structures`).
+//!
+//! Scale can be reduced for quick runs with the `TRANSFW_BENCH_SCALE`
+//! environment variable (default 1.0 = full paper scale) and
+//! `TRANSFW_BENCH_SEEDS` (default 2).
+
+use experiments::RunOpts;
+
+/// Builds the bench-wide run options from the environment.
+///
+/// # Examples
+///
+/// ```
+/// let opts = transfw_bench::bench_opts();
+/// assert!(opts.scale > 0.0);
+/// ```
+pub fn bench_opts() -> RunOpts {
+    let scale = std::env::var("TRANSFW_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    let seeds = std::env::var("TRANSFW_BENCH_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(2);
+    RunOpts {
+        scale,
+        seeds: (1..=seeds.max(1)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_opts_are_full_scale() {
+        // Runs in the test environment where the variables are unset.
+        let opts = super::bench_opts();
+        assert!(opts.scale > 0.0);
+        assert!(!opts.seeds.is_empty());
+    }
+}

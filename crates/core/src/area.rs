@@ -1,0 +1,136 @@
+//! Hardware-overhead model (§IV-E).
+//!
+//! The paper sizes the PRT at 0.79 KB and the FT at 2.68 KB, and reports
+//! (via CACTI) that they occupy 1.01% and 1.95% of the GPU L2 TLB and host
+//! MMU TLB areas respectively. SRAM area is dominated by bit count, so this
+//! model compares total storage bits; the TLB entries are modelled with tag
+//! + PTE payload bits.
+
+use crate::TransFwConfig;
+
+/// Analytic SRAM-bit area model for the Trans-FW tables versus the TLBs
+/// they shadow.
+///
+/// # Examples
+///
+/// ```
+/// use transfw::{AreaModel, TransFwConfig};
+///
+/// let a = AreaModel::paper_baseline(&TransFwConfig::default());
+/// assert!((a.prt_kb() - 0.79).abs() < 0.01);
+/// assert!((a.ft_kb() - 2.68).abs() < 0.01);
+/// assert!(a.prt_vs_l2_tlb() < 0.05); // low single percent of the L2 TLB
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    prt_bits: u64,
+    ft_bits: u64,
+    l2_tlb_area: f64,
+    host_tlb_area: f64,
+}
+
+/// Storage bits of one TLB entry: VPN tag + PPN + permission/state bits.
+///
+/// With a 57-bit virtual address space (5-level paging), the VPN is 45 bits
+/// and a 48-bit physical space leaves a 36-bit PPN; 8 bits cover
+/// valid/dirty/permissions/owner.
+pub const TLB_ENTRY_BITS: u64 = 45 + 36 + 8;
+
+/// Area multiplier of a set-associative TLB relative to plain SRAM bits:
+/// each way adds tag comparators, match lines and mux overhead. Calibrated
+/// so the paper's CACTI ratios land in the same low-single-percent regime.
+fn assoc_area_factor(assoc: u64) -> f64 {
+    1.0 + assoc as f64 / 4.0
+}
+
+impl AreaModel {
+    /// Builds the model from a Trans-FW configuration and explicit TLB
+    /// geometries (`entries`, `assoc`).
+    pub fn new(
+        config: &TransFwConfig,
+        l2_tlb: (u64, u64),
+        host_tlb: (u64, u64),
+    ) -> Self {
+        Self {
+            prt_bits: config.prt_fingerprints as u64 * config.prt_fp_bits as u64,
+            ft_bits: config.ft_fingerprints as u64 * config.ft_fp_bits as u64,
+            l2_tlb_area: (l2_tlb.0 * TLB_ENTRY_BITS) as f64 * assoc_area_factor(l2_tlb.1),
+            host_tlb_area: (host_tlb.0 * TLB_ENTRY_BITS) as f64
+                * assoc_area_factor(host_tlb.1),
+        }
+    }
+
+    /// The paper's baseline: 512-entry 16-way GPU L2 TLB, 2048-entry 64-way
+    /// host MMU TLB.
+    pub fn paper_baseline(config: &TransFwConfig) -> Self {
+        Self::new(config, (512, 16), (2048, 64))
+    }
+
+    /// PRT size in kilobytes.
+    pub fn prt_kb(&self) -> f64 {
+        self.prt_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// FT size in kilobytes.
+    pub fn ft_kb(&self) -> f64 {
+        self.ft_bits as f64 / 8.0 / 1024.0
+    }
+
+    /// PRT area as a fraction of the GPU L2 TLB area. The PRT itself is a
+    /// small direct-indexed SRAM, so it counts raw bits.
+    pub fn prt_vs_l2_tlb(&self) -> f64 {
+        self.prt_bits as f64 / self.l2_tlb_area
+    }
+
+    /// FT area as a fraction of the host MMU TLB area.
+    pub fn ft_vs_host_tlb(&self) -> f64 {
+        self.ft_bits as f64 / self.host_tlb_area
+    }
+
+    /// How many extra host-TLB entries the combined PRT+FT budget would buy
+    /// instead — the paper's argument that the same area spent on TLB
+    /// capacity cannot match Trans-FW (§IV-E, §V-B).
+    pub fn equivalent_tlb_entries(&self) -> u64 {
+        (self.prt_bits + self.ft_bits) / TLB_ENTRY_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_reproduced() {
+        let a = AreaModel::paper_baseline(&TransFwConfig::default());
+        assert!((a.prt_kb() - 0.79).abs() < 0.01, "PRT {}", a.prt_kb());
+        assert!((a.ft_kb() - 2.68).abs() < 0.01, "FT {}", a.ft_kb());
+    }
+
+    #[test]
+    fn overhead_ratios_are_small() {
+        let a = AreaModel::paper_baseline(&TransFwConfig::default());
+        // The paper reports 1.01% and 1.95% from CACTI; this analytic model
+        // lands in the same low-single-percent regime.
+        assert!(a.prt_vs_l2_tlb() < 0.05, "PRT ratio {}", a.prt_vs_l2_tlb());
+        assert!(a.ft_vs_host_tlb() < 0.05, "FT ratio {}", a.ft_vs_host_tlb());
+        assert!(a.prt_vs_l2_tlb() > 0.001);
+        assert!(a.ft_vs_host_tlb() > 0.001);
+    }
+
+    #[test]
+    fn equivalent_tlb_entries_are_few() {
+        let a = AreaModel::paper_baseline(&TransFwConfig::default());
+        // The whole Trans-FW budget buys only a few hundred TLB entries —
+        // a ~16% bump of the host TLB, far from the FT's reach.
+        let extra = a.equivalent_tlb_entries();
+        assert!(extra < 400, "equivalent entries {extra}");
+    }
+
+    #[test]
+    fn larger_config_scales_linearly() {
+        let base = AreaModel::paper_baseline(&TransFwConfig::default());
+        let big = AreaModel::paper_baseline(&TransFwConfig::large());
+        assert!((big.prt_kb() / base.prt_kb() - 2.0).abs() < 1e-9);
+        assert!((big.ft_kb() / base.ft_kb() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! "When to borrow": the forwarding decision (§IV-C).
+
+/// Decides whether a host-MMU request should also be forwarded to a remote
+/// GPU, based on host PW-queue contention.
+///
+/// The paper observes that when fewer than `threshold × walker_count`
+/// requests are queued, a host walk is usually faster than a remote lookup
+/// (network latency + remote contention), so forwarding only kicks in above
+/// that occupancy. The default threshold is 0.5; Fig. 15 sweeps 0, 1 and 2.
+///
+/// # Examples
+///
+/// ```
+/// use transfw::ForwardPolicy;
+///
+/// let p = ForwardPolicy::new(0.5);
+/// assert!(!p.should_forward(8, 16)); // exactly half: not "more than half"
+/// assert!(p.should_forward(9, 16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForwardPolicy {
+    threshold: f64,
+}
+
+impl ForwardPolicy {
+    /// Creates a policy with the given threshold (fraction of PT-walk
+    /// threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be a non-negative finite number"
+        );
+        Self { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether a request arriving with `queued` requests already waiting in
+    /// the host PW-queue (served by `walkers` threads) should be forwarded.
+    ///
+    /// A threshold of 0 forwards whenever no walker is immediately free
+    /// (i.e. any request had to queue at all).
+    pub fn should_forward(&self, queued: usize, walkers: usize) -> bool {
+        (queued as f64) > self.threshold * walkers as f64
+    }
+}
+
+impl Default for ForwardPolicy {
+    fn default() -> Self {
+        Self::new(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_threshold_matches_paper_wording() {
+        // "more than half of the PT-walk threads" with 16 host walkers.
+        let p = ForwardPolicy::new(0.5);
+        assert!(!p.should_forward(0, 16));
+        assert!(!p.should_forward(8, 16));
+        assert!(p.should_forward(9, 16));
+        assert!(p.should_forward(64, 16));
+    }
+
+    #[test]
+    fn zero_threshold_forwards_on_any_queueing() {
+        let p = ForwardPolicy::new(0.0);
+        assert!(!p.should_forward(0, 16), "empty queue: walker free");
+        assert!(p.should_forward(1, 16));
+    }
+
+    #[test]
+    fn high_thresholds_forward_rarely() {
+        let p1 = ForwardPolicy::new(1.0);
+        let p2 = ForwardPolicy::new(2.0);
+        assert!(!p1.should_forward(16, 16));
+        assert!(p1.should_forward(17, 16));
+        assert!(!p2.should_forward(32, 16));
+        assert!(p2.should_forward(33, 16));
+    }
+
+    #[test]
+    fn default_is_half() {
+        assert_eq!(ForwardPolicy::default().threshold(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        let _ = ForwardPolicy::new(-1.0);
+    }
+}

@@ -1,0 +1,439 @@
+//! The Cuckoo filter data structure.
+
+use sim_core::SimRng;
+
+use crate::hash::metro_mix;
+
+const SEED_FP: u64 = 0x5EED_F00D;
+const SEED_IDX: u64 = 0x1D_0BAD_5EED;
+const SEED_ALT: u64 = 0xA17_5EED;
+const MAX_KICKS: usize = 500;
+
+/// Error returned when an insertion cannot find room even after relocation.
+///
+/// The displaced fingerprint is preserved in the filter's internal stash so
+/// the structure never produces false negatives; the error is informational
+/// (hardware would raise an overflow interrupt).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertError {
+    /// The key whose insertion triggered the overflow.
+    pub key: u64,
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cuckoo filter overflow while inserting key {}", self.key)
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A deletable approximate-membership filter.
+///
+/// Parameterised exactly as Trans-FW's tables: `buckets × slots` fingerprint
+/// cells of `fp_bits` bits each. Lookups have no false negatives; false
+/// positives occur at rate ≈ `2 * slots / 2^fp_bits`.
+///
+/// # Examples
+///
+/// ```
+/// use cuckoo::CuckooFilter;
+///
+/// // The paper's PRT: 125 buckets x 4 slots, 13-bit fingerprints.
+/// let mut prt = CuckooFilter::new(125, 4, 13);
+/// for vpn in 0..300 {
+///     prt.insert(vpn).unwrap();
+/// }
+/// assert!(prt.contains(123));
+/// assert_eq!(prt.len(), 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuckooFilter {
+    cells: Vec<u16>,
+    bucket_count: usize,
+    slots: usize,
+    fp_mask: u16,
+    fp_bits: u32,
+    len: usize,
+    stash: Vec<(usize, u16)>,
+    overflows: u64,
+    rng: SimRng,
+}
+
+impl CuckooFilter {
+    /// Creates a filter with `bucket_count` buckets of `slots` fingerprints,
+    /// each `fp_bits` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_count` or `slots` is zero, or `fp_bits` is not in
+    /// `1..=16`.
+    pub fn new(bucket_count: usize, slots: usize, fp_bits: u32) -> Self {
+        assert!(bucket_count > 0, "bucket_count must be positive");
+        assert!(slots > 0, "slots must be positive");
+        assert!((1..=16).contains(&fp_bits), "fp_bits must be in 1..=16");
+        Self {
+            cells: vec![0; bucket_count * slots],
+            bucket_count,
+            slots,
+            fp_mask: if fp_bits == 16 {
+                u16::MAX
+            } else {
+                (1u16 << fp_bits) - 1
+            },
+            fp_bits,
+            len: 0,
+            stash: Vec::new(),
+            overflows: 0,
+            rng: SimRng::new(0xC0C0_0F11),
+        }
+    }
+
+    /// Number of stored fingerprints (including the stash).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the filter stores no fingerprints.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total fingerprint slots in the table (excluding the stash).
+    pub fn capacity(&self) -> usize {
+        self.bucket_count * self.slots
+    }
+
+    /// Fraction of table slots occupied.
+    pub fn occupancy(&self) -> f64 {
+        let table = self.len.saturating_sub(self.stash.len());
+        table as f64 / self.capacity() as f64
+    }
+
+    /// Fingerprint width in bits.
+    pub fn fp_bits(&self) -> u32 {
+        self.fp_bits
+    }
+
+    /// Total SRAM storage in bits (the §IV-E area model input).
+    pub fn storage_bits(&self) -> u64 {
+        self.capacity() as u64 * self.fp_bits as u64
+    }
+
+    /// How many insertions overflowed into the stash so far.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Entries currently held in the overflow stash.
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    #[inline]
+    fn fingerprint(&self, key: u64) -> u16 {
+        let fp = (metro_mix(key, SEED_FP) as u16) & self.fp_mask;
+        // Zero marks an empty cell; remap to keep fingerprints nonzero.
+        if fp == 0 {
+            1
+        } else {
+            fp
+        }
+    }
+
+    #[inline]
+    fn index1(&self, key: u64) -> usize {
+        (metro_mix(key, SEED_IDX) % self.bucket_count as u64) as usize
+    }
+
+    /// Alternate bucket: `(H(fp) - i) mod n`, an involution, so relocation
+    /// works without knowing which of the two indices a cell currently uses.
+    #[inline]
+    fn alt_index(&self, index: usize, fp: u16) -> usize {
+        let h = (metro_mix(fp as u64, SEED_ALT) % self.bucket_count as u64) as usize;
+        (h + self.bucket_count - index) % self.bucket_count
+    }
+
+    fn bucket(&self, index: usize) -> &[u16] {
+        &self.cells[index * self.slots..(index + 1) * self.slots]
+    }
+
+    fn bucket_mut(&mut self, index: usize) -> &mut [u16] {
+        &mut self.cells[index * self.slots..(index + 1) * self.slots]
+    }
+
+    fn try_place(&mut self, index: usize, fp: u16) -> bool {
+        let b = self.bucket_mut(index);
+        for cell in b.iter_mut() {
+            if *cell == 0 {
+                *cell = fp;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `key`.
+    ///
+    /// Duplicate insertions are allowed and stored separately (the filter is
+    /// a multiset, matching the hardware tables where two pages can map to
+    /// the same fingerprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsertError`] when relocation fails; the displaced
+    /// fingerprint is kept in an internal stash so lookups stay correct.
+    pub fn insert(&mut self, key: u64) -> Result<(), InsertError> {
+        let fp = self.fingerprint(key);
+        let i1 = self.index1(key);
+        let i2 = self.alt_index(i1, fp);
+        self.len += 1;
+        if self.try_place(i1, fp) || self.try_place(i2, fp) {
+            return Ok(());
+        }
+        // Kick-out relocation.
+        let mut index = if self.rng.chance(0.5) { i1 } else { i2 };
+        let mut fp = fp;
+        for _ in 0..MAX_KICKS {
+            let victim_slot = self.rng.gen_index(self.slots);
+            let slot_base = index * self.slots;
+            std::mem::swap(&mut fp, &mut self.cells[slot_base + victim_slot]);
+            index = self.alt_index(index, fp);
+            if self.try_place(index, fp) {
+                return Ok(());
+            }
+        }
+        // Preserve the final victim in the stash: no false negatives.
+        self.stash.push((index, fp));
+        self.overflows += 1;
+        Err(InsertError { key })
+    }
+
+    /// Tests membership. No false negatives; false positives at the
+    /// configured fingerprint rate.
+    pub fn contains(&self, key: u64) -> bool {
+        let fp = self.fingerprint(key);
+        let i1 = self.index1(key);
+        let i2 = self.alt_index(i1, fp);
+        self.bucket(i1).contains(&fp)
+            || self.bucket(i2).contains(&fp)
+            || self
+                .stash
+                .iter()
+                .any(|&(i, f)| f == fp && (i == i1 || i == i2))
+    }
+
+    /// Removes one copy of `key`'s fingerprint, if present.
+    ///
+    /// Returns `true` when a fingerprint was removed. When both candidate
+    /// buckets hold a matching fingerprint a random one is chosen, exactly as
+    /// the paper describes (§IV-B) — this is the source of FT stale-owner
+    /// entries.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let fp = self.fingerprint(key);
+        let i1 = self.index1(key);
+        let i2 = self.alt_index(i1, fp);
+        let in1 = self.bucket(i1).contains(&fp);
+        let in2 = i2 != i1 && self.bucket(i2).contains(&fp);
+        let target = match (in1, in2) {
+            (true, true) => {
+                if self.rng.chance(0.5) {
+                    i1
+                } else {
+                    i2
+                }
+            }
+            (true, false) => i1,
+            (false, true) => i2,
+            (false, false) => {
+                if let Some(pos) = self
+                    .stash
+                    .iter()
+                    .position(|&(i, f)| f == fp && (i == i1 || i == i2))
+                {
+                    self.stash.swap_remove(pos);
+                    self.len -= 1;
+                    return true;
+                }
+                return false;
+            }
+        };
+        let b = self.bucket_mut(target);
+        if let Some(cell) = b.iter_mut().find(|c| **c == fp) {
+            *cell = 0;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the filter.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+        self.stash.clear();
+        self.len = 0;
+    }
+}
+
+/// Minimum fingerprint bits for a target false-positive rate `epsilon` with
+/// `slots` entries per bucket: `ceil(log2(1/eps) + log2(2 * slots))` (§IV-E).
+///
+/// ```
+/// // The paper: eps = 0.2%, 2-slot buckets => ~9 + 2 = 11 bits.
+/// assert_eq!(cuckoo::filter::min_fingerprint_bits(0.002, 2), 11);
+/// // eps = 0.1%, 4-slot buckets => 10 + 3 = 13 bits.
+/// assert_eq!(cuckoo::filter::min_fingerprint_bits(0.001, 4), 13);
+/// ```
+pub fn min_fingerprint_bits(epsilon: f64, slots: usize) -> u32 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    ((1.0 / epsilon).log2() + (2.0 * slots as f64).log2()).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = CuckooFilter::new(64, 4, 12);
+        for k in 0..100u64 {
+            f.insert(k).unwrap();
+        }
+        for k in 0..100u64 {
+            assert!(f.contains(k), "missing {k}");
+        }
+        assert_eq!(f.len(), 100);
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut f = CuckooFilter::new(64, 4, 12);
+        f.insert(7).unwrap();
+        assert!(f.remove(7));
+        assert!(!f.contains(7));
+        assert!(!f.remove(7));
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_multiset() {
+        let mut f = CuckooFilter::new(64, 4, 12);
+        f.insert(9).unwrap();
+        f.insert(9).unwrap();
+        assert!(f.remove(9));
+        assert!(f.contains(9), "one copy must remain");
+        assert!(f.remove(9));
+        assert!(!f.contains(9));
+    }
+
+    #[test]
+    fn no_false_negatives_under_load() {
+        // 125 x 4 = 500 slots, fill to 95%: every inserted key must be found.
+        let mut f = CuckooFilter::new(125, 4, 13);
+        let keys: Vec<u64> = (0..475).map(|i| i * 37 + 5).collect();
+        for &k in &keys {
+            let _ = f.insert(k);
+        }
+        for &k in &keys {
+            assert!(f.contains(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        // 13-bit fingerprints, 4-slot buckets: eps ~ 2*4/2^13 ~ 0.1%.
+        let mut f = CuckooFilter::new(1000, 4, 13);
+        for k in 0..3000u64 {
+            f.insert(k).unwrap();
+        }
+        let probes = 200_000u64;
+        let fps = (0..probes)
+            .filter(|p| f.contains(1_000_000 + p))
+            .count() as f64;
+        let rate = fps / probes as f64;
+        assert!(rate < 0.004, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn overflow_goes_to_stash_and_stays_visible() {
+        let mut f = CuckooFilter::new(4, 2, 8); // tiny: 8 slots
+        let keys: Vec<u64> = (0..16).collect();
+        let mut errs = 0;
+        for &k in &keys {
+            if f.insert(k).is_err() {
+                errs += 1;
+            }
+        }
+        assert!(errs > 0, "tiny filter must overflow");
+        assert_eq!(f.overflow_count(), errs);
+        for &k in &keys {
+            assert!(f.contains(k), "stash must preserve {k}");
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = CuckooFilter::new(16, 2, 8);
+        for k in 0..10 {
+            let _ = f.insert(k);
+        }
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.occupancy(), 0.0);
+        for k in 0..10 {
+            assert!(!f.contains(k));
+        }
+    }
+
+    #[test]
+    fn alt_index_is_involution() {
+        let f = CuckooFilter::new(125, 4, 13);
+        for key in 0..500u64 {
+            let fp = f.fingerprint(key);
+            let i1 = f.index1(key);
+            let i2 = f.alt_index(i1, fp);
+            assert_eq!(f.alt_index(i2, fp), i1);
+        }
+    }
+
+    #[test]
+    fn fingerprints_never_zero() {
+        let f = CuckooFilter::new(8, 2, 4); // narrow fp: zeros likely pre-remap
+        for key in 0..10_000u64 {
+            assert_ne!(f.fingerprint(key), 0);
+        }
+    }
+
+    #[test]
+    fn storage_bits_match_paper() {
+        // FT: 1000 buckets x 2 slots x 11 bits = 2.68 KB.
+        let ft = CuckooFilter::new(1000, 2, 11);
+        assert_eq!(ft.storage_bits(), 22_000);
+        let kb = ft.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 2.68).abs() < 0.01, "FT size {kb} KB");
+        // PRT: 125 buckets x 4 slots x 13 bits = 0.79 KB.
+        let prt = CuckooFilter::new(125, 4, 13);
+        assert_eq!(prt.storage_bits(), 6_500);
+        let kb = prt.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 0.79).abs() < 0.01, "PRT size {kb} KB");
+    }
+
+    #[test]
+    fn paper_fingerprint_sizing() {
+        assert_eq!(min_fingerprint_bits(0.002, 2), 11);
+        assert_eq!(min_fingerprint_bits(0.001, 4), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp_bits")]
+    fn rejects_zero_fp_bits() {
+        CuckooFilter::new(8, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_count")]
+    fn rejects_zero_buckets() {
+        CuckooFilter::new(0, 2, 8);
+    }
+}

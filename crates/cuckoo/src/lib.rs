@@ -1,0 +1,29 @@
+//! Cuckoo filter: practically better than Bloom.
+//!
+//! Trans-FW's two hardware tables — the per-GPU *Pending Request Table* (PRT)
+//! and the host-MMU *Forwarding Table* (FT) — are both Cuckoo filters
+//! (Fan et al., CoNEXT '14). This crate implements the filter with the exact
+//! knobs the paper exposes: bucket count, slots per bucket (2 for FT, 4 for
+//! PRT), fingerprint width (11 and 13 bits), and deletion support.
+//!
+//! The paper hashes with MetroHash; [`hash`] provides a 64-bit mixer with the
+//! same xor-multiply-rotate structure (only distribution quality matters for
+//! the filter's false-positive rate).
+//!
+//! # Examples
+//!
+//! ```
+//! use cuckoo::CuckooFilter;
+//!
+//! let mut f = CuckooFilter::new(128, 4, 13);
+//! f.insert(42).unwrap();
+//! assert!(f.contains(42));
+//! assert!(f.remove(42));
+//! assert!(!f.contains(42));
+//! ```
+
+pub mod filter;
+pub mod hash;
+
+pub use filter::{CuckooFilter, InsertError};
+pub use hash::metro_mix;

@@ -1,0 +1,110 @@
+//! Full reproduction driver: regenerates every table and figure and writes
+//! the collected reports to a file (or stdout).
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin repro -- [--scale S] [--seeds N] [--out FILE] [--only figNN]
+//! ```
+
+use std::fmt::Write as _;
+
+use experiments::{Report, RunOpts};
+
+struct Args {
+    scale: f64,
+    seeds: u64,
+    out: Option<String>,
+    only: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 1.0,
+        seeds: 2,
+        out: None,
+        only: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("scale"),
+            "--seeds" => args.seeds = value("--seeds").parse().expect("seeds"),
+            "--out" => args.out = Some(value("--out")),
+            "--only" => args.only = Some(value("--only")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = RunOpts {
+        scale: args.scale,
+        seeds: (1..=args.seeds.max(1)).collect(),
+    };
+
+    type Runner = fn(&RunOpts) -> Vec<Report>;
+    let single = |f: fn(&RunOpts) -> Report| move |o: &RunOpts| vec![f(o)];
+    let experiments_list: Vec<(&str, Box<dyn Fn(&RunOpts) -> Vec<Report>>)> = vec![
+        ("table3", Box::new(single(experiments::table3::run))),
+        ("fig02", Box::new(experiments::fig02::run as Runner)),
+        ("fig03", Box::new(single(experiments::fig03::run))),
+        ("fig04", Box::new(single(experiments::fig04::run))),
+        ("fig05_06", Box::new(experiments::fig05_06::run as Runner)),
+        ("fig07", Box::new(single(experiments::fig07::run))),
+        ("fig08", Box::new(single(experiments::fig08::run))),
+        ("fig11", Box::new(single(experiments::fig11::run))),
+        ("fig12", Box::new(single(experiments::fig12::run))),
+        ("fig13", Box::new(single(experiments::fig13::run))),
+        ("fig14", Box::new(single(experiments::fig14::run))),
+        ("fig15", Box::new(single(experiments::fig15::run))),
+        ("fig16", Box::new(single(experiments::fig16::run))),
+        ("fig17", Box::new(single(experiments::fig17::run))),
+        ("fig18", Box::new(single(experiments::fig18::run))),
+        ("fig19", Box::new(single(experiments::fig19::run))),
+        ("fig20", Box::new(single(experiments::fig20::run))),
+        ("fig21", Box::new(single(experiments::fig21::run))),
+        ("fig22", Box::new(single(experiments::fig22::run))),
+        ("fig23", Box::new(single(experiments::fig23::run))),
+        ("fig24", Box::new(single(experiments::fig24::run))),
+        ("fig25", Box::new(single(experiments::fig25::run))),
+        ("fig26", Box::new(single(experiments::fig26::run))),
+        ("fig27", Box::new(single(experiments::fig27::run))),
+        ("fig28", Box::new(single(experiments::fig28::run))),
+        ("fig29", Box::new(single(experiments::fig29::run))),
+        ("fig30", Box::new(single(experiments::fig30::run))),
+    ];
+
+    let mut doc = String::new();
+    let _ = writeln!(
+        doc,
+        "# Trans-FW reproduction run (scale {}, {} seed(s))\n",
+        opts.scale,
+        opts.seeds.len()
+    );
+    for (name, runner) in &experiments_list {
+        if let Some(only) = &args.only {
+            if !name.starts_with(only.as_str()) {
+                continue;
+            }
+        }
+        eprintln!("running {name}…");
+        let t0 = std::time::Instant::now();
+        for report in runner(&opts) {
+            let _ = writeln!(doc, "```\n{report}```\n");
+        }
+        eprintln!("  {name} done in {:.1?}", t0.elapsed());
+    }
+
+    match args.out {
+        Some(path) => {
+            std::fs::write(&path, &doc).expect("write output file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 2: software (UVM-driver) versus hardware (host MMU) far-fault
+//! handling — (a) scaling from 4 to 32 GPUs, (b) per-application speedup of
+//! hardware over software at 4 GPUs.
+
+use mgpu::{FarFaultMode, SystemConfig};
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn cfg(gpus: u16, mode: FarFaultMode) -> SystemConfig {
+    SystemConfig::builder().gpus(gpus).fault_mode(mode).build()
+}
+
+/// Fig. 2(a): mean execution time of both modes at 4/8/16/32 GPUs,
+/// normalized to the hardware approach with 4 GPUs (lower is better).
+pub fn run_scaling(opts: &RunOpts) -> Report {
+    let gpu_counts = [4u16, 8, 16, 32];
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut hw4 = 0.0;
+    for &g in &gpu_counts {
+        let per_mode: Vec<f64> = [FarFaultMode::HostMmu, FarFaultMode::UvmDriver]
+            .into_iter()
+            .map(|mode| {
+                let c = cfg(g, mode);
+                let times = parallel_map(opts.apps(), |app| average_cycles(&c, &app, opts).0);
+                sim_core::stats::mean(&times)
+            })
+            .collect();
+        if g == 4 {
+            hw4 = per_mode[0];
+        }
+        rows.push((format!("{g} GPUs"), per_mode));
+    }
+    let mut report = Report::new(
+        "Fig. 2(a): SW vs HW far-fault handling, normalized to HW @ 4 GPUs",
+        &["hardware", "software"],
+    );
+    for (label, v) in rows {
+        report.push(&label, v.iter().map(|t| t / hw4).collect());
+    }
+    report
+}
+
+/// Fig. 2(b): hardware speedup over software per application at 4 GPUs.
+pub fn run_per_app(opts: &RunOpts) -> Report {
+    let hw = cfg(4, FarFaultMode::HostMmu);
+    let sw = cfg(4, FarFaultMode::UvmDriver);
+    let rows = parallel_map(opts.apps(), |app| {
+        let (h, _) = average_cycles(&hw, &app, opts);
+        let (s, _) = average_cycles(&sw, &app, opts);
+        (app.name.clone(), s / h)
+    });
+    let mut report = Report::new(
+        "Fig. 2(b): hardware speedup over software, 4 GPUs",
+        &["hw/sw speedup"],
+    );
+    for (name, v) in rows {
+        report.push(&name, vec![v]);
+    }
+    report.push_mean();
+    report
+}
+
+/// Both panels.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    vec![run_scaling(opts), run_per_app(opts)]
+}

@@ -1,0 +1,32 @@
+//! Fig. 3: breakdown of the L2 TLB miss latency in the baseline.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Per-application latency fractions: GMMU queue, GMMU walk (PW-cache miss
+/// penalty), host queue, host walk, migration, interconnect/replay.
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::baseline();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        (app.name.clone(), m.breakdown.fractions().to_vec())
+    });
+    let mut report = Report::new(
+        "Fig. 3: L2 TLB miss latency breakdown (baseline)",
+        &[
+            "gmmu-queue",
+            "gmmu-walk",
+            "host-queue",
+            "host-walk",
+            "migration",
+            "net+replay",
+        ],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

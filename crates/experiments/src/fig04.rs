@@ -1,0 +1,78 @@
+//! Fig. 4: room for improvement — speedups from impractical idealisations
+//! (infinite PW-cache, infinite walk threads, zero migration latency,
+//! no local page faults) over the baseline.
+
+use mgpu::{IdealKnobs, PwcKind, SystemConfig};
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn ideal_cfgs() -> Vec<(&'static str, SystemConfig)> {
+    let base = SystemConfig::baseline();
+    vec![
+        (
+            "inf-pwc",
+            SystemConfig {
+                pwc_kind: PwcKind::Infinite,
+                ..base.clone()
+            },
+        ),
+        (
+            "inf-walkers",
+            SystemConfig {
+                ideal: IdealKnobs {
+                    infinite_walkers: true,
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "no-mig-lat",
+            SystemConfig {
+                ideal: IdealKnobs {
+                    zero_migration_latency: true,
+                    ..Default::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "no-faults",
+            SystemConfig {
+                ideal: IdealKnobs {
+                    no_local_faults: true,
+                    ..Default::default()
+                },
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Speedup of each idealisation over the baseline, per application.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::baseline();
+    let cfgs = ideal_cfgs();
+    let headers: Vec<&str> = cfgs.iter().map(|(n, _)| *n).collect();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let v: Vec<f64> = cfgs
+            .iter()
+            .map(|(_, c)| {
+                let (t, _) = average_cycles(c, &app, opts);
+                b / t
+            })
+            .collect();
+        (app.name.clone(), v)
+    });
+    let mut report = Report::new(
+        "Fig. 4: idealised speedups over baseline",
+        &headers,
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

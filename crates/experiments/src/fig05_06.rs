@@ -1,0 +1,43 @@
+//! Figs. 5 and 6: PW-cache hit levels in the GMMU (Fig. 5) and the host
+//! MMU (Fig. 6) under the baseline.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn pwc_report(title: &str, host: bool, opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::baseline();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        let s = if host { &m.host_pwc } else { &m.gmmu_pwc };
+        // Lower levels (L2/L3): translation within 1-2 memory accesses.
+        let lower = s.hit_rate_at(2) + s.hit_rate_at(3);
+        let upper = s.hit_rate() - lower;
+        (
+            app.name.clone(),
+            vec![lower, upper, 1.0 - s.hit_rate()],
+        )
+    });
+    let mut report = Report::new(title, &["L2+L3 hit", "L4+L5 hit", "miss"]);
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}
+
+/// Fig. 5: GMMU PW-cache hit levels.
+pub fn run_gmmu(opts: &RunOpts) -> Report {
+    pwc_report("Fig. 5: GMMU PW-cache hit levels (baseline)", false, opts)
+}
+
+/// Fig. 6: host MMU PW-cache hit levels.
+pub fn run_host(opts: &RunOpts) -> Report {
+    pwc_report("Fig. 6: host MMU PW-cache hit levels (baseline)", true, opts)
+}
+
+/// Both figures.
+pub fn run(opts: &RunOpts) -> Vec<Report> {
+    vec![run_gmmu(opts), run_host(opts)]
+}

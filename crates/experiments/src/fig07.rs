@@ -1,0 +1,25 @@
+//! Fig. 7: page sharing among GPUs — the fraction of page accesses going
+//! to pages shared by 1, 2, 3 or 4 GPUs.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Access-weighted sharing-degree distribution per application.
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::baseline();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        (app.name.clone(), m.sharing.access_fraction_by_degree(4))
+    });
+    let mut report = Report::new(
+        "Fig. 7: page sharing among GPUs (fraction of accesses)",
+        &["1 GPU", "2 GPUs", "3 GPUs", "4 GPUs"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,28 @@
+//! Fig. 8: remote PW-cache hits — on a local page fault, could another
+//! GPU's PW-cache have supplied (part of) the translation?
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Remote hit rate (any level) and lower-level (L2/L3) hit rate per app.
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::baseline();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        (
+            app.name.clone(),
+            vec![m.remote_probe.hit_rate(), m.remote_probe.lower_hit_rate()],
+        )
+    });
+    let mut report = Report::new(
+        "Fig. 8: remote PW-cache hit rate of local page faults (baseline)",
+        &["any level", "L2+L3"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

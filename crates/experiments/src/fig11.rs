@@ -1,0 +1,50 @@
+//! Fig. 11: the headline result — overall speedup of Trans-FW over the
+//! baseline, plus ablation columns for the two mechanisms in isolation.
+
+use mgpu::{SystemConfig, TransFwKnobs};
+use transfw::TransFwConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn knobs(gmmu: bool, host: bool) -> Option<TransFwKnobs> {
+    Some(TransFwKnobs {
+        config: TransFwConfig::default(),
+        gmmu_short_circuit: gmmu,
+        host_forwarding: host,
+    })
+}
+
+/// Trans-FW speedup per application, with PRT-only and FT-only ablations.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::baseline();
+    let full = SystemConfig {
+        transfw: knobs(true, true),
+        ..base.clone()
+    };
+    let prt_only = SystemConfig {
+        transfw: knobs(true, false),
+        ..base.clone()
+    };
+    let ft_only = SystemConfig {
+        transfw: knobs(false, true),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let v = [&full, &prt_only, &ft_only]
+            .iter()
+            .map(|c| b / average_cycles(c, &app, opts).0)
+            .collect();
+        (app.name.clone(), v)
+    });
+    let mut report = Report::new(
+        "Fig. 11: Trans-FW speedup over baseline (with ablations)",
+        &["Trans-FW", "PRT only", "FT only"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,37 @@
+//! Fig. 12: reduction of each latency component under Trans-FW.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Per-application fraction by which Trans-FW shrinks each Fig. 3 latency
+/// component (1.0 = eliminated).
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::baseline();
+    let tfw = SystemConfig::with_transfw();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, mb) = average_cycles(&base, &app, opts);
+        let (_, mt) = average_cycles(&tfw, &app, opts);
+        (
+            app.name.clone(),
+            mt.breakdown.reduction_vs(&mb.breakdown).to_vec(),
+        )
+    });
+    let mut report = Report::new(
+        "Fig. 12: latency component reduction by Trans-FW",
+        &[
+            "gmmu-queue",
+            "gmmu-walk",
+            "host-queue",
+            "host-walk",
+            "migration",
+            "net+replay",
+        ],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,27 @@
+//! Fig. 13: PW-cache hit rates at the lower levels (L2/L3) under Trans-FW.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// L2+L3 hit rates of the GMMU and host PW-caches with Trans-FW enabled
+/// (compare against the baseline values in Figs. 5/6).
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::with_transfw();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        let g = m.gmmu_pwc.hit_rate_at(2) + m.gmmu_pwc.hit_rate_at(3);
+        let h = m.host_pwc.hit_rate_at(2) + m.host_pwc.hit_rate_at(3);
+        (app.name.clone(), vec![g, h])
+    });
+    let mut report = Report::new(
+        "Fig. 13: lower-level (L2+L3) PW-cache hit rates under Trans-FW",
+        &["GMMU", "host MMU"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

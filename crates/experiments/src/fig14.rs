@@ -1,0 +1,31 @@
+//! Fig. 14: replicated PT-walks — requests that executed both a host walk
+//! and a borrowed remote walk, as a fraction of all host PT-walks.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Replicated-walk percentage per application under Trans-FW.
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::with_transfw();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        (
+            app.name.clone(),
+            vec![sim_core::stats::ratio(
+                m.transfw.replicated_walks,
+                m.host_walks,
+            )],
+        )
+    });
+    let mut report = Report::new(
+        "Fig. 14: replicated PT-walks / all host PT-walks (Trans-FW)",
+        &["replicated"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,46 @@
+//! Fig. 15: sensitivity to the forwarding threshold (0, 0.5, 1, 2 x the
+//! host PT-walk thread count).
+
+use mgpu::{SystemConfig, TransFwKnobs};
+use transfw::TransFwConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn cfg_with_threshold(threshold: f64) -> SystemConfig {
+    SystemConfig {
+        transfw: Some(TransFwKnobs {
+            config: TransFwConfig {
+                forward_threshold: threshold,
+                ..TransFwConfig::default()
+            },
+            gmmu_short_circuit: true,
+            host_forwarding: true,
+        }),
+        ..SystemConfig::baseline()
+    }
+}
+
+/// Speedup over the baseline for each forwarding threshold.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::baseline();
+    let thresholds = [0.0, 0.5, 1.0, 2.0];
+    let cfgs: Vec<SystemConfig> = thresholds.iter().map(|&t| cfg_with_threshold(t)).collect();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let v = cfgs
+            .iter()
+            .map(|c| b / average_cycles(c, &app, opts).0)
+            .collect();
+        (app.name.clone(), v)
+    });
+    let mut report = Report::new(
+        "Fig. 15: Trans-FW speedup vs forwarding threshold",
+        &["t=0", "t=0.5", "t=1", "t=2"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

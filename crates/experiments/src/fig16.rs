@@ -1,0 +1,46 @@
+//! Fig. 16: sensitivity to PRT/FT sizes — (250, 1000), (500, 2000) and
+//! (1000, 4000) fingerprints.
+
+use mgpu::{SystemConfig, TransFwKnobs};
+use transfw::TransFwConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn cfg_with_tables(config: TransFwConfig) -> SystemConfig {
+    SystemConfig {
+        transfw: Some(TransFwKnobs {
+            config,
+            gmmu_short_circuit: true,
+            host_forwarding: true,
+        }),
+        ..SystemConfig::baseline()
+    }
+}
+
+/// Speedup over the baseline for each (PRT, FT) sizing.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::baseline();
+    let cfgs = [
+        cfg_with_tables(TransFwConfig::small()),
+        cfg_with_tables(TransFwConfig::default()),
+        cfg_with_tables(TransFwConfig::large()),
+    ];
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let v = cfgs
+            .iter()
+            .map(|c| b / average_cycles(c, &app, opts).0)
+            .collect();
+        (app.name.clone(), v)
+    });
+    let mut report = Report::new(
+        "Fig. 16: Trans-FW speedup vs (PRT, FT) fingerprint counts",
+        &["(250,1k)", "(500,2k)", "(1k,4k)"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,37 @@
+//! Fig. 17: scalability — Trans-FW at 8 and 16 GPUs, each normalized to
+//! the baseline with the same GPU count.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup at 8 and 16 GPUs.
+pub fn run(opts: &RunOpts) -> Report {
+    let gpu_counts = [8u16, 16];
+    let rows = parallel_map(opts.apps(), |app| {
+        let v = gpu_counts
+            .iter()
+            .map(|&g| {
+                let base = SystemConfig::builder().gpus(g).build();
+                let tfw = SystemConfig {
+                    transfw: Some(mgpu::TransFwKnobs::full()),
+                    ..base.clone()
+                };
+                let (b, _) = average_cycles(&base, &app, opts);
+                let (t, _) = average_cycles(&tfw, &app, opts);
+                b / t
+            })
+            .collect();
+        (app.name.clone(), v)
+    });
+    let mut report = Report::new(
+        "Fig. 17: Trans-FW speedup with 8 and 16 GPUs",
+        &["8 GPUs", "16 GPUs"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

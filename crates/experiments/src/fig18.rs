@@ -1,0 +1,50 @@
+//! Fig. 18: sensitivity to the number of PT-walk threads — (GMMU, host)
+//! pairs from (4, 8) up to (64, 128); everything normalized to the baseline
+//! with (4, 8).
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+const PAIRS: [(usize, usize); 5] = [(4, 8), (8, 16), (16, 32), (32, 64), (64, 128)];
+
+fn cfg(gmmu: usize, host: usize, transfw: bool) -> SystemConfig {
+    let mut c = SystemConfig::builder()
+        .gmmu_walkers(gmmu)
+        .host_walkers(host)
+        .build();
+    if transfw {
+        c.transfw = Some(mgpu::TransFwKnobs::full());
+    }
+    c
+}
+
+/// Mean speedup over the (4, 8) baseline for each walker pair, baseline and
+/// Trans-FW. Rows are the walker pairs.
+pub fn run(opts: &RunOpts) -> Report {
+    let reference = cfg(4, 8, false);
+    let per_app = parallel_map(opts.apps(), |app| {
+        let (r, _) = average_cycles(&reference, &app, opts);
+        let mut v = Vec::new();
+        for (g, h) in PAIRS {
+            v.push(r / average_cycles(&cfg(g, h, false), &app, opts).0);
+            v.push(r / average_cycles(&cfg(g, h, true), &app, opts).0);
+        }
+        v
+    });
+    // Average the apps.
+    let n = per_app.len() as f64;
+    let cols = per_app[0].len();
+    let means: Vec<f64> = (0..cols)
+        .map(|c| per_app.iter().map(|v| v[c]).sum::<f64>() / n)
+        .collect();
+    let mut report = Report::new(
+        "Fig. 18: speedup vs PT-walk threads, normalized to baseline (4,8)",
+        &["baseline", "Trans-FW"],
+    );
+    for (i, (g, h)) in PAIRS.iter().enumerate() {
+        report.push(&format!("({g},{h})"), vec![means[2 * i], means[2 * i + 1]]);
+    }
+    report
+}

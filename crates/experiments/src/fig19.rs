@@ -1,0 +1,29 @@
+//! Fig. 19: 4-level page table — Trans-FW vs the 4-level baseline.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup when both systems use a 4-level page table.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::builder().page_table_levels(4).build();
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new(
+        "Fig. 19: Trans-FW speedup with a 4-level page table",
+        &["speedup"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,39 @@
+//! Fig. 20: host MMU configuration sensitivity — (a) a 4096-entry host
+//! TLB, (b) a 256-entry and (c) a 512-entry host PW-cache, each pair
+//! normalized to its own baseline.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+fn speedup_with(base: SystemConfig, opts: &RunOpts) -> Vec<(String, f64)> {
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), b / t)
+    })
+}
+
+/// Trans-FW speedup under each host MMU variant.
+pub fn run(opts: &RunOpts) -> Report {
+    let tlb4096 = SystemConfig::builder().host_tlb_entries(4096).build();
+    let pwc256 = SystemConfig::builder().host_pwc_entries(256).build();
+    let pwc512 = SystemConfig::builder().host_pwc_entries(512).build();
+    let a = speedup_with(tlb4096, opts);
+    let b = speedup_with(pwc256, opts);
+    let c = speedup_with(pwc512, opts);
+    let mut report = Report::new(
+        "Fig. 20: Trans-FW speedup under host MMU variants",
+        &["TLB 4096", "PWC 256", "PWC 512"],
+    );
+    for i in 0..a.len() {
+        report.push(&a[i].0.clone(), vec![a[i].1, b[i].1, c[i].1]);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,35 @@
+//! Fig. 21: sensitivity to the remote (GPU-GPU) access latency, swept as
+//! multiples of the GPU local memory latency.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Mean Trans-FW speedup for peer-link latencies of 150 cycles (default)
+/// and 1x to 16x the DRAM latency.
+pub fn run(opts: &RunOpts) -> Report {
+    let dram = SystemConfig::baseline().dram_latency;
+    let sweeps: Vec<(String, u64)> = [("150cy".to_string(), 150)]
+        .into_iter()
+        .chain([1u64, 2, 4, 8, 16].map(|m| (format!("{m}x dram"), m * dram)))
+        .collect();
+    let mut report = Report::new(
+        "Fig. 21: mean Trans-FW speedup vs remote access latency",
+        &["speedup"],
+    );
+    for (label, lat) in sweeps {
+        let base = SystemConfig::builder().peer_link_latency(lat).build();
+        let tfw = SystemConfig {
+            transfw: Some(mgpu::TransFwKnobs::full()),
+            ..base.clone()
+        };
+        let speedups = parallel_map(opts.apps(), |app| {
+            let (b, _) = average_cycles(&base, &app, opts);
+            let (t, _) = average_cycles(&tfw, &app, opts);
+            b / t
+        });
+        report.push(&label, vec![sim_core::stats::mean(&speedups)]);
+    }
+    report
+}

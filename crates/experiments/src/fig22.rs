@@ -1,0 +1,27 @@
+//! Fig. 22: the Split Translation Cache — Trans-FW with STC vs the STC
+//! baseline.
+
+use mgpu::{PwcKind, SystemConfig};
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup when both systems use the STC organisation.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::builder().pwc_kind(PwcKind::Stc).build();
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new("Fig. 22: Trans-FW speedup with STC PW-caches", &["speedup"]);
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,33 @@
+//! Fig. 23: read replication — Trans-FW with replication vs the
+//! replication baseline (plus the Fig. 24 read/write evidence).
+
+use mgpu::SystemConfig;
+use uvm::MigrationPolicy;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup when both systems use read replication.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::builder()
+        .policy(MigrationPolicy::ReadReplication)
+        .build();
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new(
+        "Fig. 23: Trans-FW speedup under read replication",
+        &["speedup"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

@@ -1,0 +1,27 @@
+//! Fig. 24: reads versus writes to cross-GPU shared pages — why read
+//! replication cannot help write-intensive applications.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Read and write fractions of accesses to shared pages per application.
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::baseline();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        let (r, w) = m.sharing.shared_rw();
+        let total = (r + w).max(1) as f64;
+        (app.name.clone(), vec![r as f64 / total, w as f64 / total])
+    });
+    let mut report = Report::new(
+        "Fig. 24: read/write split of shared-page accesses",
+        &["reads", "writes"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

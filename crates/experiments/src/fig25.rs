@@ -1,0 +1,36 @@
+//! Fig. 25: remote mapping with access-counter-driven migration —
+//! Trans-FW vs the remote-mapping baseline.
+
+use mgpu::SystemConfig;
+use uvm::MigrationPolicy;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup when both systems use remote mapping (NVIDIA-style
+/// access counters with a threshold of 8).
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::builder()
+        .policy(MigrationPolicy::RemoteMapping {
+            migrate_threshold: 8,
+        })
+        .build();
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new(
+        "Fig. 25: Trans-FW speedup under remote mapping",
+        &["speedup"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

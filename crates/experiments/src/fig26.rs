@@ -1,0 +1,32 @@
+//! Fig. 26: Trans-FW on software (UVM-driver) far-fault handling, with the
+//! Forwarding Table held in CPU memory and consulted by the driver.
+
+use mgpu::{FarFaultMode, SystemConfig};
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup over the driver-handled baseline.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::builder()
+        .fault_mode(FarFaultMode::UvmDriver)
+        .build();
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new(
+        "Fig. 26: Trans-FW speedup on UVM-driver handled far faults",
+        &["speedup"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

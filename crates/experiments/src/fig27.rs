@@ -1,0 +1,26 @@
+//! Fig. 27: 2 MB pages — Trans-FW vs the large-page baseline.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup when both systems use 2 MB pages.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::builder().page_size_bits(21).build();
+    let tfw = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..base.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (b, _) = average_cycles(&base, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        (app.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new("Fig. 27: Trans-FW speedup with 2 MB pages", &["speedup"]);
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

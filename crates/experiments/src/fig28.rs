@@ -1,0 +1,35 @@
+//! Fig. 28: comparison with ASAP PW-cache prefetching — Trans-FW and
+//! Trans-FW+ASAP, both normalized to the ASAP baseline.
+
+use mgpu::SystemConfig;
+use ptw::Asap;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Speedups of Trans-FW and Trans-FW+ASAP over ASAP alone.
+pub fn run(opts: &RunOpts) -> Report {
+    let asap = SystemConfig::builder()
+        .asap(Some(Asap::DEFAULT_ACCURACY))
+        .build();
+    let tfw = SystemConfig::with_transfw();
+    let both = SystemConfig {
+        asap: Some(Asap::DEFAULT_ACCURACY),
+        ..SystemConfig::with_transfw()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (a, _) = average_cycles(&asap, &app, opts);
+        let (t, _) = average_cycles(&tfw, &app, opts);
+        let (b, _) = average_cycles(&both, &app, opts);
+        (app.name.clone(), vec![a / t, a / b])
+    });
+    let mut report = Report::new(
+        "Fig. 28: speedup over ASAP prefetching",
+        &["Trans-FW", "Trans-FW+ASAP"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

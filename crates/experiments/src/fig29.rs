@@ -1,0 +1,30 @@
+//! Fig. 29: combination with least-TLB — Trans-FW + least-TLB normalized
+//! to least-TLB alone.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Speedup of Trans-FW + least-TLB over least-TLB alone.
+pub fn run(opts: &RunOpts) -> Report {
+    let least = SystemConfig::builder().least_tlb(true).build();
+    let both = SystemConfig {
+        transfw: Some(mgpu::TransFwKnobs::full()),
+        ..least.clone()
+    };
+    let rows = parallel_map(opts.apps(), |app| {
+        let (l, _) = average_cycles(&least, &app, opts);
+        let (b, _) = average_cycles(&both, &app, opts);
+        (app.name.clone(), vec![l / b])
+    });
+    let mut report = Report::new(
+        "Fig. 29: Trans-FW + least-TLB speedup over least-TLB",
+        &["speedup"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

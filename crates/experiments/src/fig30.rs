@@ -1,0 +1,28 @@
+//! Fig. 30: real machine-learning models — VGG16 and ResNet18 in
+//! data-parallel training.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Trans-FW speedup on the ML models.
+pub fn run(opts: &RunOpts) -> Report {
+    let base = SystemConfig::baseline();
+    let tfw = SystemConfig::with_transfw();
+    let models = vec![
+        workloads::vgg16().scaled(opts.scale),
+        workloads::resnet18().scaled(opts.scale),
+    ];
+    let rows = parallel_map(models, |m| {
+        let (b, _) = average_cycles(&base, &m, opts);
+        let (t, _) = average_cycles(&tfw, &m, opts);
+        (m.name.clone(), vec![b / t])
+    });
+    let mut report = Report::new("Fig. 30: Trans-FW speedup on ML training", &["speedup"]);
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report.push_mean();
+    report
+}

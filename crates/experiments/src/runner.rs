@@ -1,0 +1,144 @@
+//! Shared simulation-run machinery: seed averaging and app-parallel sweeps.
+
+use mgpu::workload::Workload;
+use mgpu::{RunMetrics, System, SystemConfig};
+use workloads::AppSpec;
+
+/// How an experiment is executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOpts {
+    /// Work scale factor applied to every application (1.0 = full scale;
+    /// tests use small values).
+    pub scale: f64,
+    /// Seeds to average execution time over (simulations are noisy at the
+    /// ±few-percent level; the paper's bars are averages too).
+    pub seeds: Vec<u64>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            seeds: vec![1, 2],
+        }
+    }
+}
+
+impl RunOpts {
+    /// Fast options for unit/integration tests.
+    pub fn test() -> Self {
+        Self {
+            scale: 0.12,
+            seeds: vec![1],
+        }
+    }
+
+    /// The ten Table III applications at this scale.
+    pub fn apps(&self) -> Vec<AppSpec> {
+        workloads::all_apps()
+            .iter()
+            .map(|a| a.scaled(self.scale))
+            .collect()
+    }
+}
+
+/// Runs one workload once with the given configuration and seed.
+pub fn run_one(mut cfg: SystemConfig, workload: &dyn Workload, seed: u64) -> RunMetrics {
+    cfg.seed = seed;
+    System::new(cfg).run(workload)
+}
+
+/// Mean end-to-end cycles over the option's seeds, plus the metrics of the
+/// first run (for the non-timing statistics, which are seed-stable).
+pub fn average_cycles(
+    cfg: &SystemConfig,
+    workload: &dyn Workload,
+    opts: &RunOpts,
+) -> (f64, RunMetrics) {
+    assert!(!opts.seeds.is_empty(), "need at least one seed");
+    let mut cycles = 0.0;
+    let mut first: Option<RunMetrics> = None;
+    for &seed in &opts.seeds {
+        let m = run_one(cfg.clone(), workload, seed);
+        cycles += m.total_cycles as f64;
+        if first.is_none() {
+            first = Some(m);
+        }
+    }
+    (cycles / opts.seeds.len() as f64, first.expect("ran"))
+}
+
+/// Maps `f` over `items` with one OS thread per item (simulation runs are
+/// independent and CPU-bound).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| scope.spawn(|| f(item)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+}
+
+/// Convenience: for each app, compute the speedup of `opt_cfg` over
+/// `base_cfg` (mean cycles over seeds), returning `(app, speedup)` rows.
+pub fn speedups(
+    base_cfg: &SystemConfig,
+    opt_cfg: &SystemConfig,
+    opts: &RunOpts,
+) -> Vec<(String, f64)> {
+    parallel_map(opts.apps(), |app| {
+        let (base, _) = average_cycles(base_cfg, &app, opts);
+        let (opt, _) = average_cycles(opt_cfg, &app, opts);
+        (app.name.clone(), base / opt)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..16).collect::<Vec<i32>>(), |x| x * 2);
+        assert_eq!(out, (0..16).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_opts_apps_scale() {
+        let full = RunOpts::default().apps();
+        let small = RunOpts::test().apps();
+        assert_eq!(full.len(), 10);
+        assert_eq!(small.len(), 10);
+        assert!(small[0].ctas < full[0].ctas);
+    }
+
+    #[test]
+    fn average_cycles_is_deterministic_per_seed() {
+        let opts = RunOpts {
+            scale: 0.05,
+            seeds: vec![7],
+        };
+        let app = workloads::app("FIR").unwrap().scaled(opts.scale);
+        let cfg = SystemConfig::baseline();
+        let (a, _) = average_cycles(&cfg, &app, &opts);
+        let (b, _) = average_cycles(&cfg, &app, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panics() {
+        let opts = RunOpts {
+            scale: 0.05,
+            seeds: vec![],
+        };
+        let app = workloads::app("FIR").unwrap();
+        average_cycles(&SystemConfig::baseline(), &app, &opts);
+    }
+}

@@ -1,0 +1,24 @@
+//! Table III: the application suite with measured PFPKI and access
+//! patterns.
+
+use mgpu::SystemConfig;
+
+use crate::runner::{average_cycles, parallel_map};
+use crate::{Report, RunOpts};
+
+/// Measured PFPKI and L2 TLB hit rate per application (baseline).
+pub fn run(opts: &RunOpts) -> Report {
+    let cfg = SystemConfig::baseline();
+    let rows = parallel_map(opts.apps(), |app| {
+        let (_, m) = average_cycles(&cfg, &app, opts);
+        (app.name.clone(), vec![m.pfpki(), m.l2_hit_rate()])
+    });
+    let mut report = Report::new(
+        "Table III: measured PFPKI and L2 TLB hit rate (baseline)",
+        &["PFPKI", "L2 hit"],
+    );
+    for (name, v) in rows {
+        report.push(&name, v);
+    }
+    report
+}

@@ -1,0 +1,40 @@
+//! Umbrella crate for the **Trans-FW** reproduction (HPCA 2023).
+//!
+//! Re-exports every layer of the stack so downstream users can depend on a
+//! single crate:
+//!
+//! * [`transfw`] — the paper's contribution (PRT, FT, forwarding policy);
+//! * [`mgpu`] — the multi-GPU address-translation simulator;
+//! * [`workloads`] — the Table III applications and ML models;
+//! * [`experiments`] — per-figure experiment harnesses;
+//! * the substrates: [`sim_core`], [`cuckoo`], [`tlb`], [`ptw`],
+//!   [`interconnect`], [`uvm`].
+//!
+//! # Examples
+//!
+//! ```
+//! use transfw_sim::prelude::*;
+//!
+//! let app = workloads::app("MT").unwrap().scaled(0.05);
+//! let metrics = System::new(SystemConfig::baseline()).run(&app);
+//! assert!(metrics.total_cycles > 0);
+//! ```
+
+pub use cuckoo;
+pub use experiments;
+pub use interconnect;
+pub use mgpu;
+pub use ptw;
+pub use sim_core;
+pub use tlb;
+pub use transfw;
+pub use uvm;
+pub use workloads;
+
+/// The most common imports for driving the simulator.
+pub mod prelude {
+    pub use mgpu::workload::{Access, AccessStream, Workload};
+    pub use mgpu::{RunMetrics, System, SystemConfig, TransFwKnobs};
+    pub use transfw::TransFwConfig;
+    pub use workloads;
+}

@@ -1,0 +1,279 @@
+//! Interconnect models for the multi-GPU system.
+//!
+//! Table II models the CPU–GPU interconnect as PCIe with a 150-cycle latency;
+//! GPU–GPU transfers use a peer link whose latency is swept in Fig. 21.
+//! Besides fixed latency, links serialise payloads at a configurable
+//! bandwidth, so bursts of far faults and page migrations queue behind each
+//! other — the congestion that motivates Trans-FW's PRT filter (§IV-B).
+//!
+//! # Examples
+//!
+//! ```
+//! use interconnect::Link;
+//!
+//! let mut pcie = Link::new(150, 16); // 150-cycle latency, 16 B/cycle
+//! let first = pcie.send(0, 4096);    // a 4 KB page
+//! let second = pcie.send(0, 4096);   // queues behind the first
+//! assert_eq!(first, 150 + 256);
+//! assert_eq!(second, 150 + 512);
+//! ```
+
+use sim_core::Cycle;
+
+/// A simplex link with fixed propagation latency and finite bandwidth.
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: Cycle,
+    bytes_per_cycle: u64,
+    busy_until: Cycle,
+    messages: u64,
+    bytes: u64,
+    busy_cycles: u64,
+}
+
+impl Link {
+    /// Creates a link with the given propagation `latency` and bandwidth in
+    /// bytes per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is zero.
+    pub fn new(latency: Cycle, bytes_per_cycle: u64) -> Self {
+        assert!(bytes_per_cycle > 0, "bandwidth must be positive");
+        Self {
+            latency,
+            bytes_per_cycle,
+            busy_until: 0,
+            messages: 0,
+            bytes: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Sends `bytes` at time `now`; returns the arrival time at the far end.
+    ///
+    /// The payload serialises after any in-flight payloads (store-and-
+    /// forward), then propagates with the fixed latency.
+    pub fn send(&mut self, now: Cycle, bytes: u64) -> Cycle {
+        let serialize = bytes.div_ceil(self.bytes_per_cycle);
+        let start = self.busy_until.max(now);
+        self.busy_until = start + serialize;
+        self.messages += 1;
+        self.bytes += bytes;
+        self.busy_cycles += serialize;
+        self.busy_until + self.latency
+    }
+
+    /// Propagation latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Reconfigures the propagation latency (Fig. 21 sweep).
+    pub fn set_latency(&mut self, latency: Cycle) {
+        self.latency = latency;
+    }
+
+    /// Messages sent so far.
+    pub fn message_count(&self) -> u64 {
+        self.messages
+    }
+
+    /// Bytes sent so far.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Cycles the link spent serialising payloads.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Earliest time a new payload could start serialising.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+}
+
+/// Message size constants used by the simulator, in bytes.
+pub mod msg {
+    /// A translation request or reply (command + VPN + PPN).
+    pub const CONTROL: u64 = 32;
+    /// A small (4 KB) page payload.
+    pub const PAGE_4K: u64 = 4096;
+    /// A large (2 MB) page payload.
+    pub const PAGE_2M: u64 = 2 * 1024 * 1024;
+}
+
+/// The system fabric: one duplex CPU link per GPU plus a per-GPU peer port.
+///
+/// # Examples
+///
+/// ```
+/// use interconnect::Fabric;
+///
+/// let mut fabric = Fabric::new(4, 150, 150, 32);
+/// let arrival = fabric.send_gpu_to_cpu(0, 1000, interconnect::msg::CONTROL);
+/// assert!(arrival >= 1150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// Per-GPU GPU→CPU links.
+    up: Vec<Link>,
+    /// Per-GPU CPU→GPU links.
+    down: Vec<Link>,
+    /// Per-GPU peer egress ports (GPU→GPU traffic serialises at the source).
+    peer: Vec<Link>,
+}
+
+impl Fabric {
+    /// Creates a fabric for `gpus` GPUs with the given CPU-link and
+    /// peer-link latencies and a common per-link bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpus` is zero or `bytes_per_cycle` is zero.
+    pub fn new(gpus: usize, cpu_latency: Cycle, peer_latency: Cycle, bytes_per_cycle: u64) -> Self {
+        assert!(gpus > 0, "need at least one GPU");
+        Self {
+            up: (0..gpus).map(|_| Link::new(cpu_latency, bytes_per_cycle)).collect(),
+            down: (0..gpus).map(|_| Link::new(cpu_latency, bytes_per_cycle)).collect(),
+            peer: (0..gpus).map(|_| Link::new(peer_latency, bytes_per_cycle)).collect(),
+        }
+    }
+
+    /// Number of GPUs attached.
+    pub fn gpu_count(&self) -> usize {
+        self.up.len()
+    }
+
+    /// Sends from GPU `gpu` to the host; returns arrival time.
+    pub fn send_gpu_to_cpu(&mut self, gpu: usize, now: Cycle, bytes: u64) -> Cycle {
+        self.up[gpu].send(now, bytes)
+    }
+
+    /// Sends from the host to GPU `gpu`; returns arrival time.
+    pub fn send_cpu_to_gpu(&mut self, gpu: usize, now: Cycle, bytes: u64) -> Cycle {
+        self.down[gpu].send(now, bytes)
+    }
+
+    /// Sends from GPU `src` to GPU `dst`; returns arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn send_gpu_to_gpu(&mut self, src: usize, dst: usize, now: Cycle, bytes: u64) -> Cycle {
+        assert_ne!(src, dst, "GPU cannot send to itself");
+        self.peer[src].send(now, bytes)
+    }
+
+    /// Reconfigures the peer-link latency on every port (Fig. 21 sweep).
+    pub fn set_peer_latency(&mut self, latency: Cycle) {
+        for l in &mut self.peer {
+            l.set_latency(latency);
+        }
+    }
+
+    /// Total bytes moved over CPU links (both directions).
+    pub fn cpu_bytes(&self) -> u64 {
+        self.up.iter().chain(&self.down).map(Link::byte_count).sum()
+    }
+
+    /// Total bytes moved over peer links.
+    pub fn peer_bytes(&self) -> u64 {
+        self.peer.iter().map(Link::byte_count).sum()
+    }
+
+    /// Total messages over all links.
+    pub fn message_count(&self) -> u64 {
+        self.up
+            .iter()
+            .chain(&self.down)
+            .chain(&self.peer)
+            .map(Link::message_count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncongested_send_is_latency_plus_serialisation() {
+        let mut l = Link::new(100, 32);
+        assert_eq!(l.send(0, 32), 101);
+        // 64 bytes at 32 B/cy = 2 cycles serialisation.
+        assert_eq!(l.send(1000, 64), 1102);
+    }
+
+    #[test]
+    fn back_to_back_sends_queue() {
+        let mut l = Link::new(100, 32);
+        let a = l.send(0, 3200); // 100 cy serialise
+        let b = l.send(0, 3200);
+        assert_eq!(a, 200);
+        assert_eq!(b, 300);
+        assert_eq!(l.busy_cycles(), 200);
+    }
+
+    #[test]
+    fn idle_gap_resets_queuing() {
+        let mut l = Link::new(10, 32);
+        l.send(0, 320); // busy until 10
+        let arrival = l.send(1000, 32);
+        assert_eq!(arrival, 1011);
+    }
+
+    #[test]
+    fn sub_word_payload_rounds_up() {
+        let mut l = Link::new(0, 32);
+        assert_eq!(l.send(0, 1), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = Link::new(5, 16);
+        l.send(0, 16);
+        l.send(0, 32);
+        assert_eq!(l.message_count(), 2);
+        assert_eq!(l.byte_count(), 48);
+    }
+
+    #[test]
+    fn fabric_links_are_independent() {
+        let mut f = Fabric::new(2, 150, 150, 32);
+        let a = f.send_gpu_to_cpu(0, 0, 3200);
+        let b = f.send_gpu_to_cpu(1, 0, 3200);
+        assert_eq!(a, b, "different GPUs' links do not interfere");
+        let c = f.send_gpu_to_cpu(0, 0, 3200);
+        assert!(c > a, "same link queues");
+    }
+
+    #[test]
+    fn fabric_peer_latency_sweep() {
+        let mut f = Fabric::new(2, 150, 150, 32);
+        let base = f.send_gpu_to_gpu(0, 1, 0, 32);
+        f.set_peer_latency(1200);
+        let slow = f.send_gpu_to_gpu(0, 1, 10_000, 32);
+        assert_eq!(base, 151);
+        assert_eq!(slow, 10_000 + 1 + 1200);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_send_panics() {
+        Fabric::new(2, 1, 1, 32).send_gpu_to_gpu(1, 1, 0, 32);
+    }
+
+    #[test]
+    fn fabric_byte_accounting() {
+        let mut f = Fabric::new(2, 1, 1, 32);
+        f.send_gpu_to_cpu(0, 0, 100);
+        f.send_cpu_to_gpu(1, 0, 200);
+        f.send_gpu_to_gpu(0, 1, 0, 300);
+        assert_eq!(f.cpu_bytes(), 300);
+        assert_eq!(f.peer_bytes(), 300);
+        assert_eq!(f.message_count(), 3);
+    }
+}

@@ -1,0 +1,461 @@
+//! System configuration (Table II) and experiment knobs.
+
+use sim_core::Cycle;
+use transfw::TransFwConfig;
+
+/// Which page-walk cache organisation to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PwcKind {
+    /// Unified Translation Cache (paper default).
+    Utc,
+    /// Split Translation Cache (§V-C).
+    Stc,
+    /// Infinite cache — only cold misses (Fig. 4 ideal).
+    Infinite,
+}
+
+/// How far faults are handled (§II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FarFaultMode {
+    /// Hardware host MMU / IOMMU handles faults (the paper's baseline).
+    HostMmu,
+    /// The software UVM driver handles faults in batches (Figs. 2 and 26).
+    UvmDriver,
+}
+
+/// Trans-FW enablement, with per-mechanism ablation switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransFwKnobs {
+    /// Table sizing and forwarding threshold.
+    pub config: TransFwConfig,
+    /// Short-circuit the GMMU walk via the PRT (§IV-B).
+    pub gmmu_short_circuit: bool,
+    /// Forward contended host walks to owner GPUs via the FT (§IV-C).
+    pub host_forwarding: bool,
+}
+
+impl TransFwKnobs {
+    /// The full mechanism with paper-default sizing.
+    pub fn full() -> Self {
+        Self {
+            config: TransFwConfig::default(),
+            gmmu_short_circuit: true,
+            host_forwarding: true,
+        }
+    }
+}
+
+/// Impractical idealisations for the Fig. 4 "room for improvement" study.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealKnobs {
+    /// Unlimited PT-walk threads in GMMU and host MMU.
+    pub infinite_walkers: bool,
+    /// Page migrations complete instantly (translation latency preserved).
+    pub zero_migration_latency: bool,
+    /// Pre-map every page in every GPU: no local page faults ever.
+    pub no_local_faults: bool,
+}
+
+/// Full system configuration. Defaults reproduce Table II.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu::SystemConfig;
+///
+/// let cfg = SystemConfig::builder()
+///     .gpus(8)
+///     .host_walkers(32)
+///     .build();
+/// assert_eq!(cfg.gpus, 8);
+/// assert_eq!(cfg.l2_tlb_entries, 512); // Table II default retained
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of GPUs (paper baseline: 4).
+    pub gpus: u16,
+    /// Compute units per GPU (Table II: 64).
+    pub cus_per_gpu: u16,
+    /// Wavefront slots per CU issuing independent memory instructions.
+    pub wavefronts_per_cu: u16,
+    /// log2 of the page size in bytes (12 for 4 KB, 21 for 2 MB).
+    pub page_size_bits: u32,
+    /// Page-table levels (5 default, 4 in Fig. 19).
+    pub page_table_levels: u32,
+    /// L1 TLB entries per CU (32, fully associative).
+    pub l1_tlb_entries: usize,
+    /// L1 TLB lookup latency (1 cycle).
+    pub l1_tlb_latency: Cycle,
+    /// Shared L2 TLB entries (512).
+    pub l2_tlb_entries: usize,
+    /// L2 TLB associativity (16).
+    pub l2_tlb_assoc: usize,
+    /// L2 TLB lookup latency (10 cycles).
+    pub l2_tlb_latency: Cycle,
+    /// Host MMU TLB entries (2048; 4096 in Fig. 20a).
+    pub host_tlb_entries: usize,
+    /// Host MMU TLB associativity (64).
+    pub host_tlb_assoc: usize,
+    /// GMMU PT-walk threads (8).
+    pub gmmu_walkers: usize,
+    /// Host MMU PT-walk threads (16).
+    pub host_walkers: usize,
+    /// GMMU PW-cache entries (128).
+    pub gmmu_pwc_entries: usize,
+    /// Host MMU PW-cache entries (128; 256/512 in Fig. 20b/c).
+    pub host_pwc_entries: usize,
+    /// PW-cache organisation.
+    pub pwc_kind: PwcKind,
+    /// PW-queue capacity (64).
+    pub pw_queue_entries: usize,
+    /// Memory latency per page-table level access (100 cycles).
+    pub walk_level_latency: Cycle,
+    /// Host-MMU per-fault handling occupancy beyond the raw walk (fault
+    /// buffer management and migration orchestration keep the walk thread
+    /// busy); this is what makes the host PW-queue the contention point the
+    /// paper measures (Fig. 3: 20.9% of L2-miss latency).
+    pub host_fault_overhead: Cycle,
+    /// CPU–GPU interconnect latency (PCIe, 150 cycles).
+    pub cpu_link_latency: Cycle,
+    /// GPU–GPU interconnect latency (150 cycles; swept in Fig. 21).
+    pub peer_link_latency: Cycle,
+    /// Interconnect bandwidth in bytes per cycle per link.
+    pub link_bytes_per_cycle: u64,
+    /// GPU local memory (DRAM) data-access latency.
+    pub dram_latency: Cycle,
+    /// Data-cache hit latency for data accesses.
+    pub cache_latency: Cycle,
+    /// Far-fault handling mode.
+    pub fault_mode: FarFaultMode,
+    /// Software-driver cost model (used when `fault_mode` is `UvmDriver`).
+    pub driver: uvm::DriverConfig,
+    /// Additional per-GPU, per-batch driver cost: the driver polls and
+    /// fetches every GPU's fault buffer each round, which is what makes the
+    /// software path scale poorly as GPUs are added (Fig. 2a).
+    pub driver_per_gpu_poll: sim_core::Cycle,
+    /// Page placement policy.
+    pub policy: uvm::MigrationPolicy,
+    /// Trans-FW (None = baseline).
+    pub transfw: Option<TransFwKnobs>,
+    /// ASAP PW-cache prefetching in GMMU and host MMU (§V-H); the value is
+    /// the prediction accuracy.
+    pub asap: Option<f64>,
+    /// Fig. 4 idealisations.
+    pub ideal: IdealKnobs,
+    /// Least-TLB style redundancy elimination (§V-I): the shared L2 TLBs of
+    /// all GPUs act as one distributed TLB, probed before the GMMU.
+    pub least_tlb: bool,
+    /// Deterministic simulation seed.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            gpus: 4,
+            cus_per_gpu: 64,
+            wavefronts_per_cu: 2,
+            page_size_bits: 12,
+            page_table_levels: 5,
+            l1_tlb_entries: 32,
+            l1_tlb_latency: 1,
+            l2_tlb_entries: 512,
+            l2_tlb_assoc: 16,
+            l2_tlb_latency: 10,
+            host_tlb_entries: 2048,
+            host_tlb_assoc: 64,
+            gmmu_walkers: 8,
+            host_walkers: 16,
+            gmmu_pwc_entries: 128,
+            host_pwc_entries: 128,
+            pwc_kind: PwcKind::Utc,
+            pw_queue_entries: 64,
+            walk_level_latency: 100,
+            host_fault_overhead: 400,
+            cpu_link_latency: 150,
+            peer_link_latency: 150,
+            link_bytes_per_cycle: 256,
+            dram_latency: 200,
+            cache_latency: 25,
+            fault_mode: FarFaultMode::HostMmu,
+            driver: uvm::DriverConfig::default(),
+            driver_per_gpu_poll: 600,
+            policy: uvm::MigrationPolicy::OnTouch,
+            transfw: None,
+            asap: None,
+            ideal: IdealKnobs::default(),
+            least_tlb: false,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Starts building a configuration from the Table II defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// The Table II baseline (no Trans-FW).
+    pub fn baseline() -> Self {
+        Self::default()
+    }
+
+    /// The baseline with Trans-FW fully enabled.
+    pub fn with_transfw() -> Self {
+        Self {
+            transfw: Some(TransFwKnobs::full()),
+            ..Self::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (zero counts, TLB geometry that does
+    /// not divide, unknown page size).
+    pub fn validate(&self) {
+        assert!(self.gpus > 0, "need at least one GPU");
+        assert!(self.cus_per_gpu > 0, "need at least one CU");
+        assert!(self.wavefronts_per_cu > 0, "need at least one wavefront");
+        assert!(
+            self.l2_tlb_entries % self.l2_tlb_assoc == 0,
+            "L2 TLB geometry"
+        );
+        assert!(
+            self.host_tlb_entries % self.host_tlb_assoc == 0,
+            "host TLB geometry"
+        );
+        assert!(
+            (2..=6).contains(&self.page_table_levels),
+            "page table levels"
+        );
+        assert!(
+            self.page_size_bits == 12 || self.page_size_bits == 21,
+            "page size must be 4 KB or 2 MB"
+        );
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        1 << self.page_size_bits
+    }
+
+    /// Converts a 4 KB-granule VPN (the unit workloads generate) to a
+    /// translation-granule VPN under the configured page size.
+    pub fn translation_vpn(&self, vpn_4k: u64) -> u64 {
+        vpn_4k >> (self.page_size_bits - 12)
+    }
+}
+
+/// Builder for [`SystemConfig`] (non-consuming terminal, per C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, value: $ty) -> &mut Self {
+            self.cfg.$name = value;
+            self
+        }
+    };
+}
+
+impl SystemConfigBuilder {
+    setter!(
+        /// Number of GPUs.
+        gpus: u16
+    );
+    setter!(
+        /// CUs per GPU.
+        cus_per_gpu: u16
+    );
+    setter!(
+        /// Wavefront slots per CU.
+        wavefronts_per_cu: u16
+    );
+    setter!(
+        /// log2 page size (12 or 21).
+        page_size_bits: u32
+    );
+    setter!(
+        /// Page-table levels.
+        page_table_levels: u32
+    );
+    setter!(
+        /// L1 TLB entries.
+        l1_tlb_entries: usize
+    );
+    setter!(
+        /// L2 TLB entries.
+        l2_tlb_entries: usize
+    );
+    setter!(
+        /// L2 TLB associativity.
+        l2_tlb_assoc: usize
+    );
+    setter!(
+        /// Host TLB entries.
+        host_tlb_entries: usize
+    );
+    setter!(
+        /// Host TLB associativity.
+        host_tlb_assoc: usize
+    );
+    setter!(
+        /// GMMU walker threads.
+        gmmu_walkers: usize
+    );
+    setter!(
+        /// Host walker threads.
+        host_walkers: usize
+    );
+    setter!(
+        /// GMMU PW-cache entries.
+        gmmu_pwc_entries: usize
+    );
+    setter!(
+        /// Host PW-cache entries.
+        host_pwc_entries: usize
+    );
+    setter!(
+        /// PW-cache organisation.
+        pwc_kind: PwcKind
+    );
+    setter!(
+        /// Walk per-level memory latency.
+        walk_level_latency: Cycle
+    );
+    setter!(
+        /// Host per-fault handling occupancy.
+        host_fault_overhead: Cycle
+    );
+    setter!(
+        /// CPU link latency.
+        cpu_link_latency: Cycle
+    );
+    setter!(
+        /// Peer link latency.
+        peer_link_latency: Cycle
+    );
+    setter!(
+        /// DRAM data latency.
+        dram_latency: Cycle
+    );
+    setter!(
+        /// Far-fault mode.
+        fault_mode: FarFaultMode
+    );
+    setter!(
+        /// Driver cost model.
+        driver: uvm::DriverConfig
+    );
+    setter!(
+        /// Placement policy.
+        policy: uvm::MigrationPolicy
+    );
+    setter!(
+        /// Trans-FW knobs.
+        transfw: Option<TransFwKnobs>
+    );
+    setter!(
+        /// ASAP prefetch accuracy.
+        asap: Option<f64>
+    );
+    setter!(
+        /// Fig. 4 idealisations.
+        ideal: IdealKnobs
+    );
+    setter!(
+        /// Least-TLB sharing.
+        least_tlb: bool
+    );
+    setter!(
+        /// Simulation seed.
+        seed: u64
+    );
+
+    /// Finalises and validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SystemConfig::validate`]).
+    pub fn build(&self) -> SystemConfig {
+        let cfg = self.cfg.clone();
+        cfg.validate();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_ii() {
+        let c = SystemConfig::default();
+        assert_eq!(c.gpus, 4);
+        assert_eq!(c.cus_per_gpu, 64);
+        assert_eq!(c.l1_tlb_entries, 32);
+        assert_eq!(c.l2_tlb_entries, 512);
+        assert_eq!(c.l2_tlb_assoc, 16);
+        assert_eq!(c.l2_tlb_latency, 10);
+        assert_eq!(c.host_tlb_entries, 2048);
+        assert_eq!(c.host_tlb_assoc, 64);
+        assert_eq!(c.gmmu_walkers, 8);
+        assert_eq!(c.host_walkers, 16);
+        assert_eq!(c.gmmu_pwc_entries, 128);
+        assert_eq!(c.pw_queue_entries, 64);
+        assert_eq!(c.walk_level_latency, 100);
+        assert_eq!(c.cpu_link_latency, 150);
+        assert_eq!(c.page_table_levels, 5);
+        assert_eq!(c.fault_mode, FarFaultMode::HostMmu);
+        assert!(c.transfw.is_none());
+    }
+
+    #[test]
+    fn builder_overrides_and_keeps_rest() {
+        let c = SystemConfig::builder().gpus(16).host_walkers(128).build();
+        assert_eq!(c.gpus, 16);
+        assert_eq!(c.host_walkers, 128);
+        assert_eq!(c.l2_tlb_entries, 512);
+    }
+
+    #[test]
+    fn with_transfw_enables_both_mechanisms() {
+        let c = SystemConfig::with_transfw();
+        let knobs = c.transfw.unwrap();
+        assert!(knobs.gmmu_short_circuit);
+        assert!(knobs.host_forwarding);
+    }
+
+    #[test]
+    fn page_size_conversion() {
+        let c4k = SystemConfig::default();
+        assert_eq!(c4k.page_bytes(), 4096);
+        assert_eq!(c4k.translation_vpn(12345), 12345);
+        let c2m = SystemConfig::builder().page_size_bits(21).build();
+        assert_eq!(c2m.page_bytes(), 2 * 1024 * 1024);
+        assert_eq!(c2m.translation_vpn(512), 1);
+        assert_eq!(c2m.translation_vpn(511), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn bad_page_size_rejected() {
+        SystemConfig::builder().page_size_bits(13).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 TLB geometry")]
+    fn bad_tlb_geometry_rejected() {
+        SystemConfig::builder().l2_tlb_entries(100).build();
+    }
+}

@@ -1,0 +1,220 @@
+//! GMMU-side event handlers: PW-queue, walkers, local walks and the remote
+//! walks borrowed by Trans-FW forwarding.
+
+use ptw::Location;
+use sim_core::Cycle;
+
+use crate::request::ReqId;
+use crate::system::{Event, GmmuJob, System, TransEntry};
+
+impl System {
+    /// Enqueues a walk job, retrying later if the PW-queue is full.
+    pub(crate) fn gmmu_enqueue(&mut self, gpu: u16, job: GmmuJob) {
+        let now = self.now;
+        match self.gpus[gpu as usize].queue.push(job, now) {
+            Ok(()) => self.events.push(now, Event::GmmuDispatch { gpu }),
+            Err(job) => {
+                self.events
+                    .push(now + 64, Event::GmmuEnqueue { gpu, job });
+            }
+        }
+    }
+
+    /// Starts walks while walkers are free and jobs are queued.
+    pub(crate) fn gmmu_dispatch(&mut self, gpu: u16) {
+        let now = self.now;
+        loop {
+            if !self.gpus[gpu as usize].walkers.has_free() {
+                return;
+            }
+            let Some((job, waited)) = self.gpus[gpu as usize].queue.pop(now) else {
+                return;
+            };
+            assert!(self.gpus[gpu as usize].walkers.try_acquire());
+            if !job.remote {
+                self.reqs[job.req].lat.gmmu_queue += waited;
+            }
+            let vpn = self.reqs[job.req].vpn;
+            let levels = self.cfg.page_table_levels;
+            let g = &mut self.gpus[gpu as usize];
+            let resume = g.pwc.lookup(vpn);
+            let walk = g.pt.walk(vpn, resume);
+            let mut accesses = walk.accesses;
+            if let Some(asap) = g.asap.as_mut() {
+                accesses = asap.effective_accesses(accesses);
+            }
+            let walk_cycles = accesses as Cycle * self.cfg.walk_level_latency;
+            // PW-cache refill range: entries for the levels this walk read.
+            let start = resume.map_or(levels, |k| k - 1);
+            let insert_lo = walk.reached_level.max(2);
+            let insert_hi = start.min(levels);
+            self.metrics.gmmu_walk_accesses += walk.accesses as u64;
+            self.events.push(
+                now + walk_cycles,
+                Event::GmmuWalkDone {
+                    gpu,
+                    job,
+                    walk_cycles,
+                    accesses: walk.accesses,
+                    pte: walk.pte,
+                    insert_lo,
+                    insert_hi,
+                },
+            );
+        }
+    }
+
+    /// A GMMU walk finished: refill the PW-cache, then either deliver the
+    /// translation, raise a far fault, or answer a borrowed (remote) walk.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gmmu_walk_done(
+        &mut self,
+        gpu: u16,
+        job: GmmuJob,
+        walk_cycles: Cycle,
+        _accesses: u32,
+        pte: Option<ptw::Pte>,
+        insert_lo: u32,
+        insert_hi: u32,
+    ) {
+        let now = self.now;
+        {
+            let g = &mut self.gpus[gpu as usize];
+            g.walkers.release();
+            let vpn = self.reqs[job.req].vpn;
+            for k in insert_lo..=insert_hi.min(self.cfg.page_table_levels) {
+                g.pwc.insert(vpn, k);
+            }
+        }
+        self.events.push(now, Event::GmmuDispatch { gpu });
+
+        if job.remote {
+            self.remote_walk_finished(gpu, job.req, pte);
+            return;
+        }
+
+        let req = job.req;
+        self.reqs[req].lat.gmmu_walk += walk_cycles;
+        match pte {
+            Some(pte) => {
+                let g = self.reqs[req].gpu;
+                let vpn = self.reqs[req].vpn;
+                self.reqs[req].completed = true;
+                self.complete_translation(
+                    g,
+                    vpn,
+                    TransEntry {
+                        ppn: pte.ppn,
+                        loc: pte.loc,
+                    },
+                );
+            }
+            None => {
+                // GPU local page fault (far fault).
+                self.metrics.local_faults += 1;
+                self.record_remote_probe(gpu, self.reqs[req].vpn);
+                if self.gpus[gpu as usize].prt.is_some() {
+                    // With short-circuiting enabled every local-walk fault is
+                    // a PRT false positive by construction.
+                    self.metrics.transfw.prt_false_positives += 1;
+                }
+                self.send_fault_to_host(req, now);
+            }
+        }
+    }
+
+    /// The Fig. 8 study: on each local fault, would a *remote* GPU's
+    /// PW-cache have provided a prefix for this translation?
+    fn record_remote_probe(&mut self, faulting_gpu: u16, vpn: u64) {
+        self.metrics.remote_probe.faults += 1;
+        let best = (0..self.gpus.len())
+            .filter(|&g| g != faulting_gpu as usize)
+            .filter_map(|g| self.gpus[g].pwc.probe(vpn))
+            .min();
+        if let Some(k) = best {
+            self.metrics.remote_probe.hits += 1;
+            if k <= 3 {
+                self.metrics.remote_probe.lower_hits += 1;
+            }
+        }
+    }
+
+    /// A forwarded request arrived at the owner GPU: join its PW-queue and
+    /// borrow a walker (§IV-C "how to borrow").
+    pub(crate) fn remote_walk_arrive(&mut self, gpu: u16, req: ReqId) {
+        if self.reqs[req].completed {
+            return; // the host path already satisfied the requester
+        }
+        self.gmmu_enqueue(gpu, GmmuJob { req, remote: true });
+    }
+
+    /// A borrowed walk completed on `gpu`: on success, ship the translation
+    /// straight to the requester and notify the host; on failure (an FT
+    /// false positive or stale owner) just notify the host.
+    fn remote_walk_finished(&mut self, gpu: u16, req: ReqId, pte: Option<ptw::Pte>) {
+        let now = self.now;
+        let requester = self.reqs[req].gpu as usize;
+        // Only a PTE whose page actually lives on this GPU can be supplied;
+        // a remote-pointing PTE (remote mapping) would bounce again.
+        let supply = pte.filter(|p| p.loc == Location::Gpu(gpu));
+        let success = supply.is_some();
+        if let Some(pte) = supply {
+            let _ = requester;
+            let arrival = self.peer_control_arrival(now);
+            self.events.push(
+                arrival,
+                Event::RemoteSupply {
+                    req,
+                    entry: TransEntry {
+                        ppn: pte.ppn,
+                        loc: pte.loc,
+                    },
+                },
+            );
+        } else {
+            self.metrics.transfw.remote_failed += 1;
+        }
+        let _ = gpu;
+        let notify_at = self.cpu_control_arrival(now);
+        self.events
+            .push(notify_at, Event::RemoteNotify { req, success });
+    }
+
+    /// The remote GPU's translation reached the requester: install a
+    /// remote-pointing local mapping and release the waiters. The page does
+    /// not move; data is accessed over the peer link until the page either
+    /// migrates via a later host-resolved fault or is evicted.
+    pub(crate) fn remote_supply(&mut self, req: ReqId, entry: TransEntry) {
+        if self.reqs[req].completed {
+            return;
+        }
+        let g = self.reqs[req].gpu;
+        let vpn = self.reqs[req].vpn;
+        self.reqs[req].remote_supplied = true;
+        self.reqs[req].completed = true;
+        self.metrics.transfw.remote_supplied += 1;
+        self.map_on_gpu(g, vpn, entry.loc);
+        self.dir.add_remote_map(vpn, g);
+        self.complete_translation(g, vpn, entry);
+    }
+
+    /// The host learns how the borrowed walk went: a success cancels the
+    /// still-queued host walk (reducing PT-walk contention); a failure lets
+    /// the host path proceed as if nothing happened.
+    pub(crate) fn remote_notify(&mut self, req: ReqId, success: bool) {
+        if success {
+            if !self.reqs[req].host_walk_started && !self.reqs[req].cancelled {
+                self.reqs[req].cancelled = true;
+                self.metrics.transfw.cancelled_host_walks += 1;
+            } else if self.reqs[req].host_walk_started {
+                // Both the host walk and the remote walk ran: Fig. 14's
+                // replicated PT-walk.
+                self.metrics.transfw.replicated_walks += 1;
+            }
+        } else {
+            // The borrowed walk ran in vain and the host walk proceeds (or
+            // already ran): the walk was replicated either way.
+            self.metrics.transfw.replicated_walks += 1;
+        }
+    }
+}

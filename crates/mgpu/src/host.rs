@@ -1,0 +1,305 @@
+//! Host-side event handlers: the hardware host MMU (baseline far-fault
+//! path), fault resolution/migration, and the software UVM-driver mode.
+
+use ptw::Location;
+use sim_core::Cycle;
+use uvm::FaultAction;
+
+use crate::request::ReqId;
+use crate::system::{Event, System, TransEntry};
+
+impl System {
+    /// A far fault (or short-circuited request) reached the host MMU: the
+    /// host TLB and the Forwarding Table are searched in parallel (§IV-D).
+    pub(crate) fn host_arrive(&mut self, req: ReqId) {
+        let now = self.now;
+        let vpn = self.reqs[req].vpn;
+        let g = self.reqs[req].gpu;
+        self.reqs[req].host_submit_time = now;
+
+        if self.host.tlb.lookup(vpn).is_some() {
+            // Translation known: skip the PW-queue and PT-walk entirely and
+            // resolve the fault right away (§II-B). The migration itself
+            // remains on the critical path — Fig. 3 attributes it to fault
+            // handling regardless of how the translation was found.
+            self.resolve_fault(req);
+            return;
+        }
+
+        // Miss: consult the FT and maybe forward, then join the PW-queue.
+        let occupancy = self.host.queue.len();
+        let forward_to = self.host.ft.as_mut().and_then(|ft| {
+            let owners: Vec<_> = ft.lookup(vpn).into_iter().filter(|&o| o != g).collect();
+            if owners.is_empty() {
+                None
+            } else {
+                Some(owners[self.rng.gen_index(owners.len())])
+            }
+        });
+        if let Some(owner) = forward_to {
+            if self
+                .policy
+                .should_forward(occupancy, self.host.walkers.threads())
+            {
+                self.reqs[req].forwarded = true;
+                self.metrics.transfw.forwarded += 1;
+                let arrival = self.cpu_control_arrival(now);
+                self.events
+                    .push(arrival, Event::RemoteWalkArrive { gpu: owner, req });
+            }
+        }
+
+        match self.host.queue.push(req, now) {
+            Ok(()) => self.events.push(now, Event::HostDispatch),
+            Err(req) => {
+                // Host queue full (sized generously; effectively unreachable
+                // under Table II parameters): retry shortly.
+                self.events.push(now + 64, Event::HostArrive { req });
+            }
+        }
+    }
+
+    /// Starts host PT-walks while walkers are free, lazily skipping
+    /// requests cancelled by a successful remote lookup.
+    pub(crate) fn host_dispatch(&mut self) {
+        let now = self.now;
+        loop {
+            if !self.host.walkers.has_free() {
+                return;
+            }
+            let Some((req, waited)) = self.host.queue.pop(now) else {
+                return;
+            };
+            if self.reqs[req].cancelled {
+                continue;
+            }
+            assert!(self.host.walkers.try_acquire());
+            self.reqs[req].lat.host_queue += waited;
+            self.reqs[req].host_walk_started = true;
+            self.metrics.host_walks += 1;
+            let vpn = self.reqs[req].vpn;
+            let levels = self.cfg.page_table_levels;
+            let resume = self.host.pwc.lookup(vpn);
+            let walk = self.host.pt.walk(vpn, resume);
+            debug_assert!(walk.pte.is_some(), "centralised table maps everything");
+            let mut accesses = walk.accesses;
+            if let Some(asap) = self.host.asap.as_mut() {
+                accesses = asap.effective_accesses(accesses);
+            }
+            let walk_cycles =
+                accesses as Cycle * self.cfg.walk_level_latency + self.cfg.host_fault_overhead;
+            self.metrics.host_walk_accesses += walk.accesses as u64;
+            let start = resume.map_or(levels, |k| k - 1);
+            self.events.push(
+                now + walk_cycles,
+                Event::HostWalkDone {
+                    req,
+                    walk_cycles,
+                    insert_lo: walk.reached_level.max(2),
+                    insert_hi: start.min(levels),
+                },
+            );
+        }
+    }
+
+    /// A host walk finished: refill host PW-cache and TLB, then resolve the
+    /// fault (unless a remote supply made this walk redundant).
+    pub(crate) fn host_walk_done(
+        &mut self,
+        req: ReqId,
+        walk_cycles: Cycle,
+        insert_lo: u32,
+        insert_hi: u32,
+    ) {
+        let now = self.now;
+        self.host.walkers.release();
+        self.events.push(now, Event::HostDispatch);
+        let vpn = self.reqs[req].vpn;
+        for k in insert_lo..=insert_hi.min(self.cfg.page_table_levels) {
+            self.host.pwc.insert(vpn, k);
+        }
+        let home = self.dir.home(vpn);
+        self.host.tlb.fill(vpn, TransEntry { ppn: vpn, loc: home });
+        self.reqs[req].lat.host_walk += walk_cycles;
+
+        if self.reqs[req].remote_supplied || self.reqs[req].completed {
+            return; // counted as a replicated walk when the notify arrived
+        }
+        self.resolve_fault(req);
+    }
+
+    /// Applies the placement policy to a faulting request: migration /
+    /// replication / remote mapping, with the data transfer on the critical
+    /// path (Fig. 3's "migrating page to local memory" component).
+    pub(crate) fn resolve_fault(&mut self, req: ReqId) {
+        let now = self.now;
+        let vpn = self.reqs[req].vpn;
+        let g = self.reqs[req].gpu;
+        let is_write = self.reqs[req].is_write;
+        let outcome = self.dir.resolve_fault(vpn, g, is_write);
+
+        for v in &outcome.invalidations {
+            self.unmap_on_gpu(*v, vpn);
+            // FT maintenance: the old *home* is moved by `page_migrated`
+            // below; only invalidated read replicas (replication policy)
+            // were separately registered as owners. Remote-map holders were
+            // never in the FT -- a spurious delete would clobber another
+            // page's fingerprint (the tables are masked multisets).
+            if self.cfg.policy == uvm::MigrationPolicy::ReadReplication
+                && Some(*v) != outcome.source.gpu()
+            {
+                if let Some(ft) = self.host.ft.as_mut() {
+                    ft.owner_removed(vpn, *v);
+                }
+            }
+        }
+
+        let (resolved_loc, transfer) = match outcome.action {
+            FaultAction::Migrate | FaultAction::Replicate => (Location::Gpu(g), true),
+            FaultAction::RemoteMap => (outcome.source, false),
+            FaultAction::AlreadyResident => (Location::Gpu(g), false),
+        };
+        self.reqs[req].resolved_loc = Some(resolved_loc);
+
+        // Keep the host's centralised view and FT in sync. The stale host
+        // TLB entry is shot down and NOT refilled — this is exactly why the
+        // paper finds that enlarging the host TLB does not help (§V-B).
+        if outcome.action == FaultAction::Migrate {
+            self.host.tlb.invalidate(vpn);
+            if let Some(pte) = self.host.pt.translate_mut(vpn) {
+                pte.loc = Location::Gpu(g);
+            }
+            if let Some(ft) = self.host.ft.as_mut() {
+                ft.page_migrated(vpn, outcome.source.gpu(), g);
+            }
+        } else if outcome.action == FaultAction::Replicate {
+            if let Some(ft) = self.host.ft.as_mut() {
+                ft.owner_added(vpn, g);
+            }
+        }
+
+        let done_at = if transfer && !self.cfg.ideal.zero_migration_latency {
+            let bytes = self.cfg.page_bytes();
+            match outcome.source {
+                Location::Cpu => self.fabric.send_cpu_to_gpu(g as usize, now, bytes),
+                Location::Gpu(s) if s != g => {
+                    self.fabric
+                        .send_gpu_to_gpu(s as usize, g as usize, now, bytes)
+                }
+                Location::Gpu(_) => now,
+            }
+        } else {
+            now
+        };
+        self.reqs[req].lat.migration += done_at - now;
+        self.events.push(done_at, Event::FaultResolved { req });
+    }
+
+    /// The page (or mapping) is in place: install the local PTE, update the
+    /// PRT, and reply to the requesting GPU for replay.
+    pub(crate) fn fault_resolved(&mut self, req: ReqId) {
+        let now = self.now;
+        if self.reqs[req].completed {
+            return; // a remote supply raced ahead; drop the duplicate
+        }
+        let vpn = self.reqs[req].vpn;
+        let g = self.reqs[req].gpu;
+        let loc = self.reqs[req].resolved_loc.expect("resolved");
+        self.map_on_gpu(g, vpn, loc);
+        let arrival = self.cpu_control_arrival(now);
+        self.reqs[req].lat.network += arrival - now;
+        self.events.push(
+            arrival,
+            Event::Reply {
+                req,
+                entry: TransEntry { ppn: vpn, loc },
+            },
+        );
+    }
+
+    /// The host's reply reached the requester: replay the translation.
+    pub(crate) fn reply(&mut self, req: ReqId, entry: TransEntry) {
+        if self.reqs[req].completed {
+            return;
+        }
+        let g = self.reqs[req].gpu;
+        let vpn = self.reqs[req].vpn;
+        self.reqs[req].completed = true;
+        // Replay through the L2 pipeline costs one more L2 access.
+        self.reqs[req].lat.network += self.cfg.l2_tlb_latency;
+        // A host-TLB-hit reply maps the page in place on the requester (the
+        // fault path was skipped entirely), like a remote mapping.
+        if self.gpus[g as usize].pt.translate(vpn).is_none() {
+            self.map_on_gpu(g, vpn, entry.loc);
+            if entry.loc != Location::Gpu(g) {
+                self.dir.add_remote_map(vpn, g);
+            }
+        }
+        self.complete_translation(g, vpn, entry);
+    }
+
+    // ----- software UVM-driver mode (§II-B, Figs. 2 and 26) -------------
+
+    /// A far fault reached the driver: enqueue it; under Trans-FW the
+    /// driver also checks the (CPU-memory) FT and may forward immediately.
+    pub(crate) fn driver_submit(&mut self, req: ReqId) {
+        let now = self.now;
+        let vpn = self.reqs[req].vpn;
+        let g = self.reqs[req].gpu;
+        self.reqs[req].host_submit_time = now;
+
+        let backlog = self.driver.pending_len();
+        let threads = self.driver.config().walk_threads;
+        let forward_to = self.host.ft.as_mut().and_then(|ft| {
+            let owners: Vec<_> = ft.lookup(vpn).into_iter().filter(|&o| o != g).collect();
+            if owners.is_empty() {
+                None
+            } else {
+                Some(owners[self.rng.gen_index(owners.len())])
+            }
+        });
+        if let Some(owner) = forward_to {
+            if self.policy.should_forward(backlog, threads) || self.driver.is_busy() {
+                self.reqs[req].forwarded = true;
+                self.metrics.transfw.forwarded += 1;
+                let arrival = self.cpu_control_arrival(now);
+                self.events
+                    .push(arrival, Event::RemoteWalkArrive { gpu: owner, req });
+            }
+        }
+
+        self.driver.submit(req, now);
+        self.events.push(now, Event::DriverCheck);
+    }
+
+    /// Starts a driver batch if the driver is idle and faults are pending.
+    pub(crate) fn driver_check(&mut self) {
+        let now = self.now;
+        if let Some(batch) = self.driver.try_start_batch(now) {
+            for &req in &batch.faults {
+                self.reqs[req].host_walk_started = true;
+                self.metrics.host_walks += 1;
+            }
+            self.driver_batch = batch.faults;
+            self.events.push(batch.done_at, Event::DriverBatchDone);
+        }
+    }
+
+    /// A driver batch completed: resolve every fault in it, then look for
+    /// the next batch.
+    pub(crate) fn driver_batch_done(&mut self) {
+        let now = self.now;
+        self.driver.finish_batch(now);
+        let batch = std::mem::take(&mut self.driver_batch);
+        for req in batch {
+            if self.reqs[req].cancelled || self.reqs[req].completed {
+                continue;
+            }
+            // Queue + processing time attribution: waiting for the batch.
+            let waited = now.saturating_sub(self.reqs[req].host_submit_time);
+            self.reqs[req].lat.host_queue += waited;
+            self.resolve_fault(req);
+        }
+        self.events.push(now, Event::DriverCheck);
+    }
+}

@@ -1,0 +1,381 @@
+//! Run metrics: everything the paper's figures are computed from.
+
+use ptw::PwCacheStats;
+use std::collections::HashMap;
+use uvm::DirectoryStats;
+
+/// The L2-TLB-miss latency components of Fig. 3/12, accumulated over all
+/// translation requests (cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Waiting in the GMMU PW-queue.
+    pub gmmu_queue: u64,
+    /// GMMU page-table memory accesses (the PW-cache-miss penalty).
+    pub gmmu_walk: u64,
+    /// Waiting in the host MMU PW-queue (or the driver backlog).
+    pub host_queue: u64,
+    /// Host page-table memory accesses.
+    pub host_walk: u64,
+    /// Page migration data transfer on the critical path.
+    pub migration: u64,
+    /// Interconnect hops and request replay.
+    pub network: u64,
+}
+
+impl LatencyBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.gmmu_queue
+            + self.gmmu_walk
+            + self.host_queue
+            + self.host_walk
+            + self.migration
+            + self.network
+    }
+
+    /// The fault-handling share (everything past the GMMU; §III-B reports
+    /// 86.1% on average for the baseline).
+    pub fn fault_total(&self) -> u64 {
+        self.host_queue + self.host_walk + self.migration + self.network
+    }
+
+    /// Each component as a fraction of the total, in the order
+    /// `[gmmu_queue, gmmu_walk, host_queue, host_walk, migration, network]`.
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return [0.0; 6];
+        }
+        [
+            self.gmmu_queue as f64 / t,
+            self.gmmu_walk as f64 / t,
+            self.host_queue as f64 / t,
+            self.host_walk as f64 / t,
+            self.migration as f64 / t,
+            self.network as f64 / t,
+        ]
+    }
+
+    /// Per-component reduction versus a baseline, as fractions in `[0, 1]`
+    /// (0 when the baseline component is 0), same order as
+    /// [`fractions`](Self::fractions). Used for Fig. 12.
+    pub fn reduction_vs(&self, base: &LatencyBreakdown) -> [f64; 6] {
+        fn red(opt: u64, base: u64) -> f64 {
+            if base == 0 {
+                0.0
+            } else {
+                1.0 - (opt as f64 / base as f64).min(1.0)
+            }
+        }
+        [
+            red(self.gmmu_queue, base.gmmu_queue),
+            red(self.gmmu_walk, base.gmmu_walk),
+            red(self.host_queue, base.host_queue),
+            red(self.host_walk, base.host_walk),
+            red(self.migration, base.migration),
+            red(self.network, base.network),
+        ]
+    }
+}
+
+/// Page-sharing bookkeeping for Figs. 7 and 24: which GPUs touched each
+/// page, and how many reads/writes each page received.
+#[derive(Debug, Clone, Default)]
+pub struct SharingProfile {
+    pages: HashMap<u64, PageTouch>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PageTouch {
+    gpu_mask: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl SharingProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, vpn: u64, gpu: u16, is_write: bool) {
+        let t = self.pages.entry(vpn).or_default();
+        t.gpu_mask |= 1 << gpu;
+        if is_write {
+            t.writes += 1;
+        } else {
+            t.reads += 1;
+        }
+    }
+
+    /// Fraction of all page accesses that went to pages shared by exactly
+    /// `1, 2, 3, …, max_degree` GPUs (Fig. 7; the last bucket absorbs higher
+    /// degrees).
+    pub fn access_fraction_by_degree(&self, max_degree: usize) -> Vec<f64> {
+        let mut by_degree = vec![0u64; max_degree + 1];
+        let mut total = 0u64;
+        for t in self.pages.values() {
+            let d = (t.gpu_mask.count_ones() as usize).min(max_degree);
+            let acc = t.reads + t.writes;
+            by_degree[d] += acc;
+            total += acc;
+        }
+        by_degree[1..]
+            .iter()
+            .map(|&a| sim_core::stats::ratio(a, total))
+            .collect()
+    }
+
+    /// `(reads, writes)` to pages shared by at least two GPUs (Fig. 24).
+    pub fn shared_rw(&self) -> (u64, u64) {
+        let mut reads = 0;
+        let mut writes = 0;
+        for t in self.pages.values() {
+            if t.gpu_mask.count_ones() >= 2 {
+                reads += t.reads;
+                writes += t.writes;
+            }
+        }
+        (reads, writes)
+    }
+
+    /// Number of distinct pages touched.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Counters specific to the Trans-FW datapath.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransFwStats {
+    /// L2 TLB misses that skipped the GMMU walk on a PRT miss.
+    pub gmmu_bypassed: u64,
+    /// PRT hits that nonetheless faulted (false positives).
+    pub prt_false_positives: u64,
+    /// Host requests forwarded to a remote GPU.
+    pub forwarded: u64,
+    /// Forwarded requests whose translation was supplied by the remote GPU.
+    pub remote_supplied: u64,
+    /// Forwarded requests that failed at the remote GPU (FT false
+    /// positives/stale owners).
+    pub remote_failed: u64,
+    /// Host walks cancelled because the remote lookup finished first.
+    pub cancelled_host_walks: u64,
+    /// Requests where both the host walk and the remote walk ran (Fig. 14's
+    /// replicated PT-walks).
+    pub replicated_walks: u64,
+}
+
+/// The remote PW-cache probe study of Fig. 8: on each local fault, would a
+/// remote GPU's PW-cache have served the prefix?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteProbeStats {
+    /// Local faults probed.
+    pub faults: u64,
+    /// Faults where some remote PW-cache held a matching prefix.
+    pub hits: u64,
+    /// Hits at the lower levels (L2/L3): 1–2 remaining accesses.
+    pub lower_hits: u64,
+}
+
+impl RemoteProbeStats {
+    /// Remote hit rate over probed faults.
+    pub fn hit_rate(&self) -> f64 {
+        sim_core::stats::ratio(self.hits, self.faults)
+    }
+
+    /// Lower-level (L2/L3) remote hit rate.
+    pub fn lower_hit_rate(&self) -> f64 {
+        sim_core::stats::ratio(self.lower_hits, self.faults)
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Workload name.
+    pub app: String,
+    /// End-to-end execution time in cycles.
+    pub total_cycles: u64,
+    /// Coalesced memory instructions executed.
+    pub mem_instructions: u64,
+    /// L1 TLB hits/misses (all CUs).
+    pub l1_hits: u64,
+    /// L1 TLB misses.
+    pub l1_misses: u64,
+    /// L2 TLB hits (all GPUs).
+    pub l2_hits: u64,
+    /// L2 TLB misses.
+    pub l2_misses: u64,
+    /// Translation requests created (post-MSHR-coalescing L2 misses).
+    pub translation_requests: u64,
+    /// GPU local page faults (far faults).
+    pub local_faults: u64,
+    /// Host MMU TLB hits.
+    pub host_tlb_hits: u64,
+    /// Host MMU TLB misses.
+    pub host_tlb_misses: u64,
+    /// Host PT-walks performed.
+    pub host_walks: u64,
+    /// Total GMMU page-table memory accesses.
+    pub gmmu_walk_accesses: u64,
+    /// Total host page-table memory accesses.
+    pub host_walk_accesses: u64,
+    /// Latency attribution over all translation requests.
+    pub breakdown: LatencyBreakdown,
+    /// Merged GMMU PW-cache statistics.
+    pub gmmu_pwc: PwCacheStats,
+    /// Host PW-cache statistics.
+    pub host_pwc: PwCacheStats,
+    /// Page-sharing profile.
+    pub sharing: SharingProfile,
+    /// Trans-FW datapath counters.
+    pub transfw: TransFwStats,
+    /// Fig. 8 remote-probe counters.
+    pub remote_probe: RemoteProbeStats,
+    /// Placement statistics (migrations, replications, …).
+    pub directory: DirectoryStats,
+    /// Software-driver batches processed (driver mode only).
+    pub driver_batches: u64,
+    /// Peak host PW-queue occupancy.
+    pub host_queue_peak: usize,
+}
+
+impl RunMetrics {
+    /// Page faults per kilo (memory) instruction — the Table III metric.
+    pub fn pfpki(&self) -> f64 {
+        if self.mem_instructions == 0 {
+            0.0
+        } else {
+            self.local_faults as f64 * 1000.0 / self.mem_instructions as f64
+        }
+    }
+
+    /// L2 TLB hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        sim_core::stats::ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+    }
+
+    /// Speedup of this run relative to `baseline` (>1 means faster).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this run has zero cycles.
+    pub fn speedup_vs(&self, baseline: &RunMetrics) -> f64 {
+        assert!(self.total_cycles > 0, "run has no cycles");
+        baseline.total_cycles as f64 / self.total_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_fractions() {
+        let b = LatencyBreakdown {
+            gmmu_queue: 10,
+            gmmu_walk: 20,
+            host_queue: 30,
+            host_walk: 15,
+            migration: 20,
+            network: 5,
+        };
+        assert_eq!(b.total(), 100);
+        assert_eq!(b.fault_total(), 70);
+        let f = b.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_empty_fractions_are_zero() {
+        assert_eq!(LatencyBreakdown::default().fractions(), [0.0; 6]);
+    }
+
+    #[test]
+    fn reduction_vs_baseline() {
+        let base = LatencyBreakdown {
+            gmmu_queue: 100,
+            ..Default::default()
+        };
+        let opt = LatencyBreakdown {
+            gmmu_queue: 25,
+            ..Default::default()
+        };
+        let r = opt.reduction_vs(&base);
+        assert!((r[0] - 0.75).abs() < 1e-12);
+        assert_eq!(r[1], 0.0, "zero baseline -> zero reduction");
+    }
+
+    #[test]
+    fn sharing_degree_fractions() {
+        let mut s = SharingProfile::new();
+        // Page 1: GPU0 only, 3 accesses. Page 2: GPUs 0+1, 1 access.
+        s.record(1, 0, false);
+        s.record(1, 0, false);
+        s.record(1, 0, true);
+        s.record(2, 0, false);
+        s.record(2, 1, true);
+        let f = s.access_fraction_by_degree(4);
+        assert_eq!(f.len(), 4);
+        assert!((f[0] - 0.6).abs() < 1e-12, "degree 1: 3/5");
+        assert!((f[1] - 0.4).abs() < 1e-12, "degree 2: 2/5");
+        assert_eq!(s.page_count(), 2);
+    }
+
+    #[test]
+    fn sharing_degree_clamps_to_max() {
+        let mut s = SharingProfile::new();
+        for g in 0..8 {
+            s.record(7, g, false);
+        }
+        let f = s.access_fraction_by_degree(4);
+        assert!((f[3] - 1.0).abs() < 1e-12, "8-way sharing lands in 4+ bucket");
+    }
+
+    #[test]
+    fn shared_rw_only_counts_shared_pages() {
+        let mut s = SharingProfile::new();
+        s.record(1, 0, true); // private page: ignored
+        s.record(2, 0, false);
+        s.record(2, 1, true);
+        s.record(2, 1, true);
+        assert_eq!(s.shared_rw(), (1, 2));
+    }
+
+    #[test]
+    fn pfpki_computation() {
+        let m = RunMetrics {
+            local_faults: 50,
+            mem_instructions: 10_000,
+            ..Default::default()
+        };
+        assert!((m.pfpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let base = RunMetrics {
+            total_cycles: 200,
+            ..Default::default()
+        };
+        let opt = RunMetrics {
+            total_cycles: 100,
+            ..Default::default()
+        };
+        assert_eq!(opt.speedup_vs(&base), 2.0);
+    }
+
+    #[test]
+    fn remote_probe_rates() {
+        let r = RemoteProbeStats {
+            faults: 100,
+            hits: 88,
+            lower_hits: 45,
+        };
+        assert!((r.hit_rate() - 0.88).abs() < 1e-12);
+        assert!((r.lower_hit_rate() - 0.45).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Translation-request bookkeeping.
+
+use ptw::{GpuId, Location};
+use sim_core::Cycle;
+
+use crate::metrics::LatencyBreakdown;
+
+/// Index of a request in the [`ReqArena`].
+pub type ReqId = usize;
+
+/// Identifies one wavefront slot (the MSHR waiter token).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WfRef {
+    /// GPU index.
+    pub gpu: u16,
+    /// CU index within the GPU.
+    pub cu: u16,
+    /// Wavefront slot within the CU.
+    pub wf: u16,
+}
+
+/// One outstanding translation request (a post-coalescing L2 TLB miss).
+///
+/// A request is uniquely identified by `(gpu, vpn)` while in flight — the
+/// per-GPU L2 MSHR guarantees at most one outstanding translation per page
+/// per GPU.
+#[derive(Debug, Clone)]
+pub struct Req {
+    /// Translation-granule virtual page number.
+    pub vpn: u64,
+    /// Requesting GPU.
+    pub gpu: GpuId,
+    /// Whether the triggering access writes.
+    pub is_write: bool,
+    /// Creation time (L2 TLB miss).
+    pub born: Cycle,
+    /// Where the final local PTE points (filled during fault resolution).
+    pub resolved_loc: Option<Location>,
+    /// Trans-FW: the request was forwarded to a remote GPU.
+    pub forwarded: bool,
+    /// Trans-FW: the remote GPU supplied the translation.
+    pub remote_supplied: bool,
+    /// The host walk (or driver batch) has started and can no longer be
+    /// cancelled.
+    pub host_walk_started: bool,
+    /// Trans-FW: the queued host walk was cancelled by a remote success.
+    pub cancelled: bool,
+    /// The requester received a translation; later arrivals are discarded.
+    pub completed: bool,
+    /// Cycle the fault reached the host/driver (for queue accounting).
+    pub host_submit_time: Cycle,
+    /// Per-request latency attribution.
+    pub lat: LatencyBreakdown,
+}
+
+impl Req {
+    fn new(vpn: u64, gpu: GpuId, is_write: bool, born: Cycle) -> Self {
+        Self {
+            vpn,
+            gpu,
+            is_write,
+            born,
+            resolved_loc: None,
+            forwarded: false,
+            remote_supplied: false,
+            host_walk_started: false,
+            cancelled: false,
+            completed: false,
+            host_submit_time: 0,
+            lat: LatencyBreakdown::default(),
+        }
+    }
+}
+
+/// Append-only arena of translation requests for one run.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu::request::ReqArena;
+///
+/// let mut arena = ReqArena::new();
+/// let id = arena.create(0x42, 1, false, 100);
+/// assert_eq!(arena[id].vpn, 0x42);
+/// arena[id].completed = true;
+/// assert_eq!(arena.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReqArena {
+    reqs: Vec<Req>,
+}
+
+impl ReqArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new request and returns its id.
+    pub fn create(&mut self, vpn: u64, gpu: GpuId, is_write: bool, born: Cycle) -> ReqId {
+        self.reqs.push(Req::new(vpn, gpu, is_write, born));
+        self.reqs.len() - 1
+    }
+
+    /// Number of requests ever created.
+    pub fn len(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Whether no requests were created.
+    pub fn is_empty(&self) -> bool {
+        self.reqs.is_empty()
+    }
+
+    /// Iterates over all requests.
+    pub fn iter(&self) -> impl Iterator<Item = &Req> {
+        self.reqs.iter()
+    }
+}
+
+impl std::ops::Index<ReqId> for ReqArena {
+    type Output = Req;
+
+    fn index(&self, id: ReqId) -> &Req {
+        &self.reqs[id]
+    }
+}
+
+impl std::ops::IndexMut<ReqId> for ReqArena {
+    fn index_mut(&mut self, id: ReqId) -> &mut Req {
+        &mut self.reqs[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_index() {
+        let mut a = ReqArena::new();
+        let r0 = a.create(1, 0, false, 10);
+        let r1 = a.create(2, 3, true, 20);
+        assert_eq!(a[r0].vpn, 1);
+        assert_eq!(a[r1].gpu, 3);
+        assert!(a[r1].is_write);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn new_requests_have_clean_state() {
+        let mut a = ReqArena::new();
+        let r = a.create(7, 1, false, 5);
+        let req = &a[r];
+        assert!(!req.forwarded);
+        assert!(!req.remote_supplied);
+        assert!(!req.cancelled);
+        assert!(!req.completed);
+        assert_eq!(req.lat.total(), 0);
+    }
+
+    #[test]
+    fn mutation_through_index() {
+        let mut a = ReqArena::new();
+        let r = a.create(7, 1, false, 5);
+        a[r].lat.gmmu_queue += 42;
+        a[r].forwarded = true;
+        assert_eq!(a[r].lat.gmmu_queue, 42);
+        assert!(a[r].forwarded);
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let mut a = ReqArena::new();
+        for i in 0..5 {
+            a.create(i, 0, false, 0);
+        }
+        assert_eq!(a.iter().count(), 5);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,641 @@
+//! The full-system model and its event loop.
+
+use std::collections::VecDeque;
+
+use interconnect::Fabric;
+use ptw::{Asap, GpuId, InfinitePwc, Location, PageTable, Pte, PwCache, PwQueue, Stc, Utc, WalkerPool};
+use sim_core::{Cycle, EventQueue, SimRng};
+use tlb::{Mshr, MshrOutcome, Tlb};
+use transfw::{ForwardPolicy, Ft, Prt};
+use uvm::{PageDirectory, UvmDriver};
+
+use crate::config::{FarFaultMode, PwcKind, SystemConfig};
+use crate::metrics::RunMetrics;
+use crate::request::{ReqArena, ReqId, WfRef};
+use crate::workload::{Access, AccessStream, Workload};
+
+/// A cached translation: physical page number plus where the page lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransEntry {
+    /// Physical page number.
+    pub ppn: u64,
+    /// Memory holding the page.
+    pub loc: Location,
+}
+
+/// A unit of work in a GMMU PW-queue: a local translation or a walk
+/// borrowed by the host (Trans-FW forwarding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct GmmuJob {
+    pub req: ReqId,
+    pub remote: bool,
+}
+
+#[derive(Debug)]
+pub(crate) enum Event {
+    WfStart(WfRef),
+    WfMem(WfRef),
+    L2Access(WfRef),
+    GmmuEnqueue { gpu: u16, job: GmmuJob },
+    GmmuDispatch { gpu: u16 },
+    GmmuWalkDone { gpu: u16, job: GmmuJob, walk_cycles: Cycle, accesses: u32, pte: Option<Pte>, insert_lo: u32, insert_hi: u32 },
+    HostArrive { req: ReqId },
+    HostDispatch,
+    HostWalkDone { req: ReqId, walk_cycles: Cycle, insert_lo: u32, insert_hi: u32 },
+    RemoteWalkArrive { gpu: u16, req: ReqId },
+    RemoteSupply { req: ReqId, entry: TransEntry },
+    RemoteNotify { req: ReqId, success: bool },
+    FaultResolved { req: ReqId },
+    Reply { req: ReqId, entry: TransEntry },
+    DataDone(WfRef),
+    DriverSubmit { req: ReqId },
+    DriverCheck,
+    DriverBatchDone,
+}
+
+pub(crate) struct Wavefront {
+    pub stream: Option<Box<dyn AccessStream>>,
+    pub pending: Option<Access>,
+}
+
+pub(crate) struct Cu {
+    pub l1: Tlb<TransEntry>,
+    pub wfs: Vec<Wavefront>,
+}
+
+pub(crate) struct Gpu {
+    pub cus: Vec<Cu>,
+    pub l2: Tlb<TransEntry>,
+    pub mshr: Mshr<WfRef>,
+    pub queue: PwQueue<GmmuJob>,
+    pub walkers: WalkerPool,
+    pub pwc: Box<dyn PwCache>,
+    pub pt: PageTable,
+    pub prt: Option<Prt>,
+    pub asap: Option<Asap>,
+    pub ctas: VecDeque<usize>,
+}
+
+pub(crate) struct HostMmu {
+    pub tlb: Tlb<TransEntry>,
+    pub queue: PwQueue<ReqId>,
+    pub walkers: WalkerPool,
+    pub pwc: Box<dyn PwCache>,
+    pub pt: PageTable,
+    pub asap: Option<Asap>,
+    pub ft: Option<Ft>,
+}
+
+fn make_pwc(kind: PwcKind, entries: usize, levels: u32) -> Box<dyn PwCache> {
+    match kind {
+        PwcKind::Utc => Box::new(Utc::new(entries, levels)),
+        PwcKind::Stc => Box::new(Stc::paper_default(levels)),
+        PwcKind::Infinite => Box::new(InfinitePwc::new(levels)),
+    }
+}
+
+/// The simulated multi-GPU system.
+///
+/// Build one from a [`SystemConfig`] and [`run`](Self::run) a workload to
+/// completion; the returned [`RunMetrics`] carry every statistic the paper's
+/// figures use. See the crate-level example.
+pub struct System {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) now: Cycle,
+    pub(crate) events: EventQueue<Event>,
+    pub(crate) gpus: Vec<Gpu>,
+    pub(crate) host: HostMmu,
+    pub(crate) fabric: Fabric,
+    pub(crate) dir: PageDirectory,
+    pub(crate) driver: UvmDriver<ReqId>,
+    pub(crate) driver_batch: Vec<ReqId>,
+    pub(crate) reqs: ReqArena,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) policy: ForwardPolicy,
+    pub(crate) rng: SimRng,
+    pub(crate) cache_hit_rate: f64,
+}
+
+impl System {
+    /// Builds a system from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn new(cfg: SystemConfig) -> Self {
+        cfg.validate();
+        let levels = cfg.page_table_levels;
+        let tf = cfg.transfw.clone();
+        let gpus: Vec<Gpu> = (0..cfg.gpus)
+            .map(|_| Gpu {
+                cus: (0..cfg.cus_per_gpu)
+                    .map(|_| Cu {
+                        l1: Tlb::new(cfg.l1_tlb_entries, cfg.l1_tlb_entries, cfg.l1_tlb_latency),
+                        wfs: (0..cfg.wavefronts_per_cu)
+                            .map(|_| Wavefront {
+                                stream: None,
+                                pending: None,
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+                l2: Tlb::new(cfg.l2_tlb_entries, cfg.l2_tlb_assoc, cfg.l2_tlb_latency),
+                mshr: Mshr::new(256),
+                queue: PwQueue::new(cfg.pw_queue_entries),
+                walkers: if cfg.ideal.infinite_walkers {
+                    WalkerPool::infinite()
+                } else {
+                    WalkerPool::new(cfg.gmmu_walkers)
+                },
+                pwc: make_pwc(cfg.pwc_kind, cfg.gmmu_pwc_entries, levels),
+                pt: PageTable::new(levels),
+                prt: tf
+                    .as_ref()
+                    .filter(|k| k.gmmu_short_circuit)
+                    .map(|k| Prt::new(&k.config)),
+                asap: cfg.asap.map(Asap::new),
+                ctas: VecDeque::new(),
+            })
+            .collect();
+        let host = HostMmu {
+            tlb: Tlb::new(cfg.host_tlb_entries, cfg.host_tlb_assoc, 1),
+            queue: PwQueue::new(cfg.pw_queue_entries.max(4096)),
+            walkers: if cfg.ideal.infinite_walkers {
+                WalkerPool::infinite()
+            } else {
+                WalkerPool::new(cfg.host_walkers)
+            },
+            pwc: make_pwc(cfg.pwc_kind, cfg.host_pwc_entries, levels),
+            pt: PageTable::new(levels),
+            asap: cfg.asap.map(Asap::new),
+            ft: tf
+                .as_ref()
+                .filter(|k| k.host_forwarding)
+                .map(|k| Ft::new(&k.config, cfg.gpus)),
+        };
+        let policy = ForwardPolicy::new(
+            tf.as_ref().map_or(0.5, |k| k.config.forward_threshold),
+        );
+        Self {
+            fabric: Fabric::new(
+                cfg.gpus as usize,
+                cfg.cpu_link_latency,
+                cfg.peer_link_latency,
+                cfg.link_bytes_per_cycle,
+            ),
+            dir: PageDirectory::new(cfg.gpus, cfg.policy),
+            driver: UvmDriver::new(uvm::DriverConfig {
+                batch_overhead: cfg.driver.batch_overhead
+                    + cfg.driver_per_gpu_poll * cfg.gpus as sim_core::Cycle,
+                ..cfg.driver
+            }),
+            driver_batch: Vec::new(),
+            reqs: ReqArena::new(),
+            metrics: RunMetrics::default(),
+            policy,
+            rng: SimRng::new(cfg.seed),
+            cache_hit_rate: 0.5,
+            now: 0,
+            events: EventQueue::with_capacity(1 << 14),
+            gpus,
+            host,
+            cfg,
+        }
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs `workload` to completion and returns the collected metrics.
+    pub fn run(mut self, workload: &dyn Workload) -> RunMetrics {
+        self.cache_hit_rate = workload.data_cache_hit_rate();
+        self.metrics.app = workload.name().to_string();
+
+        // Centralised page table: every page starts valid on the host, then
+        // warm pages move to their initial owner (see
+        // `Workload::initial_owner`).
+        let t_pages = self
+            .cfg
+            .translation_vpn(workload.footprint_pages().saturating_sub(1))
+            + 1;
+        let shift = self.cfg.page_size_bits - 12;
+        for vpn in 0..t_pages {
+            let owner = workload.initial_owner(vpn << shift, self.cfg.gpus);
+            if let Some(g) = owner {
+                assert!(
+                    g < self.cfg.gpus,
+                    "initial_owner returned GPU {g} but only {} exist",
+                    self.cfg.gpus
+                );
+            }
+            let loc = owner.map_or(Location::Cpu, Location::Gpu);
+            self.host.pt.insert(vpn, Pte::new(vpn, loc));
+            if let Some(g) = owner {
+                self.dir.place(vpn, loc);
+                self.map_on_gpu(g, vpn, loc);
+                if let Some(ft) = self.host.ft.as_mut() {
+                    ft.page_migrated(vpn, None, g);
+                }
+            }
+        }
+        if self.cfg.ideal.no_local_faults {
+            for (g, gpu) in self.gpus.iter_mut().enumerate() {
+                for vpn in 0..t_pages {
+                    gpu.pt.insert(vpn, Pte::new(vpn, Location::Gpu(g as GpuId)));
+                }
+            }
+        }
+
+        // Greedy CTA placement: contiguous blocks per GPU (§III-A).
+        let n_ctas = workload.cta_count();
+        let n_gpus = self.cfg.gpus as usize;
+        for cta in 0..n_ctas {
+            let g = cta * n_gpus / n_ctas.max(1);
+            self.gpus[g].ctas.push_back(cta);
+        }
+
+        // Kick every wavefront slot.
+        for g in 0..n_gpus {
+            for c in 0..self.cfg.cus_per_gpu {
+                for w in 0..self.cfg.wavefronts_per_cu {
+                    self.events.push(
+                        0,
+                        Event::WfStart(WfRef {
+                            gpu: g as u16,
+                            cu: c,
+                            wf: w,
+                        }),
+                    );
+                }
+            }
+        }
+
+        while let Some((t, ev)) = self.events.pop() {
+            debug_assert!(t >= self.now, "time moved backwards");
+            self.now = t;
+            self.dispatch(ev, workload);
+        }
+
+        self.finalize()
+    }
+
+    fn dispatch(&mut self, ev: Event, workload: &dyn Workload) {
+        match ev {
+            Event::WfStart(wf) => self.wf_start(wf, workload),
+            Event::WfMem(wf) => self.wf_mem(wf),
+            Event::L2Access(wf) => self.l2_access(wf),
+            Event::GmmuEnqueue { gpu, job } => self.gmmu_enqueue(gpu, job),
+            Event::GmmuDispatch { gpu } => self.gmmu_dispatch(gpu),
+            Event::GmmuWalkDone {
+                gpu,
+                job,
+                walk_cycles,
+                accesses,
+                pte,
+                insert_lo,
+                insert_hi,
+            } => self.gmmu_walk_done(gpu, job, walk_cycles, accesses, pte, insert_lo, insert_hi),
+            Event::HostArrive { req } => self.host_arrive(req),
+            Event::HostDispatch => self.host_dispatch(),
+            Event::HostWalkDone {
+                req,
+                walk_cycles,
+                insert_lo,
+                insert_hi,
+            } => self.host_walk_done(req, walk_cycles, insert_lo, insert_hi),
+            Event::RemoteWalkArrive { gpu, req } => self.remote_walk_arrive(gpu, req),
+            Event::RemoteSupply { req, entry } => self.remote_supply(req, entry),
+            Event::RemoteNotify { req, success } => self.remote_notify(req, success),
+            Event::FaultResolved { req } => self.fault_resolved(req),
+            Event::Reply { req, entry } => self.reply(req, entry),
+            Event::DataDone(wf) => self.data_done(wf, workload),
+            Event::DriverSubmit { req } => self.driver_submit(req),
+            Event::DriverCheck => self.driver_check(),
+            Event::DriverBatchDone => self.driver_batch_done(),
+        }
+    }
+
+    // ----- wavefront lifecycle ------------------------------------------
+
+    fn wf_start(&mut self, wf: WfRef, workload: &dyn Workload) {
+        loop {
+            let gpu = &mut self.gpus[wf.gpu as usize];
+            let slot = &mut gpu.cus[wf.cu as usize].wfs[wf.wf as usize];
+            if slot.stream.is_none() {
+                match gpu.ctas.pop_front() {
+                    Some(cta) => {
+                        slot.stream =
+                            Some(workload.make_stream(cta, self.cfg.seed ^ (cta as u64) << 1));
+                    }
+                    None => return, // wavefront retires
+                }
+            }
+            let slot = &mut self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize];
+            match slot.stream.as_mut().expect("stream present").next_access() {
+                Some(a) => {
+                    slot.pending = Some(a);
+                    self.events.push(self.now + a.compute, Event::WfMem(wf));
+                    return;
+                }
+                None => {
+                    slot.stream = None; // CTA retired; pull the next one
+                }
+            }
+        }
+    }
+
+    fn wf_mem(&mut self, wf: WfRef) {
+        let a = self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize]
+            .pending
+            .expect("pending access");
+        let tvpn = self.cfg.translation_vpn(a.vpn);
+        self.metrics.mem_instructions += 1;
+        self.metrics.sharing.record(tvpn, wf.gpu, a.is_write);
+
+        let l1_lat = self.cfg.l1_tlb_latency;
+        let hit = self.gpus[wf.gpu as usize].cus[wf.cu as usize]
+            .l1
+            .lookup(tvpn)
+            .copied();
+        match hit {
+            Some(entry) => {
+                let lat = l1_lat + self.data_latency(wf.gpu, tvpn, entry);
+                self.events.push(self.now + lat, Event::DataDone(wf));
+            }
+            None => {
+                self.events.push(self.now + l1_lat, Event::L2Access(wf));
+            }
+        }
+    }
+
+    fn l2_access(&mut self, wf: WfRef) {
+        let a = self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize]
+            .pending
+            .expect("pending access");
+        let tvpn = self.cfg.translation_vpn(a.vpn);
+        let l2_lat = self.cfg.l2_tlb_latency;
+        let hit = self.gpus[wf.gpu as usize].l2.lookup(tvpn).copied();
+        if let Some(entry) = hit {
+            self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(tvpn, entry);
+            let lat = l2_lat + self.data_latency(wf.gpu, tvpn, entry);
+            self.events.push(self.now + lat, Event::DataDone(wf));
+            return;
+        }
+
+        // Least-TLB (§V-I): the GPUs' L2 TLBs behave as one distributed TLB;
+        // probe peers before walking.
+        if self.cfg.least_tlb {
+            let peer_hit = (0..self.gpus.len())
+                .filter(|&g| g != wf.gpu as usize)
+                .find_map(|g| self.gpus[g].l2.probe(tvpn).copied());
+            if let Some(entry) = peer_hit {
+                let rtt = 2 * self.cfg.peer_link_latency;
+                self.gpus[wf.gpu as usize].l2.fill(tvpn, entry);
+                self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(tvpn, entry);
+                let lat = l2_lat + rtt + self.data_latency(wf.gpu, tvpn, entry);
+                self.events.push(self.now + lat, Event::DataDone(wf));
+                return;
+            }
+        }
+
+        match self.gpus[wf.gpu as usize].mshr.register(tvpn, wf) {
+            MshrOutcome::Merged => {}
+            MshrOutcome::Full => {
+                // Stall and retry shortly.
+                self.events.push(self.now + 30, Event::L2Access(wf));
+            }
+            MshrOutcome::Primary => {
+                let born = self.now + l2_lat;
+                let req = self.reqs.create(tvpn, wf.gpu, a.is_write, born);
+                self.metrics.translation_requests += 1;
+                self.start_translation(req, born);
+            }
+        }
+    }
+
+    /// Entry point of the translation machinery for a fresh L2 TLB miss:
+    /// baseline goes to the GMMU; Trans-FW consults the PRT first.
+    fn start_translation(&mut self, req: ReqId, at: Cycle) {
+        let vpn = self.reqs[req].vpn;
+        let g = self.reqs[req].gpu;
+        let short_circuit = match self.gpus[g as usize].prt.as_mut() {
+            Some(prt) => !prt.may_be_local(vpn),
+            None => false,
+        };
+        if short_circuit {
+            self.metrics.transfw.gmmu_bypassed += 1;
+            self.send_fault_to_host(req, at);
+        } else {
+            self.events.push(
+                at,
+                Event::GmmuEnqueue {
+                    gpu: g,
+                    job: GmmuJob { req, remote: false },
+                },
+            );
+        }
+    }
+
+    /// Arrival time of a control message on the CPU link: translation
+    /// traffic rides a separate virtual channel, so it pays latency but does
+    /// not queue behind page DMA.
+    pub(crate) fn cpu_control_arrival(&self, at: Cycle) -> Cycle {
+        at + self.cfg.cpu_link_latency
+    }
+
+    /// Arrival time of a control message on a peer link.
+    pub(crate) fn peer_control_arrival(&self, at: Cycle) -> Cycle {
+        at + self.cfg.peer_link_latency
+    }
+
+    /// Ships a far fault (or short-circuited request) to the host side.
+    pub(crate) fn send_fault_to_host(&mut self, req: ReqId, at: Cycle) {
+        let arrival = self.cpu_control_arrival(at);
+        self.reqs[req].lat.network += arrival - at;
+        match self.cfg.fault_mode {
+            FarFaultMode::HostMmu => self.events.push(arrival, Event::HostArrive { req }),
+            FarFaultMode::UvmDriver => self.events.push(arrival, Event::DriverSubmit { req }),
+        }
+    }
+
+    fn data_done(&mut self, wf: WfRef, workload: &dyn Workload) {
+        self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize].pending = None;
+        self.wf_start(wf, workload);
+    }
+
+    // ----- shared helpers ------------------------------------------------
+
+    /// Latency of the data access once the translation is known; records
+    /// remote-mapping access counters as a side effect.
+    pub(crate) fn data_latency(&mut self, gpu: GpuId, vpn: u64, entry: TransEntry) -> Cycle {
+        if self.rng.chance(self.cache_hit_rate) {
+            return self.cfg.cache_latency;
+        }
+        match entry.loc {
+            Location::Gpu(o) if o == gpu => self.cfg.dram_latency,
+            Location::Cpu => 2 * self.cfg.cpu_link_latency + self.cfg.dram_latency,
+            Location::Gpu(_) => {
+                if let Some(outcome) = self.dir.record_remote_access(vpn, gpu) {
+                    self.apply_background_migration(vpn, gpu, outcome);
+                }
+                2 * self.cfg.peer_link_latency + self.cfg.dram_latency
+            }
+        }
+    }
+
+    /// Applies an off-critical-path migration decided by the access-counter
+    /// policy: page tables, TLB shootdowns and PRT/FT updates happen
+    /// immediately; the data transfer only occupies fabric bandwidth.
+    pub(crate) fn apply_background_migration(
+        &mut self,
+        vpn: u64,
+        to: GpuId,
+        outcome: uvm::FaultOutcome,
+    ) {
+        for v in &outcome.invalidations {
+            self.unmap_on_gpu(*v, vpn);
+        }
+        if let Location::Gpu(src) = outcome.source {
+            if src != to {
+                let now = self.now;
+                self.fabric
+                    .send_gpu_to_gpu(src as usize, to as usize, now, self.cfg.page_bytes());
+            }
+        }
+        self.map_on_gpu(to, vpn, Location::Gpu(to));
+        self.host.tlb.invalidate(vpn);
+        if let Some(pte) = self.host.pt.translate_mut(vpn) {
+            pte.loc = Location::Gpu(to);
+        }
+        if let Some(ft) = self.host.ft.as_mut() {
+            ft.page_migrated(vpn, outcome.source.gpu(), to);
+        }
+    }
+
+    /// Destroys GPU `g`'s local mapping of `vpn`: page table, PW-cache
+    /// levels backing it, L1/L2 TLB shootdowns and PRT update.
+    pub(crate) fn unmap_on_gpu(&mut self, g: GpuId, vpn: u64) {
+        let gpu = &mut self.gpus[g as usize];
+        if let Some((_, emptied)) = gpu.pt.remove(vpn) {
+            for k in emptied {
+                if k <= self.cfg.page_table_levels {
+                    gpu.pwc.invalidate(vpn, k);
+                }
+            }
+        }
+        gpu.l2.invalidate(vpn);
+        for cu in &mut gpu.cus {
+            cu.l1.invalidate(vpn);
+        }
+        if let Some(prt) = gpu.prt.as_mut() {
+            prt.page_departed(vpn);
+        }
+    }
+
+    /// Creates GPU `g`'s local mapping of `vpn` pointing at `loc`.
+    pub(crate) fn map_on_gpu(&mut self, g: GpuId, vpn: u64, loc: Location) {
+        let gpu = &mut self.gpus[g as usize];
+        gpu.pt.insert(vpn, Pte::new(vpn, loc));
+        if let Some(prt) = gpu.prt.as_mut() {
+            prt.page_arrived(vpn);
+        }
+    }
+
+    /// Delivers a finished translation to the requesting GPU: fills the L2
+    /// TLB, releases every coalesced waiter and starts their data accesses.
+    pub(crate) fn complete_translation(&mut self, g: GpuId, vpn: u64, entry: TransEntry) {
+        self.gpus[g as usize].l2.fill(vpn, entry);
+        let waiters = self.gpus[g as usize].mshr.complete(vpn);
+        for wf in waiters {
+            self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(vpn, entry);
+            let lat = self.data_latency(g, vpn, entry);
+            self.events.push(self.now + lat, Event::DataDone(wf));
+        }
+    }
+
+    /// End-of-run structural invariants: every queue drained, every walker
+    /// released, no coalesced waiter lost, and the Trans-FW tables
+    /// consistent with the page tables they shadow.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulation reached quiescence in an inconsistent
+    /// state — these would all be lost-wakeup or leaked-resource bugs.
+    fn check_invariants(&mut self) {
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            assert_eq!(gpu.walkers.busy(), 0, "GPU{g}: leaked walker");
+            assert!(gpu.queue.is_empty(), "GPU{g}: stuck PW-queue entries");
+            assert!(
+                gpu.mshr.is_empty(),
+                "GPU{g}: lost MSHR waiters (wavefronts never woken)"
+            );
+        }
+        assert_eq!(self.host.walkers.busy(), 0, "host: leaked walker");
+        assert!(self.host.queue.is_empty(), "host: stuck PW-queue entries");
+        assert!(!self.driver.is_busy(), "driver: batch never finished");
+        assert_eq!(self.driver.pending_len(), 0, "driver: stranded faults");
+
+        // The host's centralised table must agree with the directory.
+        for vpn in 0..self.host.pt.mapped_pages() as u64 {
+            if let Some(pte) = self.host.pt.translate(vpn) {
+                assert_eq!(
+                    pte.loc,
+                    self.dir.home(vpn),
+                    "vpn {vpn}: host PT and directory disagree"
+                );
+            }
+        }
+
+        // PRT: no false negatives beyond the rare fingerprint-collision
+        // deletes the paper's design accepts.
+        for g in 0..self.gpus.len() {
+            let mapped: Vec<u64> = (0..self.host.pt.mapped_pages() as u64)
+                .filter(|&vpn| self.gpus[g].pt.translate(vpn).is_some())
+                .collect();
+            let gpu = &mut self.gpus[g];
+            if let Some(prt) = gpu.prt.as_mut() {
+                let missing = mapped
+                    .iter()
+                    .filter(|&&vpn| !prt.may_be_local(vpn))
+                    .count();
+                let rate = missing as f64 / mapped.len().max(1) as f64;
+                assert!(
+                    rate < 0.01,
+                    "GPU{g}: PRT false-negative rate {rate} over {} pages",
+                    mapped.len()
+                );
+            }
+        }
+    }
+
+    fn finalize(mut self) -> RunMetrics {
+        self.check_invariants();
+        self.metrics.total_cycles = self.now;
+        for gpu in &self.gpus {
+            for cu in &gpu.cus {
+                self.metrics.l1_hits += cu.l1.hits();
+                self.metrics.l1_misses += cu.l1.misses();
+            }
+            self.metrics.l2_hits += gpu.l2.hits();
+            self.metrics.l2_misses += gpu.l2.misses();
+            self.metrics.gmmu_pwc.merge(gpu.pwc.stats());
+        }
+        self.metrics.host_pwc.merge(self.host.pwc.stats());
+        self.metrics.host_tlb_hits = self.host.tlb.hits();
+        self.metrics.host_tlb_misses = self.host.tlb.misses();
+        self.metrics.host_queue_peak = self.host.queue.peak();
+        self.metrics.directory = self.dir.stats();
+        self.metrics.driver_batches = self.driver.batch_count();
+        for req in self.reqs.iter() {
+            self.metrics.breakdown.gmmu_queue += req.lat.gmmu_queue;
+            self.metrics.breakdown.gmmu_walk += req.lat.gmmu_walk;
+            self.metrics.breakdown.host_queue += req.lat.host_queue;
+            self.metrics.breakdown.host_walk += req.lat.host_walk;
+            self.metrics.breakdown.migration += req.lat.migration;
+            self.metrics.breakdown.network += req.lat.network;
+        }
+        self.metrics
+    }
+}

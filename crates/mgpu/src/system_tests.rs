@@ -1,0 +1,297 @@
+//! White-box system tests with tiny deterministic workloads.
+
+use crate::config::{FarFaultMode, IdealKnobs, PwcKind, SystemConfig, TransFwKnobs};
+use crate::system::System;
+use crate::workload::{Access, AccessStream, Workload};
+
+/// A fully scripted workload: every CTA replays the same access list.
+#[derive(Debug)]
+struct Scripted {
+    name: &'static str,
+    footprint: u64,
+    ctas: usize,
+    accesses: Vec<Access>,
+    owners: Vec<Option<u16>>,
+}
+
+impl Scripted {
+    fn new(footprint: u64, ctas: usize, accesses: Vec<Access>) -> Self {
+        Self {
+            name: "scripted",
+            footprint,
+            ctas,
+            accesses,
+            owners: Vec::new(),
+        }
+    }
+
+    fn with_owners(mut self, owners: Vec<Option<u16>>) -> Self {
+        self.owners = owners;
+        self
+    }
+}
+
+impl Workload for Scripted {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        self.footprint
+    }
+
+    fn cta_count(&self) -> usize {
+        self.ctas
+    }
+
+    fn make_stream(&self, _cta: usize, _seed: u64) -> Box<dyn AccessStream> {
+        Box::new(self.accesses.clone().into_iter())
+    }
+
+    fn initial_owner(&self, vpn: u64, _gpus: u16) -> Option<u16> {
+        self.owners.get(vpn as usize).copied().flatten()
+    }
+
+    fn data_cache_hit_rate(&self) -> f64 {
+        0.0 // deterministic: no cache-hit coin flips
+    }
+}
+
+fn tiny_cfg() -> SystemConfig {
+    SystemConfig::builder()
+        .gpus(2)
+        .cus_per_gpu(2)
+        .wavefronts_per_cu(1)
+        .build()
+}
+
+#[test]
+fn single_access_local_page_completes_quickly() {
+    // One CTA, one access, page pre-placed on GPU 0: L1 miss -> L2 miss ->
+    // GMMU walk -> local hit -> data. No faults, no host traffic.
+    let w = Scripted::new(
+        4,
+        1,
+        vec![Access::read(0, 10)],
+    )
+    .with_owners(vec![Some(0), Some(0), Some(0), Some(0)]);
+    let m = System::new(tiny_cfg()).run(&w);
+    assert_eq!(m.mem_instructions, 1);
+    assert_eq!(m.local_faults, 0);
+    assert_eq!(m.l1_misses, 1);
+    assert_eq!(m.l2_misses, 1);
+    assert_eq!(m.translation_requests, 1);
+    // Latency: compute 10 + L1 1 + L2 10 + walk 5*100 + dram 200, plus
+    // dispatch granularity.
+    assert!(m.total_cycles >= 10 + 1 + 10 + 500);
+    assert!(m.total_cycles < 2000, "unexpected stalls: {}", m.total_cycles);
+}
+
+#[test]
+fn remote_page_faults_and_migrates() {
+    // GPU 0's CTA touches a page owned by GPU 1: exactly one far fault and
+    // one migration; the page ends up local.
+    let w = Scripted::new(2, 1, vec![Access::read(0, 5)])
+        .with_owners(vec![Some(1), Some(1)]);
+    let m = System::new(tiny_cfg()).run(&w);
+    assert_eq!(m.local_faults, 1);
+    assert_eq!(m.directory.migrations, 1);
+    assert_eq!(m.host_walks, 1);
+}
+
+#[test]
+fn repeated_access_hits_l1_tlb() {
+    let accesses = vec![Access::read(0, 5); 10];
+    let w = Scripted::new(2, 1, accesses).with_owners(vec![Some(0), Some(0)]);
+    let m = System::new(tiny_cfg()).run(&w);
+    assert_eq!(m.mem_instructions, 10);
+    assert_eq!(m.l1_misses, 1, "only the first access misses");
+    assert_eq!(m.l1_hits, 9);
+    assert_eq!(m.translation_requests, 1);
+}
+
+#[test]
+fn mshr_coalesces_concurrent_misses_to_same_page() {
+    // CTAs 0 and 1 land on GPU 0 (greedy placement of 3 CTAs over 2 GPUs)
+    // and touch the same remote page concurrently: their misses coalesce in
+    // the L2 MSHR, so at most 2 translation requests exist system-wide.
+    let w = Scripted::new(2, 3, vec![Access::read(0, 5)])
+        .with_owners(vec![Some(1), Some(1)]);
+    let m = System::new(tiny_cfg()).run(&w);
+    assert_eq!(m.mem_instructions, 3);
+    assert!(
+        m.translation_requests <= 2,
+        "concurrent same-page misses should coalesce (got {})",
+        m.translation_requests
+    );
+}
+
+#[test]
+fn ping_pong_generates_repeated_faults() {
+    // Both GPUs write the same page alternately; with one CTA per GPU the
+    // page must bounce at least once each way.
+    let accesses = vec![Access::write(0, 50); 8];
+    let w = Scripted::new(1, 2, accesses).with_owners(vec![Some(0)]);
+    let m = System::new(tiny_cfg()).run(&w);
+    assert!(
+        m.directory.migrations >= 1,
+        "shared writes must migrate the page"
+    );
+    assert!(m.local_faults >= 1);
+}
+
+#[test]
+fn no_fault_ideal_never_faults() {
+    let accesses = vec![Access::write(0, 5); 8];
+    let w = Scripted::new(1, 2, accesses);
+    let m = System::new(SystemConfig {
+        ideal: IdealKnobs {
+            no_local_faults: true,
+            ..Default::default()
+        },
+        ..tiny_cfg()
+    })
+    .run(&w);
+    assert_eq!(m.local_faults, 0);
+    assert_eq!(m.directory.migrations, 0);
+}
+
+#[test]
+fn zero_migration_latency_removes_migration_component() {
+    let accesses = vec![Access::write(0, 20); 6];
+    let w = Scripted::new(1, 2, accesses).with_owners(vec![Some(0)]);
+    let m = System::new(SystemConfig {
+        ideal: IdealKnobs {
+            zero_migration_latency: true,
+            ..Default::default()
+        },
+        ..tiny_cfg()
+    })
+    .run(&w);
+    assert!(m.local_faults > 0, "faults still happen");
+    assert_eq!(m.breakdown.migration, 0, "but cost nothing");
+}
+
+#[test]
+fn transfw_prt_short_circuits_remote_page() {
+    // GPU 0 touches GPU 1's page with Trans-FW: the PRT must bypass the
+    // GMMU walk (the page was never local to GPU 0).
+    let w = Scripted::new(16, 1, vec![Access::read(8, 5)])
+        .with_owners((0..16).map(|_| Some(1)).collect());
+    let cfg = SystemConfig {
+        transfw: Some(TransFwKnobs::full()),
+        ..tiny_cfg()
+    };
+    let m = System::new(cfg).run(&w);
+    assert_eq!(m.transfw.gmmu_bypassed, 1, "PRT miss must short-circuit");
+    assert_eq!(m.local_faults, 0, "no GMMU walk means no local fault event");
+}
+
+#[test]
+fn transfw_prt_lets_local_pages_walk_locally() {
+    let w = Scripted::new(4, 1, vec![Access::read(0, 5)])
+        .with_owners(vec![Some(0); 4]);
+    let cfg = SystemConfig {
+        transfw: Some(TransFwKnobs::full()),
+        ..tiny_cfg()
+    };
+    let m = System::new(cfg).run(&w);
+    assert_eq!(m.transfw.gmmu_bypassed, 0, "local page must not bypass");
+    assert_eq!(m.local_faults, 0);
+}
+
+#[test]
+fn driver_mode_batches_faults() {
+    let accesses = vec![Access::read(0, 5), Access::read(1, 5)];
+    let w = Scripted::new(2, 1, accesses).with_owners(vec![Some(1), Some(1)]);
+    let cfg = SystemConfig {
+        fault_mode: FarFaultMode::UvmDriver,
+        ..tiny_cfg()
+    };
+    let m = System::new(cfg).run(&w);
+    assert!(m.driver_batches >= 1);
+    assert_eq!(m.local_faults, 2);
+    assert_eq!(m.host_walks, 2, "driver-processed faults count as walks");
+}
+
+#[test]
+fn infinite_pwc_walks_are_short_after_warmup() {
+    // Touch 16 pages in the same leaf table twice; with an infinite
+    // PW-cache the second round resumes at level 2 (1 access per walk).
+    let mut accesses: Vec<Access> = (0..16).map(|v| Access::read(v, 2)).collect();
+    accesses.extend((0..16).map(|v| Access::read(v, 2)));
+    let w = Scripted::new(16, 1, accesses).with_owners(vec![Some(0); 16]);
+    let mut cfg = tiny_cfg();
+    cfg.pwc_kind = PwcKind::Infinite;
+    cfg.l1_tlb_entries = 4; // force L1/L2 evictions so walks repeat
+    cfg.l2_tlb_entries = 4;
+    cfg.l2_tlb_assoc = 4;
+    let m = System::new(cfg).run(&w);
+    let per_walk = m.gmmu_walk_accesses as f64 / m.translation_requests.max(1) as f64;
+    assert!(
+        per_walk < 3.0,
+        "infinite PW-cache should shorten walks, got {per_walk} accesses/walk"
+    );
+}
+
+#[test]
+fn large_pages_collapse_vpns() {
+    // 512 distinct 4K pages = one 2 MB page: a single translation request
+    // serves everything after the first fill.
+    let accesses: Vec<Access> = (0..512).map(|v| Access::read(v, 1)).collect();
+    let w = Scripted::new(512, 1, accesses).with_owners(vec![Some(0); 512]);
+    let mut cfg = tiny_cfg();
+    cfg.page_size_bits = 21;
+    let m = System::new(cfg).run(&w);
+    assert_eq!(m.translation_requests, 1, "one 2MB translation");
+    assert_eq!(m.l1_misses, 1);
+}
+
+#[test]
+fn metrics_accumulate_over_both_gpus() {
+    let accesses = vec![Access::read(0, 5), Access::read(1, 5)];
+    let w = Scripted::new(4, 2, accesses).with_owners(vec![Some(0); 4]);
+    let m = System::new(tiny_cfg()).run(&w);
+    // 2 CTAs x 2 accesses.
+    assert_eq!(m.mem_instructions, 4);
+    assert_eq!(m.sharing.page_count(), 2);
+}
+
+#[test]
+fn greedy_cta_placement_fills_gpus_in_blocks() {
+    // 4 CTAs on 2 GPUs: CTAs 0-1 on GPU 0, 2-3 on GPU 1. Each touches its
+    // own page; sharing profile must see each page from exactly one GPU.
+    #[derive(Debug)]
+    struct PerCta;
+    impl Workload for PerCta {
+        fn name(&self) -> &str {
+            "percta"
+        }
+        fn footprint_pages(&self) -> u64 {
+            4
+        }
+        fn cta_count(&self) -> usize {
+            4
+        }
+        fn make_stream(&self, cta: usize, _seed: u64) -> Box<dyn AccessStream> {
+            Box::new(std::iter::once(Access::read(cta as u64, 1)))
+        }
+        fn initial_owner(&self, vpn: u64, _gpus: u16) -> Option<u16> {
+            Some((vpn / 2) as u16)
+        }
+        fn data_cache_hit_rate(&self) -> f64 {
+            0.0
+        }
+    }
+    let m = System::new(tiny_cfg()).run(&PerCta);
+    assert_eq!(m.local_faults, 0, "greedy block placement matches owners");
+    let deg = m.sharing.access_fraction_by_degree(2);
+    assert!((deg[0] - 1.0).abs() < 1e-9, "all accesses private: {deg:?}");
+}
+
+#[test]
+fn config_accessor_reflects_input() {
+    let cfg = tiny_cfg();
+    let sys = System::new(cfg.clone());
+    assert_eq!(sys.config(), &cfg);
+}

@@ -1,0 +1,377 @@
+//! Workload trace capture and replay.
+//!
+//! Research simulators live and die by trace support: this module can
+//! *record* any [`Workload`]'s generated access streams into a portable
+//! text format and *replay* such a file as a workload, so real-application
+//! traces (e.g. captured with a binary-instrumentation tool) can drive the
+//! simulator without writing a generator.
+//!
+//! # Format
+//!
+//! One header line, then one line per access:
+//!
+//! ```text
+//! transfw-trace v1 name=<name> footprint=<pages> ctas=<n>
+//! <cta> <vpn> <r|w> <compute>
+//! ```
+//!
+//! Lines are grouped by CTA in any order; replay preserves per-CTA order.
+//!
+//! # Examples
+//!
+//! ```
+//! use mgpu::trace::{record, TraceWorkload};
+//! use mgpu::workload::{Access, AccessStream, Workload};
+//!
+//! #[derive(Debug)]
+//! struct Two;
+//! impl Workload for Two {
+//!     fn name(&self) -> &str { "two" }
+//!     fn footprint_pages(&self) -> u64 { 4 }
+//!     fn cta_count(&self) -> usize { 1 }
+//!     fn make_stream(&self, _: usize, _: u64) -> Box<dyn AccessStream> {
+//!         Box::new(vec![Access::read(0, 5), Access::write(3, 7)].into_iter())
+//!     }
+//! }
+//!
+//! let text = record(&Two, 42);
+//! let replay = TraceWorkload::parse(&text).unwrap();
+//! assert_eq!(replay.footprint_pages(), 4);
+//! let mut s = replay.make_stream(0, 0);
+//! assert_eq!(s.next_access(), Some(Access::read(0, 5)));
+//! assert_eq!(s.next_access(), Some(Access::write(3, 7)));
+//! assert_eq!(s.next_access(), None);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::workload::{Access, AccessStream, Workload};
+
+/// Serialises every CTA stream of `workload` (generated with `seed`) into
+/// the trace text format.
+pub fn record(workload: &dyn Workload, seed: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "transfw-trace v1 name={} footprint={} ctas={}",
+        workload.name().replace(' ', "_"),
+        workload.footprint_pages(),
+        workload.cta_count()
+    );
+    for cta in 0..workload.cta_count() {
+        let mut stream = workload.make_stream(cta, seed);
+        while let Some(a) = stream.next_access() {
+            let rw = if a.is_write { 'w' } else { 'r' };
+            let _ = writeln!(out, "{cta} {} {rw} {}", a.vpn, a.compute);
+        }
+    }
+    out
+}
+
+/// Error from parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line (0 for the header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
+    ParseTraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// A workload replayed from a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceWorkload {
+    name: String,
+    footprint: u64,
+    streams: Vec<Vec<Access>>,
+}
+
+impl TraceWorkload {
+    /// Parses the trace text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on a malformed header, field, or an
+    /// out-of-range CTA index or VPN.
+    pub fn parse(text: &str) -> Result<Self, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| err(0, "empty trace"))?;
+        let mut name = String::from("trace");
+        let mut footprint: Option<u64> = None;
+        let mut ctas: Option<usize> = None;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("transfw-trace") || parts.next() != Some("v1") {
+            return Err(err(1, "expected `transfw-trace v1` header"));
+        }
+        for kv in parts {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| err(1, format!("bad header field `{kv}`")))?;
+            match k {
+                "name" => name = v.to_string(),
+                "footprint" => {
+                    footprint =
+                        Some(u64::from_str(v).map_err(|e| err(1, format!("footprint: {e}")))?)
+                }
+                "ctas" => {
+                    ctas = Some(usize::from_str(v).map_err(|e| err(1, format!("ctas: {e}")))?)
+                }
+                other => return Err(err(1, format!("unknown header field `{other}`"))),
+            }
+        }
+        let footprint = footprint.ok_or_else(|| err(1, "missing footprint"))?;
+        let ctas = ctas.ok_or_else(|| err(1, "missing ctas"))?;
+        if footprint == 0 || ctas == 0 {
+            return Err(err(1, "footprint and ctas must be positive"));
+        }
+
+        let mut streams: Vec<Vec<Access>> = vec![Vec::new(); ctas];
+        for (i, line) in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let lineno = i + 1;
+            let mut f = line.split_whitespace();
+            let cta: usize = f
+                .next()
+                .ok_or_else(|| err(lineno, "missing cta"))?
+                .parse()
+                .map_err(|e| err(lineno, format!("cta: {e}")))?;
+            let vpn: u64 = f
+                .next()
+                .ok_or_else(|| err(lineno, "missing vpn"))?
+                .parse()
+                .map_err(|e| err(lineno, format!("vpn: {e}")))?;
+            let rw = f.next().ok_or_else(|| err(lineno, "missing r/w flag"))?;
+            let compute: u64 = f
+                .next()
+                .ok_or_else(|| err(lineno, "missing compute"))?
+                .parse()
+                .map_err(|e| err(lineno, format!("compute: {e}")))?;
+            if f.next().is_some() {
+                return Err(err(lineno, "trailing fields"));
+            }
+            if cta >= ctas {
+                return Err(err(lineno, format!("cta {cta} out of range (<{ctas})")));
+            }
+            if vpn >= footprint {
+                return Err(err(lineno, format!("vpn {vpn} outside footprint {footprint}")));
+            }
+            let is_write = match rw {
+                "r" => false,
+                "w" => true,
+                other => return Err(err(lineno, format!("bad r/w flag `{other}`"))),
+            };
+            streams[cta].push(Access {
+                vpn,
+                is_write,
+                compute,
+            });
+        }
+        Ok(Self {
+            name,
+            footprint,
+            streams,
+        })
+    }
+
+    /// Total recorded accesses.
+    pub fn access_count(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    /// Derives a warm placement from the trace itself: each page starts on
+    /// the GPU whose CTAs touch it most (ties to the lowest GPU).
+    pub fn majority_placement(&self, gpus: u16) -> TracePlacement {
+        let ctas = self.streams.len();
+        let mut counts: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (cta, stream) in self.streams.iter().enumerate() {
+            let gpu = cta * gpus as usize / ctas.max(1);
+            for a in stream {
+                counts.entry(a.vpn).or_insert_with(|| vec![0; gpus as usize])[gpu] += 1;
+            }
+        }
+        let owners = counts
+            .into_iter()
+            .map(|(vpn, c)| {
+                let owner = c
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &n)| (n, std::cmp::Reverse(i)))
+                    .map(|(i, _)| i as u16)
+                    .unwrap_or(0);
+                (vpn, owner)
+            })
+            .collect();
+        TracePlacement {
+            trace: self.clone(),
+            owners,
+        }
+    }
+}
+
+impl Workload for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        self.footprint
+    }
+
+    fn cta_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn make_stream(&self, cta: usize, _seed: u64) -> Box<dyn AccessStream> {
+        Box::new(self.streams[cta].clone().into_iter())
+    }
+}
+
+/// A [`TraceWorkload`] with a majority-vote warm placement attached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePlacement {
+    trace: TraceWorkload,
+    owners: HashMap<u64, u16>,
+}
+
+impl Workload for TracePlacement {
+    fn name(&self) -> &str {
+        self.trace.name()
+    }
+
+    fn footprint_pages(&self) -> u64 {
+        self.trace.footprint_pages()
+    }
+
+    fn cta_count(&self) -> usize {
+        self.trace.cta_count()
+    }
+
+    fn make_stream(&self, cta: usize, seed: u64) -> Box<dyn AccessStream> {
+        self.trace.make_stream(cta, seed)
+    }
+
+    fn initial_owner(&self, vpn: u64, gpus: u16) -> Option<u16> {
+        self.owners.get(&vpn).map(|&g| g.min(gpus - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+    use crate::SystemConfig;
+
+    fn sample() -> &'static str {
+        "transfw-trace v1 name=t footprint=8 ctas=2\n\
+         0 0 r 5\n\
+         0 1 w 6\n\
+         1 7 r 9\n"
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let t = TraceWorkload::parse(sample()).unwrap();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.footprint_pages(), 8);
+        assert_eq!(t.cta_count(), 2);
+        assert_eq!(t.access_count(), 3);
+        let mut s = t.make_stream(1, 0);
+        assert_eq!(s.next_access(), Some(Access::read(7, 9)));
+        assert_eq!(s.next_access(), None);
+    }
+
+    #[test]
+    fn record_then_parse_is_identity() {
+        let app = workloads_stub();
+        let text = record(&app, 3);
+        let replay = TraceWorkload::parse(&text).unwrap();
+        assert_eq!(replay.cta_count(), app.cta_count());
+        // Streams are byte-identical when re-recorded.
+        assert_eq!(record(&replay, 0), text);
+    }
+
+    fn workloads_stub() -> TraceWorkload {
+        TraceWorkload::parse(sample()).unwrap()
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "transfw-trace v1 name=t footprint=2 ctas=1\n\n# hi\n0 1 w 3\n";
+        let t = TraceWorkload::parse(text).unwrap();
+        assert_eq!(t.access_count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(TraceWorkload::parse("nope v1\n").is_err());
+        assert!(TraceWorkload::parse("").is_err());
+        let e = TraceWorkload::parse("transfw-trace v1 name=t ctas=1\n").unwrap_err();
+        assert!(e.message.contains("footprint"), "{e}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_fields() {
+        let e = TraceWorkload::parse("transfw-trace v1 name=t footprint=2 ctas=1\n0 5 r 1\n")
+            .unwrap_err();
+        assert!(e.message.contains("outside footprint"), "{e}");
+        let e = TraceWorkload::parse("transfw-trace v1 name=t footprint=2 ctas=1\n3 0 r 1\n")
+            .unwrap_err();
+        assert!(e.message.contains("out of range"), "{e}");
+        let e = TraceWorkload::parse("transfw-trace v1 name=t footprint=2 ctas=1\n0 0 x 1\n")
+            .unwrap_err();
+        assert!(e.message.contains("r/w"), "{e}");
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = TraceWorkload::parse("transfw-trace v1 name=t footprint=2 ctas=1\n0 0 r 1\n0 0 r\n")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn majority_placement_picks_heaviest_gpu() {
+        // CTA 0 -> GPU 0 touches page 0 twice; CTA 1 -> GPU 1 touches it once.
+        let text = "transfw-trace v1 name=t footprint=2 ctas=2\n\
+                    0 0 r 1\n0 0 r 1\n1 0 r 1\n1 1 r 1\n";
+        let t = TraceWorkload::parse(text).unwrap();
+        let placed = t.majority_placement(2);
+        assert_eq!(placed.initial_owner(0, 2), Some(0));
+        assert_eq!(placed.initial_owner(1, 2), Some(1));
+    }
+
+    #[test]
+    fn replayed_trace_drives_the_simulator() {
+        let t = TraceWorkload::parse(sample()).unwrap();
+        let placed = t.majority_placement(2);
+        let cfg = SystemConfig::builder()
+            .gpus(2)
+            .cus_per_gpu(1)
+            .wavefronts_per_cu(1)
+            .build();
+        let m = System::new(cfg).run(&placed);
+        assert_eq!(m.mem_instructions, 3);
+        assert!(m.total_cycles > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The workload abstraction the simulator executes.
+//!
+//! A [`Workload`] is a set of CTAs (thread blocks); each CTA is an
+//! [`AccessStream`] — the sequence of *coalesced* memory instructions its
+//! wavefront issues, each with a compute delay and a page-granule address.
+//! The `workloads` crate implements the paper's ten applications and the ML
+//! models on top of this trait; anything iterable over [`Access`] works too.
+
+use sim_core::Cycle;
+
+/// One coalesced memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Virtual page number at 4 KB granularity.
+    pub vpn: u64,
+    /// Whether the instruction writes the page.
+    pub is_write: bool,
+    /// Compute cycles the wavefront spends before issuing this access.
+    pub compute: Cycle,
+}
+
+impl Access {
+    /// A read access.
+    pub fn read(vpn: u64, compute: Cycle) -> Self {
+        Self {
+            vpn,
+            is_write: false,
+            compute,
+        }
+    }
+
+    /// A write access.
+    pub fn write(vpn: u64, compute: Cycle) -> Self {
+        Self {
+            vpn,
+            is_write: true,
+            compute,
+        }
+    }
+}
+
+/// A CTA's lazily generated instruction stream.
+///
+/// Blanket-implemented for any `Send` iterator of [`Access`]es, so simple
+/// workloads can be written as plain iterators.
+pub trait AccessStream: Send {
+    /// Produces the next memory instruction, or `None` when the CTA retires.
+    fn next_access(&mut self) -> Option<Access>;
+}
+
+impl<I> AccessStream for I
+where
+    I: Iterator<Item = Access> + Send,
+{
+    fn next_access(&mut self) -> Option<Access> {
+        self.next()
+    }
+}
+
+/// A multi-GPU application: footprint, CTA decomposition and per-CTA
+/// streams.
+pub trait Workload: Sync {
+    /// Short name used in reports (e.g. `"MT"`).
+    fn name(&self) -> &str;
+
+    /// Number of distinct 4 KB pages the application touches (VPNs are in
+    /// `0..footprint_pages`).
+    fn footprint_pages(&self) -> u64;
+
+    /// Number of CTAs.
+    fn cta_count(&self) -> usize;
+
+    /// Builds CTA `cta`'s instruction stream. `seed` makes the stream
+    /// deterministic per run.
+    fn make_stream(&self, cta: usize, seed: u64) -> Box<dyn AccessStream>;
+
+    /// Probability that a data access (after translation) hits in the data
+    /// cache hierarchy; tunes compute/memory intensity.
+    fn data_cache_hit_rate(&self) -> f64 {
+        0.5
+    }
+
+    /// Initial owner of a (4 KB-granule) page in a warmed-up system, or
+    /// `None` to start the page cold on the host.
+    ///
+    /// The paper measures steady-state executions where the data already
+    /// lives on the GPUs (PFPKI counts *sharing-induced* faults, not
+    /// first-touch cold faults); returning a placement here reproduces that
+    /// warm state. The default is a cold start.
+    fn initial_owner(&self, _vpn: u64, _gpus: u16) -> Option<u16> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterators_are_streams() {
+        let mut s: Box<dyn AccessStream> =
+            Box::new(vec![Access::read(1, 5), Access::write(2, 6)].into_iter());
+        assert_eq!(s.next_access(), Some(Access::read(1, 5)));
+        let a = s.next_access().unwrap();
+        assert!(a.is_write);
+        assert_eq!(a.vpn, 2);
+        assert_eq!(s.next_access(), None);
+    }
+
+    #[test]
+    fn access_constructors() {
+        let r = Access::read(9, 3);
+        assert!(!r.is_write);
+        assert_eq!((r.vpn, r.compute), (9, 3));
+        let w = Access::write(9, 3);
+        assert!(w.is_write);
+    }
+}

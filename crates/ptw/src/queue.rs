@@ -1,0 +1,287 @@
+//! Page-walk queues and the multi-threaded walker pool.
+
+use std::collections::VecDeque;
+
+use sim_core::stats::LatencyAccumulator;
+use sim_core::Cycle;
+
+/// The PW-queue of Fig. 1: translation requests wait here for a free
+/// page-table-walk thread. The queue records per-request waiting time, the
+/// first latency component the paper identifies (§III-B: 25% of L2 TLB miss
+/// latency on average).
+///
+/// # Examples
+///
+/// ```
+/// use ptw::PwQueue;
+///
+/// let mut q: PwQueue<u32> = PwQueue::new(64);
+/// q.push(17, 100).unwrap();
+/// let (req, waited) = q.pop(250).unwrap();
+/// assert_eq!(req, 17);
+/// assert_eq!(waited, 150);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PwQueue<R> {
+    queue: VecDeque<(R, Cycle)>,
+    capacity: usize,
+    waiting: LatencyAccumulator,
+    rejects: u64,
+    peak: usize,
+}
+
+impl<R> PwQueue<R> {
+    /// Creates a queue with room for `capacity` requests (Table II: 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            queue: VecDeque::new(),
+            capacity,
+            waiting: LatencyAccumulator::new(),
+            rejects: 0,
+            peak: 0,
+        }
+    }
+
+    /// Enqueues a request at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back when the queue is full (the upstream MSHR
+    /// must stall it).
+    pub fn push(&mut self, request: R, now: Cycle) -> Result<(), R> {
+        if self.queue.len() >= self.capacity {
+            self.rejects += 1;
+            return Err(request);
+        }
+        self.queue.push_back((request, now));
+        self.peak = self.peak.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest request at time `now`, recording its wait.
+    pub fn pop(&mut self, now: Cycle) -> Option<(R, Cycle)> {
+        let (request, enqueued) = self.queue.pop_front()?;
+        let waited = now.saturating_sub(enqueued);
+        self.waiting.record(waited);
+        Some((request, waited))
+    }
+
+    /// Removes the first request matching `pred` without accounting a wait
+    /// (used by Trans-FW to cancel a host walk satisfied remotely, §IV-C).
+    pub fn remove_where<F: FnMut(&R) -> bool>(&mut self, mut pred: F) -> Option<R> {
+        let pos = self.queue.iter().position(|(r, _)| pred(r))?;
+        self.queue.remove(pos).map(|(r, _)| r)
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no requests wait.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Largest occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Accumulated waiting-time statistics.
+    pub fn waiting(&self) -> &LatencyAccumulator {
+        &self.waiting
+    }
+
+    /// Requests rejected because the queue was full.
+    pub fn reject_count(&self) -> u64 {
+        self.rejects
+    }
+}
+
+/// The pool of hardware page-table-walk threads (8 in the GMMU, 16 in the
+/// host MMU per Table II). Purely an occupancy tracker; the simulator
+/// schedules completion events.
+///
+/// # Examples
+///
+/// ```
+/// use ptw::WalkerPool;
+///
+/// let mut pool = WalkerPool::new(2);
+/// assert!(pool.try_acquire());
+/// assert!(pool.try_acquire());
+/// assert!(!pool.try_acquire()); // all busy
+/// pool.release();
+/// assert!(pool.try_acquire());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WalkerPool {
+    threads: usize,
+    busy: usize,
+    walks: u64,
+    infinite: bool,
+}
+
+impl WalkerPool {
+    /// Creates a pool with `threads` walkers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        Self {
+            threads,
+            busy: 0,
+            walks: 0,
+            infinite: false,
+        }
+    }
+
+    /// A pool that never runs out of walkers, for the Fig. 4 ideal study.
+    pub fn infinite() -> Self {
+        Self {
+            threads: usize::MAX,
+            busy: 0,
+            walks: 0,
+            infinite: true,
+        }
+    }
+
+    /// Acquires a walker if one is free.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.infinite || self.busy < self.threads {
+            self.busy += 1;
+            self.walks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases a previously acquired walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no walker is busy.
+    pub fn release(&mut self) {
+        assert!(self.busy > 0, "release without acquire");
+        self.busy -= 1;
+    }
+
+    /// Walkers currently busy.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Whether at least one walker is free.
+    pub fn has_free(&self) -> bool {
+        self.infinite || self.busy < self.threads
+    }
+
+    /// Configured thread count (`usize::MAX` for the infinite pool).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total walks started.
+    pub fn walk_count(&self) -> u64 {
+        self.walks
+    }
+}
+
+/// Latency of a walk performing `accesses` serialized memory accesses.
+///
+/// ```
+/// assert_eq!(ptw::queue::walk_latency(5, 100), 500);
+/// ```
+pub fn walk_latency(accesses: u32, per_level: Cycle) -> Cycle {
+    accesses as Cycle * per_level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_fifo_and_wait_accounting() {
+        let mut q: PwQueue<u32> = PwQueue::new(4);
+        q.push(1, 10).unwrap();
+        q.push(2, 20).unwrap();
+        let (r, w) = q.pop(50).unwrap();
+        assert_eq!((r, w), (1, 40));
+        let (r, w) = q.pop(50).unwrap();
+        assert_eq!((r, w), (2, 30));
+        assert_eq!(q.waiting().count(), 2);
+        assert_eq!(q.waiting().total(), 70);
+    }
+
+    #[test]
+    fn queue_rejects_when_full() {
+        let mut q: PwQueue<u32> = PwQueue::new(2);
+        q.push(1, 0).unwrap();
+        q.push(2, 0).unwrap();
+        assert_eq!(q.push(3, 0), Err(3));
+        assert_eq!(q.reject_count(), 1);
+        assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn queue_remove_where() {
+        let mut q: PwQueue<u32> = PwQueue::new(8);
+        q.push(1, 0).unwrap();
+        q.push(2, 0).unwrap();
+        q.push(3, 0).unwrap();
+        assert_eq!(q.remove_where(|&r| r == 2), Some(2));
+        assert_eq!(q.remove_where(|&r| r == 2), None);
+        assert_eq!(q.len(), 2);
+        // FIFO order of remaining preserved.
+        assert_eq!(q.pop(0).unwrap().0, 1);
+        assert_eq!(q.pop(0).unwrap().0, 3);
+    }
+
+    #[test]
+    fn pool_limits_concurrency() {
+        let mut p = WalkerPool::new(3);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        assert!(!p.has_free());
+        p.release();
+        assert!(p.has_free());
+        assert_eq!(p.walk_count(), 3);
+    }
+
+    #[test]
+    fn infinite_pool_never_blocks() {
+        let mut p = WalkerPool::infinite();
+        for _ in 0..10_000 {
+            assert!(p.try_acquire());
+        }
+        assert!(p.has_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn release_without_acquire_panics() {
+        WalkerPool::new(1).release();
+    }
+
+    #[test]
+    fn walk_latency_scales() {
+        assert_eq!(walk_latency(0, 100), 0);
+        assert_eq!(walk_latency(3, 100), 300);
+    }
+}

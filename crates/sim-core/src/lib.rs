@@ -1,0 +1,41 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the building blocks shared by every simulated
+//! component in the Trans-FW reproduction:
+//!
+//! * [`Cycle`] — simulation time, measured in GPU core cycles.
+//! * [`EventQueue`] — a stable (FIFO-on-tie) binary-heap event calendar.
+//! * [`SimRng`] — a small, fast, seedable PRNG (xoshiro256**) so every
+//!   simulation run is reproducible from a single `u64` seed.
+//! * [`stats`] — counters, mean accumulators and power-of-two histograms used
+//!   for the paper's latency-breakdown figures.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_core::{EventQueue, Cycle};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(10, Ev::Pong);
+//! q.push(5, Ev::Ping);
+//! assert_eq!(q.pop(), Some((5, Ev::Ping)));
+//! assert_eq!(q.pop(), Some((10, Ev::Pong)));
+//! assert!(q.is_empty());
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+
+/// Simulation time in cycles.
+///
+/// All component latencies in the simulator (TLB lookups, page-table memory
+/// accesses, interconnect hops) are expressed in this unit; the baseline
+/// clock is the 1.0 GHz CU clock from Table II of the paper.
+pub type Cycle = u64;

@@ -1,0 +1,179 @@
+//! A stable binary-heap event calendar.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// An event calendar ordered by firing time.
+///
+/// Events pushed with the same firing time pop in insertion (FIFO) order,
+/// which keeps simulations deterministic regardless of heap internals.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(3, "c");
+/// q.push(1, "a");
+/// q.push(3, "d"); // same time as "c": FIFO order preserved
+/// assert_eq!(q.pop(), Some((1, "a")));
+/// assert_eq!(q.pop(), Some((3, "c")));
+/// assert_eq!(q.pop(), Some((3, "d")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the calendar holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(5, "x");
+        assert_eq!(q.peek_time(), Some(5));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((5, "x")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EventQueue::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(10, "b");
+        q.push(5, "a");
+        assert_eq!(q.pop(), Some((5, "a")));
+        q.push(7, "a2");
+        q.push(20, "c");
+        assert_eq!(q.pop(), Some((7, "a2")));
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((20, "c")));
+    }
+}

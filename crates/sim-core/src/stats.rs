@@ -1,0 +1,323 @@
+//! Statistics primitives for simulation metrics.
+//!
+//! The paper's figures are built from three kinds of measurements: event
+//! counts (e.g. TLB hits), accumulated latencies attributed to named buckets
+//! (Fig. 3/12), and distributions (queue depths). [`Counter`],
+//! [`LatencyAccumulator`] and [`Histogram`] cover those respectively.
+
+use std::fmt;
+
+use crate::Cycle;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Ratio of two counters, returning 0 for an empty denominator.
+///
+/// ```
+/// assert_eq!(sim_core::stats::ratio(1, 4), 0.25);
+/// assert_eq!(sim_core::stats::ratio(1, 0), 0.0);
+/// ```
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Accumulates total latency and sample count for one named bucket.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::LatencyAccumulator;
+///
+/// let mut acc = LatencyAccumulator::default();
+/// acc.record(100);
+/// acc.record(300);
+/// assert_eq!(acc.total(), 400);
+/// assert_eq!(acc.count(), 2);
+/// assert_eq!(acc.mean(), 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyAccumulator {
+    total: u64,
+    count: u64,
+    max: u64,
+}
+
+impl LatencyAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    #[inline]
+    pub fn record(&mut self, latency: Cycle) {
+        self.total += latency;
+        self.count += 1;
+        self.max = self.max.max(latency);
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        ratio(self.total, self.count)
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &LatencyAccumulator) {
+        self.total += other.total;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A power-of-two bucketed histogram for latencies and queue depths.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)`; bucket 0 covers the value 0..=1.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5);
+/// assert_eq!(h.count(), 3);
+/// assert!(h.mean() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += value;
+        self.count += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        ratio(self.total, self.count)
+    }
+
+    /// Fraction of samples at or below `value`.
+    pub fn fraction_le(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let b = Self::bucket_of(value);
+        let below: u64 = self.buckets.iter().take(b + 1).sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Bucket counts, from smallest values upward.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Computes the arithmetic mean of an `f64` slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Computes the geometric mean of an `f64` slice (0 when empty).
+///
+/// # Panics
+///
+/// Panics if any element is non-positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive inputs, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(2, 8), 0.25);
+    }
+
+    #[test]
+    fn latency_accumulator_tracks_mean_and_max() {
+        let mut a = LatencyAccumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        a.record(10);
+        a.record(30);
+        a.record(20);
+        assert_eq!(a.total(), 60);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 30);
+        assert_eq!(a.mean(), 20.0);
+    }
+
+    #[test]
+    fn latency_accumulator_merge() {
+        let mut a = LatencyAccumulator::new();
+        a.record(10);
+        let mut b = LatencyAccumulator::new();
+        b.record(50);
+        a.merge(&b);
+        assert_eq!(a.total(), 60);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 50);
+    }
+
+    #[test]
+    fn histogram_buckets_are_correct() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 0);
+        assert_eq!(Histogram::bucket_of(2), 1);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 2);
+        assert_eq!(Histogram::bucket_of(5), 3);
+        assert_eq!(Histogram::bucket_of(8), 3);
+        assert_eq!(Histogram::bucket_of(9), 4);
+    }
+
+    #[test]
+    fn histogram_mean_and_fraction() {
+        let mut h = Histogram::new();
+        for v in [1u64, 1, 1, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 25.75).abs() < 1e-9);
+        assert!((h.fraction_le(1) - 0.75).abs() < 1e-9);
+        assert_eq!(h.fraction_le(128), 1.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_values() {
+        let g = geomean(&[2.0, 2.0, 2.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_mixed() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,474 @@
+//! The driver's centralised view of page placement.
+
+use std::collections::HashMap;
+
+use ptw::{GpuId, Location};
+
+/// Page-placement policy (§V-D/E evaluate the last two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPolicy {
+    /// First touch migrates the page into the faulting GPU (default).
+    OnTouch,
+    /// Read faults replicate the page; a write invalidates every replica
+    /// (ESI coherence, §V-D).
+    ReadReplication,
+    /// A far fault maps the page in place; after `migrate_threshold`
+    /// remote accesses the page migrates for real (§V-E).
+    RemoteMapping {
+        /// Remote accesses before the page is promoted to a migration.
+        migrate_threshold: u32,
+    },
+}
+
+/// Authoritative placement state of one page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageState {
+    /// Owner of the authoritative copy.
+    pub home: Location,
+    /// Bitmask of GPUs holding read replicas (replication policy only).
+    pub replicas: u64,
+    /// Bitmask of GPUs holding remote mappings (remote-mapping policy only).
+    pub remote_maps: u64,
+    /// Per-GPU remote-access counters (remote-mapping policy only).
+    pub access_counts: Vec<u32>,
+}
+
+impl PageState {
+    fn new(gpu_count: u16) -> Self {
+        Self {
+            home: Location::Cpu,
+            replicas: 0,
+            remote_maps: 0,
+            access_counts: vec![0; gpu_count as usize],
+        }
+    }
+
+    /// Whether `gpu` holds a resident copy (home or replica).
+    pub fn resident_on(&self, gpu: GpuId) -> bool {
+        self.home == Location::Gpu(gpu) || self.replicas & (1 << gpu) != 0
+    }
+
+    /// Every location holding a resident copy, home first.
+    pub fn holders(&self) -> Vec<Location> {
+        let mut v = vec![self.home];
+        for g in 0..64u16 {
+            if self.replicas & (1 << g) != 0 {
+                v.push(Location::Gpu(g));
+            }
+        }
+        v
+    }
+}
+
+/// What the fault handler decided to do; the simulator turns this into page
+/// transfers, page-table updates, TLB shootdowns and PRT/FT maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The decided action.
+    pub action: FaultAction,
+    /// Where the data is fetched from.
+    pub source: Location,
+    /// GPUs whose local PTE and TLB entries for this page must be shot down.
+    pub invalidations: Vec<GpuId>,
+}
+
+/// The kind of resolution applied to a far fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Page moved into the faulting GPU's memory.
+    Migrate,
+    /// A read replica was created on the faulting GPU.
+    Replicate,
+    /// A PTE pointing at remote memory was created; no data moved.
+    RemoteMap,
+    /// The page was already resident (e.g. a racing fault resolved it).
+    AlreadyResident,
+}
+
+/// Aggregate placement statistics for Figs. 7/23/25.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Pages moved between memories.
+    pub migrations: u64,
+    /// Read replicas created.
+    pub replications: u64,
+    /// Replica invalidations triggered by writes.
+    pub write_invalidations: u64,
+    /// Remote mappings created.
+    pub remote_maps: u64,
+    /// Remote-mapped pages promoted to migrations by the access counter.
+    pub promotions: u64,
+}
+
+/// The centralised page table the UVM driver / host MMU consults: it always
+/// knows where every page's valid copies live (§II-A).
+///
+/// # Examples
+///
+/// ```
+/// use uvm::{PageDirectory, MigrationPolicy};
+/// use ptw::Location;
+///
+/// let mut dir = PageDirectory::new(4, MigrationPolicy::OnTouch);
+/// let out = dir.resolve_fault(42, 1, false);
+/// assert_eq!(out.source, Location::Cpu); // first touch fetches from host
+/// assert_eq!(dir.home(42), Location::Gpu(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageDirectory {
+    gpu_count: u16,
+    policy: MigrationPolicy,
+    pages: HashMap<u64, PageState>,
+    stats: DirectoryStats,
+}
+
+impl PageDirectory {
+    /// Creates a directory for a system of `gpu_count` GPUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero or exceeds 64.
+    pub fn new(gpu_count: u16, policy: MigrationPolicy) -> Self {
+        assert!((1..=64).contains(&gpu_count), "gpu_count must be 1..=64");
+        Self {
+            gpu_count,
+            policy,
+            pages: HashMap::new(),
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> MigrationPolicy {
+        self.policy
+    }
+
+    /// Placement statistics so far.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Current home of `vpn` (CPU for never-touched pages).
+    pub fn home(&self, vpn: u64) -> Location {
+        self.pages.get(&vpn).map_or(Location::Cpu, |p| p.home)
+    }
+
+    /// Whether `gpu` holds a resident copy of `vpn`.
+    pub fn is_resident(&self, vpn: u64, gpu: GpuId) -> bool {
+        self.pages.get(&vpn).is_some_and(|p| p.resident_on(gpu))
+    }
+
+    /// Placement state, if the page was ever touched.
+    pub fn page(&self, vpn: u64) -> Option<&PageState> {
+        self.pages.get(&vpn)
+    }
+
+    /// Directly places a page (initial/warm-up placement): sets the home
+    /// without counting a migration.
+    pub fn place(&mut self, vpn: u64, loc: Location) {
+        let gpu_count = self.gpu_count;
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
+        page.home = loc;
+    }
+
+    /// Registers a remote mapping created outside the fault path (Trans-FW
+    /// remote supply), so a later migration invalidates it.
+    pub fn add_remote_map(&mut self, vpn: u64, gpu: GpuId) {
+        let gpu_count = self.gpu_count;
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
+        page.remote_maps |= 1 << gpu;
+    }
+
+    /// Resolves a far fault raised by `gpu` on `vpn`.
+    ///
+    /// Mutates the authoritative state and returns the actions the memory
+    /// system must carry out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range.
+    pub fn resolve_fault(&mut self, vpn: u64, gpu: GpuId, is_write: bool) -> FaultOutcome {
+        assert!(gpu < self.gpu_count, "gpu {gpu} out of range");
+        let policy = self.policy;
+        let stats = &mut self.stats;
+        let page = {
+            let gpu_count = self.gpu_count;
+            self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count))
+        };
+
+        if page.resident_on(gpu) && !(is_write && page.replicas != 0) {
+            return FaultOutcome {
+                action: FaultAction::AlreadyResident,
+                source: Location::Gpu(gpu),
+                invalidations: Vec::new(),
+            };
+        }
+
+        match policy {
+            MigrationPolicy::OnTouch => {
+                let source = page.home;
+                let mut invalidations: Vec<GpuId> = source.gpu().into_iter().collect();
+                for g in 0..self.gpu_count {
+                    if g != gpu && page.remote_maps & (1 << g) != 0 && Some(g) != source.gpu() {
+                        invalidations.push(g);
+                    }
+                }
+                page.remote_maps &= 1 << gpu;
+                page.home = Location::Gpu(gpu);
+                stats.migrations += 1;
+                FaultOutcome {
+                    action: FaultAction::Migrate,
+                    source,
+                    invalidations,
+                }
+            }
+            MigrationPolicy::ReadReplication => {
+                if is_write {
+                    // Write to a (possibly replicated) page: invalidate every
+                    // other copy, the writer becomes the exclusive owner.
+                    let source = if page.resident_on(gpu) {
+                        Location::Gpu(gpu)
+                    } else {
+                        page.home
+                    };
+                    let mut invalidations: Vec<GpuId> = Vec::new();
+                    if let Some(h) = page.home.gpu() {
+                        if h != gpu {
+                            invalidations.push(h);
+                        }
+                    }
+                    for g in 0..self.gpu_count {
+                        if g != gpu && page.replicas & (1 << g) != 0 {
+                            invalidations.push(g);
+                        }
+                    }
+                    stats.write_invalidations += invalidations.len() as u64;
+                    if source != Location::Gpu(gpu) {
+                        stats.migrations += 1;
+                    }
+                    page.home = Location::Gpu(gpu);
+                    page.replicas = 0;
+                    FaultOutcome {
+                        action: FaultAction::Migrate,
+                        source,
+                        invalidations,
+                    }
+                } else if page.home == Location::Cpu && page.replicas == 0 {
+                    // First touch: plain migration from the host.
+                    page.home = Location::Gpu(gpu);
+                    stats.migrations += 1;
+                    FaultOutcome {
+                        action: FaultAction::Migrate,
+                        source: Location::Cpu,
+                        invalidations: Vec::new(),
+                    }
+                } else {
+                    // Read of a page resident elsewhere: replicate.
+                    let source = page.home;
+                    page.replicas |= 1 << gpu;
+                    stats.replications += 1;
+                    FaultOutcome {
+                        action: FaultAction::Replicate,
+                        source,
+                        invalidations: Vec::new(),
+                    }
+                }
+            }
+            MigrationPolicy::RemoteMapping { .. } => {
+                if page.home == Location::Cpu {
+                    page.home = Location::Gpu(gpu);
+                    stats.migrations += 1;
+                    FaultOutcome {
+                        action: FaultAction::Migrate,
+                        source: Location::Cpu,
+                        invalidations: Vec::new(),
+                    }
+                } else {
+                    let source = page.home;
+                    page.remote_maps |= 1 << gpu;
+                    stats.remote_maps += 1;
+                    FaultOutcome {
+                        action: FaultAction::RemoteMap,
+                        source,
+                        invalidations: Vec::new(),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records one access through a remote mapping; when the access counter
+    /// crosses the policy threshold the page is promoted to a migration and
+    /// the returned outcome lists the mappings to invalidate.
+    ///
+    /// Returns `None` while the page stays put, or under other policies.
+    pub fn record_remote_access(&mut self, vpn: u64, gpu: GpuId) -> Option<FaultOutcome> {
+        let MigrationPolicy::RemoteMapping { migrate_threshold } = self.policy else {
+            return None;
+        };
+        let stats = &mut self.stats;
+        let gpu_count = self.gpu_count;
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
+        if page.home == Location::Gpu(gpu) {
+            return None;
+        }
+        let count = &mut page.access_counts[gpu as usize];
+        *count += 1;
+        if *count < migrate_threshold {
+            return None;
+        }
+        // Promote: migrate the page, invalidate every other mapping.
+        let source = page.home;
+        let mut invalidations: Vec<GpuId> = Vec::new();
+        if let Some(h) = source.gpu() {
+            invalidations.push(h);
+        }
+        for g in 0..gpu_count {
+            if g != gpu && page.remote_maps & (1 << g) != 0 && Some(g) != source.gpu() {
+                invalidations.push(g);
+            }
+        }
+        page.home = Location::Gpu(gpu);
+        page.remote_maps = 0;
+        page.access_counts.fill(0);
+        stats.promotions += 1;
+        stats.migrations += 1;
+        Some(FaultOutcome {
+            action: FaultAction::Migrate,
+            source,
+            invalidations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_touch_first_fault_migrates_from_cpu() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
+        let out = d.resolve_fault(10, 2, false);
+        assert_eq!(out.action, FaultAction::Migrate);
+        assert_eq!(out.source, Location::Cpu);
+        assert!(out.invalidations.is_empty());
+        assert_eq!(d.home(10), Location::Gpu(2));
+        assert!(d.is_resident(10, 2));
+    }
+
+    #[test]
+    fn on_touch_second_gpu_steals_page() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
+        d.resolve_fault(10, 0, false);
+        let out = d.resolve_fault(10, 1, false);
+        assert_eq!(out.source, Location::Gpu(0));
+        assert_eq!(out.invalidations, vec![0]);
+        assert_eq!(d.home(10), Location::Gpu(1));
+        assert!(!d.is_resident(10, 0));
+        assert_eq!(d.stats().migrations, 2);
+    }
+
+    #[test]
+    fn already_resident_fault_is_noop() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
+        d.resolve_fault(10, 0, false);
+        let out = d.resolve_fault(10, 0, true);
+        assert_eq!(out.action, FaultAction::AlreadyResident);
+        assert_eq!(d.stats().migrations, 1);
+    }
+
+    #[test]
+    fn replication_reads_share() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false); // first touch migrates
+        let out = d.resolve_fault(5, 1, false);
+        assert_eq!(out.action, FaultAction::Replicate);
+        assert_eq!(out.source, Location::Gpu(0));
+        assert!(d.is_resident(5, 0));
+        assert!(d.is_resident(5, 1));
+        assert_eq!(d.stats().replications, 1);
+    }
+
+    #[test]
+    fn replication_write_invalidates_all_replicas() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 1, false);
+        d.resolve_fault(5, 2, false);
+        let out = d.resolve_fault(5, 3, true);
+        assert_eq!(out.action, FaultAction::Migrate);
+        let mut inv = out.invalidations.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![0, 1, 2]);
+        assert_eq!(d.home(5), Location::Gpu(3));
+        assert!(!d.is_resident(5, 0));
+        assert_eq!(d.stats().write_invalidations, 3);
+    }
+
+    #[test]
+    fn replication_writer_holding_replica_upgrades() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 1, false); // replica on 1
+        let out = d.resolve_fault(5, 1, true); // 1 writes its replica
+        assert_eq!(out.action, FaultAction::Migrate);
+        assert_eq!(out.source, Location::Gpu(1), "data already local");
+        assert_eq!(out.invalidations, vec![0]);
+        assert_eq!(d.home(5), Location::Gpu(1));
+    }
+
+    #[test]
+    fn remote_mapping_maps_without_moving() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::RemoteMapping { migrate_threshold: 3 });
+        d.resolve_fault(5, 0, false); // first touch migrates from CPU
+        let out = d.resolve_fault(5, 1, false);
+        assert_eq!(out.action, FaultAction::RemoteMap);
+        assert_eq!(out.source, Location::Gpu(0));
+        assert_eq!(d.home(5), Location::Gpu(0), "page did not move");
+        assert_eq!(d.stats().remote_maps, 1);
+    }
+
+    #[test]
+    fn remote_mapping_promotes_after_threshold() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::RemoteMapping { migrate_threshold: 3 });
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 1, false);
+        assert!(d.record_remote_access(5, 1).is_none());
+        assert!(d.record_remote_access(5, 1).is_none());
+        let out = d.record_remote_access(5, 1).expect("third access promotes");
+        assert_eq!(out.action, FaultAction::Migrate);
+        assert_eq!(out.source, Location::Gpu(0));
+        assert_eq!(out.invalidations, vec![0]);
+        assert_eq!(d.home(5), Location::Gpu(1));
+        assert_eq!(d.stats().promotions, 1);
+    }
+
+    #[test]
+    fn remote_access_on_home_gpu_is_ignored() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::RemoteMapping { migrate_threshold: 1 });
+        d.resolve_fault(5, 0, false);
+        assert!(d.record_remote_access(5, 0).is_none());
+    }
+
+    #[test]
+    fn record_remote_access_noop_under_on_touch() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
+        d.resolve_fault(5, 0, false);
+        assert!(d.record_remote_access(5, 1).is_none());
+    }
+
+    #[test]
+    fn holders_lists_home_and_replicas() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 2, false);
+        let holders = d.page(5).unwrap().holders();
+        assert_eq!(holders, vec![Location::Gpu(0), Location::Gpu(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fault_from_unknown_gpu_panics() {
+        PageDirectory::new(2, MigrationPolicy::OnTouch).resolve_fault(0, 5, false);
+    }
+}

@@ -1,0 +1,23 @@
+//! Unified virtual memory (UVM) state machines.
+//!
+//! The UVM driver owns a *centralised page table* that always knows where
+//! every page lives (§II-A). This crate models that authority and the three
+//! page-placement policies the paper evaluates:
+//!
+//! * **on-touch migration** (the default in modern GPUs, §V-E): the first
+//!   access from a GPU migrates the page into its device memory;
+//! * **read replication** (§V-D): read-shared pages are replicated under an
+//!   ESI coherence protocol, writes invalidate all replicas;
+//! * **remote mapping** (§V-E): a far fault first maps the remote page
+//!   without moving it, and per-GPU access counters promote hot pages to a
+//!   real migration.
+//!
+//! It also models the **software UVM-driver far-fault path** (§II-B): a
+//! fault buffer drained in 256-fault batches by driver threads, the
+//! scalability bottleneck that Fig. 2 quantifies.
+
+pub mod directory;
+pub mod driver;
+
+pub use directory::{DirectoryStats, FaultAction, FaultOutcome, MigrationPolicy, PageDirectory, PageState};
+pub use driver::{DriverBatch, DriverConfig, UvmDriver};

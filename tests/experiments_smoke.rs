@@ -1,0 +1,217 @@
+//! Smoke tests for every per-figure experiment harness: each report has
+//! the right shape and finite, sensible values at reduced scale.
+
+use experiments::{Report, RunOpts};
+
+fn opts() -> RunOpts {
+    RunOpts {
+        scale: 0.06,
+        seeds: vec![1],
+    }
+}
+
+fn assert_finite(r: &Report) {
+    for (label, values) in &r.rows {
+        for v in values {
+            assert!(v.is_finite(), "{}: row {label} has {v}", r.title);
+        }
+    }
+}
+
+fn assert_app_rows(r: &Report) {
+    assert_eq!(r.rows.len(), 11, "{}: 10 apps + mean", r.title);
+    assert!(r.rows.iter().any(|(l, _)| l == "MT"), "{}", r.title);
+    assert!(r.rows.last().unwrap().0 == "mean", "{}", r.title);
+    assert_finite(r);
+}
+
+#[test]
+fn table3_reports_pfpki() {
+    let r = experiments::table3::run(&opts());
+    assert_eq!(r.rows.len(), 10);
+    assert_finite(&r);
+    let mt = r.value("MT", 0).unwrap();
+    let aes = r.value("AES", 0).unwrap();
+    assert!(mt > aes, "MT PFPKI ({mt}) must exceed AES ({aes})");
+}
+
+#[test]
+fn fig02_scaling_and_per_app() {
+    let reports = experiments::fig02::run(&opts());
+    assert_eq!(reports.len(), 2);
+    let scaling = &reports[0];
+    assert_eq!(scaling.rows.len(), 4, "4/8/16/32 GPUs");
+    assert_finite(scaling);
+    // Hardware at 4 GPUs is the normalisation point.
+    assert!((scaling.value("4 GPUs", 0).unwrap() - 1.0).abs() < 1e-9);
+    // Software is never faster than hardware.
+    for (label, v) in &scaling.rows {
+        assert!(v[1] >= v[0] * 0.95, "{label}: sw {} vs hw {}", v[1], v[0]);
+    }
+    assert_app_rows(&reports[1]);
+    assert!(reports[1].mean(0).unwrap() >= 1.0, "hw beats sw on average");
+}
+
+#[test]
+fn fig03_fractions_sum_to_one() {
+    let r = experiments::fig03::run(&opts());
+    assert_app_rows(&r);
+    for (label, v) in &r.rows {
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "{label}: fractions sum {sum}");
+    }
+}
+
+#[test]
+fn fig04_ideals_do_not_slow_down() {
+    let r = experiments::fig04::run(&opts());
+    assert_app_rows(&r);
+    // The no-faults ideal (col 3) is the paper's biggest win (2.2x avg).
+    let mean = r.mean(3).unwrap();
+    assert!(mean > 1.0, "eliminating faults must help on average: {mean}");
+}
+
+#[test]
+fn fig05_06_rates_are_probabilities() {
+    for r in experiments::fig05_06::run(&opts()) {
+        assert_app_rows(&r);
+        for (label, v) in &r.rows {
+            for &x in v {
+                assert!((-1e-9..=1.0 + 1e-9).contains(&x), "{label}: {x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fig07_degrees_sum_to_one() {
+    let r = experiments::fig07::run(&opts());
+    assert_app_rows(&r);
+    for (label, v) in &r.rows {
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "{label}: {sum}");
+    }
+    // AES stays private (sharing *degrees* need full-scale access density;
+    // the fig07_sharing bench shows the paper-shaped distribution).
+    assert!(r.value("AES", 0).unwrap() > 0.9);
+}
+
+#[test]
+fn fig08_remote_hits_high() {
+    let r = experiments::fig08::run(&opts());
+    assert_app_rows(&r);
+    let mean = r.mean(0).unwrap();
+    assert!(mean > 0.5, "remote PW-cache hits should be common: {mean}");
+}
+
+#[test]
+fn fig11_headline_speedup() {
+    let r = experiments::fig11::run(&opts());
+    assert_app_rows(&r);
+    let mean = r.mean(0).unwrap();
+    assert!(mean > 1.0, "Trans-FW must win on average: {mean}");
+}
+
+#[test]
+fn fig12_reductions_bounded() {
+    let r = experiments::fig12::run(&opts());
+    assert_app_rows(&r);
+    for (label, v) in &r.rows {
+        for &x in v {
+            assert!((0.0..=1.0).contains(&x), "{label}: reduction {x}");
+        }
+    }
+}
+
+#[test]
+fn fig13_fig14_shapes() {
+    let r = experiments::fig13::run(&opts());
+    assert_app_rows(&r);
+    let r = experiments::fig14::run(&opts());
+    assert_app_rows(&r);
+    for (label, v) in &r.rows {
+        assert!((0.0..=1.0).contains(&v[0]), "{label}: {v:?}");
+    }
+}
+
+#[test]
+fn fig15_fig16_sweeps() {
+    let r = experiments::fig15::run(&opts());
+    assert_app_rows(&r);
+    assert_eq!(r.headers.len(), 4);
+    let r = experiments::fig16::run(&opts());
+    assert_app_rows(&r);
+    assert_eq!(r.headers.len(), 3);
+}
+
+#[test]
+fn fig17_gpu_scaling() {
+    let r = experiments::fig17::run(&opts());
+    assert_app_rows(&r);
+}
+
+#[test]
+fn fig18_more_walkers_help_baseline() {
+    let r = experiments::fig18::run(&opts());
+    assert_eq!(r.rows.len(), 5);
+    assert_finite(&r);
+    let first = r.rows.first().unwrap().1[0];
+    let last = r.rows.last().unwrap().1[0];
+    assert!((first - 1.0).abs() < 1e-9, "(4,8) baseline is the reference");
+    assert!(last >= first, "more walkers must not hurt the baseline");
+}
+
+#[test]
+fn fig19_to_fig27_variants() {
+    for r in [
+        experiments::fig19::run(&opts()),
+        experiments::fig20::run(&opts()),
+        experiments::fig22::run(&opts()),
+        experiments::fig23::run(&opts()),
+        experiments::fig25::run(&opts()),
+        experiments::fig26::run(&opts()),
+        experiments::fig27::run(&opts()),
+    ] {
+        assert_app_rows(&r);
+    }
+}
+
+#[test]
+fn fig21_latency_sweep_declines() {
+    let r = experiments::fig21::run(&opts());
+    assert_eq!(r.rows.len(), 6);
+    assert_finite(&r);
+    let first = r.rows[1].1[0]; // 1x dram
+    let last = r.rows.last().unwrap().1[0]; // 16x dram
+    assert!(
+        last <= first + 0.15,
+        "speedup should not grow with remote latency: {first} -> {last}"
+    );
+}
+
+#[test]
+fn fig24_rw_split() {
+    let r = experiments::fig24::run(&opts());
+    assert_app_rows(&r);
+    let mt_writes = r.value("MT", 1).unwrap();
+    let sc_writes = r.value("SC", 1).unwrap();
+    assert!(
+        mt_writes > sc_writes,
+        "MT must be more write-intensive than SC: {mt_writes} vs {sc_writes}"
+    );
+}
+
+#[test]
+fn fig28_fig29_combinations() {
+    let r = experiments::fig28::run(&opts());
+    assert_app_rows(&r);
+    let r = experiments::fig29::run(&opts());
+    assert_app_rows(&r);
+}
+
+#[test]
+fn fig30_ml_models() {
+    let r = experiments::fig30::run(&opts());
+    assert_eq!(r.rows.len(), 3, "VGG16, ResNet18, mean");
+    assert_finite(&r);
+}
