@@ -48,8 +48,9 @@ fn main() {
     };
 
     type Runner = fn(&RunOpts) -> Vec<Report>;
+    type BoxedRunner = Box<dyn Fn(&RunOpts) -> Vec<Report>>;
     let single = |f: fn(&RunOpts) -> Report| move |o: &RunOpts| vec![f(o)];
-    let experiments_list: Vec<(&str, Box<dyn Fn(&RunOpts) -> Vec<Report>>)> = vec![
+    let experiments_list: Vec<(&str, BoxedRunner)> = vec![
         ("table3", Box::new(single(experiments::table3::run))),
         ("fig02", Box::new(experiments::fig02::run as Runner)),
         ("fig03", Box::new(single(experiments::fig03::run))),

@@ -45,7 +45,9 @@ impl RunOpts {
 /// Runs one workload once with the given configuration and seed.
 pub fn run_one(mut cfg: SystemConfig, workload: &dyn Workload, seed: u64) -> RunMetrics {
     cfg.seed = seed;
-    System::new(cfg).run(workload)
+    System::new(cfg)
+        .run(workload)
+        .expect("experiment run failed a liveness or invariant check")
 }
 
 /// Mean end-to-end cycles over the option's seeds, plus the metrics of the

@@ -16,7 +16,7 @@
 //! use transfw_sim::prelude::*;
 //!
 //! let app = workloads::app("MT").unwrap().scaled(0.05);
-//! let metrics = System::new(SystemConfig::baseline()).run(&app);
+//! let metrics = System::new(SystemConfig::baseline()).run(&app).unwrap();
 //! assert!(metrics.total_cycles > 0);
 //! ```
 
@@ -34,7 +34,10 @@ pub use workloads;
 /// The most common imports for driving the simulator.
 pub mod prelude {
     pub use mgpu::workload::{Access, AccessStream, Workload};
-    pub use mgpu::{RunMetrics, System, SystemConfig, TransFwKnobs};
+    pub use mgpu::{
+        FaultPlan, ResilienceStats, RunMetrics, SimError, System, SystemConfig, TransFwKnobs,
+        WatchdogConfig,
+    };
     pub use transfw::TransFwConfig;
     pub use workloads;
 }

@@ -1,7 +1,42 @@
 //! System configuration (Table II) and experiment knobs.
 
-use sim_core::Cycle;
+use sim_core::{Cycle, FaultPlan};
 use transfw::TransFwConfig;
+
+/// Protocol-watchdog knobs: per-request deadlines with bounded retries, a
+/// final graceful degradation to the ordinary host-walk path, and an
+/// event-loop liveness check. The watchdogs arm only when a fault plan is
+/// active, so fault-free runs stay bit-identical to the unwatched simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Master switch for all protocol watchdogs.
+    pub enabled: bool,
+    /// Cycles a forwarded/remote lookup may stay outstanding before the
+    /// watchdog retries it.
+    pub request_timeout: Cycle,
+    /// Lossy retries before degrading to a reliable direct host walk.
+    pub max_retries: u32,
+    /// Liveness-check period: if outstanding work makes no progress for a
+    /// whole interval the run aborts with [`sim_core::SimError::Livelock`].
+    pub liveness_interval: Cycle,
+    /// Hard cap on simulated cycles (None = unbounded); exceeded caps abort
+    /// with [`sim_core::SimError::CycleCapExceeded`].
+    pub max_cycles: Option<Cycle>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            // Generous relative to a worst-case forwarded walk: two link
+            // crossings (2x150) + a full borrowed walk (5x100) + queueing.
+            request_timeout: 20_000,
+            max_retries: 2,
+            liveness_interval: 1_000_000,
+            max_cycles: None,
+        }
+    }
+}
 
 /// Which page-walk cache organisation to instantiate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +180,10 @@ pub struct SystemConfig {
     /// Least-TLB style redundancy elimination (§V-I): the shared L2 TLBs of
     /// all GPUs act as one distributed TLB, probed before the GMMU.
     pub least_tlb: bool,
+    /// Fault-injection plan ([`FaultPlan::none`] = pristine run).
+    pub faults: FaultPlan,
+    /// Protocol-watchdog and liveness knobs.
+    pub watchdog: WatchdogConfig,
     /// Deterministic simulation seed.
     pub seed: u64,
 }
@@ -185,6 +224,8 @@ impl Default for SystemConfig {
             asap: None,
             ideal: IdealKnobs::default(),
             least_tlb: false,
+            faults: FaultPlan::none(),
+            watchdog: WatchdogConfig::default(),
             seed: 0xBEEF,
         }
     }
@@ -222,11 +263,11 @@ impl SystemConfig {
         assert!(self.cus_per_gpu > 0, "need at least one CU");
         assert!(self.wavefronts_per_cu > 0, "need at least one wavefront");
         assert!(
-            self.l2_tlb_entries % self.l2_tlb_assoc == 0,
+            self.l2_tlb_entries.is_multiple_of(self.l2_tlb_assoc),
             "L2 TLB geometry"
         );
         assert!(
-            self.host_tlb_entries % self.host_tlb_assoc == 0,
+            self.host_tlb_entries.is_multiple_of(self.host_tlb_assoc),
             "host TLB geometry"
         );
         assert!(
@@ -237,6 +278,19 @@ impl SystemConfig {
             self.page_size_bits == 12 || self.page_size_bits == 21,
             "page size must be 4 KB or 2 MB"
         );
+        if let Err(e) = self.faults.validate() {
+            panic!("{e}");
+        }
+        if self.watchdog.enabled {
+            assert!(
+                self.watchdog.request_timeout > 0,
+                "watchdog request_timeout must be positive"
+            );
+            assert!(
+                self.watchdog.liveness_interval > 0,
+                "watchdog liveness_interval must be positive"
+            );
+        }
     }
 
     /// Page size in bytes.
@@ -377,6 +431,14 @@ impl SystemConfigBuilder {
         least_tlb: bool
     );
     setter!(
+        /// Fault-injection plan.
+        faults: FaultPlan
+    );
+    setter!(
+        /// Watchdog knobs.
+        watchdog: WatchdogConfig
+    );
+    setter!(
         /// Simulation seed.
         seed: u64
     );
@@ -457,5 +519,29 @@ mod tests {
     #[should_panic(expected = "L2 TLB geometry")]
     fn bad_tlb_geometry_rejected() {
         SystemConfig::builder().l2_tlb_entries(100).build();
+    }
+
+    #[test]
+    fn default_fault_plan_is_inert_and_watchdogs_on() {
+        let c = SystemConfig::default();
+        assert!(!c.faults.is_active());
+        assert!(c.watchdog.enabled);
+        assert!(c.watchdog.max_cycles.is_none());
+    }
+
+    #[test]
+    fn builder_accepts_fault_plan() {
+        let c = SystemConfig::builder()
+            .faults(FaultPlan::message_loss(7, 0.01))
+            .build();
+        assert!(c.faults.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn invalid_fault_plan_rejected() {
+        let mut plan = FaultPlan::none();
+        plan.message_drop_prob = 1.5;
+        SystemConfig::builder().faults(plan).build();
     }
 }

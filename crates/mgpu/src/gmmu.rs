@@ -2,7 +2,7 @@
 //! walks borrowed by Trans-FW forwarding.
 
 use ptw::Location;
-use sim_core::Cycle;
+use sim_core::{Cycle, SimError};
 
 use crate::request::ReqId;
 use crate::system::{Event, GmmuJob, System, TransEntry};
@@ -21,19 +21,25 @@ impl System {
     }
 
     /// Starts walks while walkers are free and jobs are queued.
-    pub(crate) fn gmmu_dispatch(&mut self, gpu: u16) {
+    pub(crate) fn gmmu_dispatch(&mut self, gpu: u16) -> Result<(), SimError> {
         let now = self.now;
         loop {
             if !self.gpus[gpu as usize].walkers.has_free() {
-                return;
+                return Ok(());
             }
             let Some((job, waited)) = self.gpus[gpu as usize].queue.pop(now) else {
-                return;
+                return Ok(());
             };
-            assert!(self.gpus[gpu as usize].walkers.try_acquire());
+            if !self.gpus[gpu as usize].walkers.try_acquire() {
+                return Err(SimError::Protocol {
+                    cycle: now,
+                    what: format!("GPU{gpu}: free walker vanished during dispatch"),
+                });
+            }
             if !job.remote {
                 self.reqs[job.req].lat.gmmu_queue += waited;
             }
+            let stall = self.injector.walker_stall();
             let vpn = self.reqs[job.req].vpn;
             let levels = self.cfg.page_table_levels;
             let g = &mut self.gpus[gpu as usize];
@@ -43,7 +49,7 @@ impl System {
             if let Some(asap) = g.asap.as_mut() {
                 accesses = asap.effective_accesses(accesses);
             }
-            let walk_cycles = accesses as Cycle * self.cfg.walk_level_latency;
+            let walk_cycles = accesses as Cycle * self.cfg.walk_level_latency + stall;
             // PW-cache refill range: entries for the levels this walk read.
             let start = resume.map_or(levels, |k| k - 1);
             let insert_lo = walk.reached_level.max(2);
@@ -99,7 +105,7 @@ impl System {
             Some(pte) => {
                 let g = self.reqs[req].gpu;
                 let vpn = self.reqs[req].vpn;
-                self.reqs[req].completed = true;
+                self.retire(req);
                 self.complete_translation(
                     g,
                     vpn,
@@ -143,7 +149,10 @@ impl System {
     /// borrow a walker (§IV-C "how to borrow").
     pub(crate) fn remote_walk_arrive(&mut self, gpu: u16, req: ReqId) {
         if self.reqs[req].completed {
-            return; // the host path already satisfied the requester
+            // The host path already satisfied the requester (or this is a
+            // duplicated forward under fault injection).
+            self.note_duplicate();
+            return;
         }
         self.gmmu_enqueue(gpu, GmmuJob { req, remote: true });
     }
@@ -161,7 +170,8 @@ impl System {
         if let Some(pte) = supply {
             let _ = requester;
             let arrival = self.peer_control_arrival(now);
-            self.events.push(
+            self.send_message(
+                req,
                 arrival,
                 Event::RemoteSupply {
                     req,
@@ -176,8 +186,7 @@ impl System {
         }
         let _ = gpu;
         let notify_at = self.cpu_control_arrival(now);
-        self.events
-            .push(notify_at, Event::RemoteNotify { req, success });
+        self.send_message(req, notify_at, Event::RemoteNotify { req, success });
     }
 
     /// The remote GPU's translation reached the requester: install a
@@ -186,12 +195,13 @@ impl System {
     /// migrates via a later host-resolved fault or is evicted.
     pub(crate) fn remote_supply(&mut self, req: ReqId, entry: TransEntry) {
         if self.reqs[req].completed {
+            self.note_duplicate();
             return;
         }
         let g = self.reqs[req].gpu;
         let vpn = self.reqs[req].vpn;
         self.reqs[req].remote_supplied = true;
-        self.reqs[req].completed = true;
+        self.retire(req);
         self.metrics.transfw.remote_supplied += 1;
         self.map_on_gpu(g, vpn, entry.loc);
         self.dir.add_remote_map(vpn, g);
@@ -202,8 +212,21 @@ impl System {
     /// still-queued host walk (reducing PT-walk contention); a failure lets
     /// the host path proceed as if nothing happened.
     pub(crate) fn remote_notify(&mut self, req: ReqId, success: bool) {
+        if self.reqs[req].remote_outcome {
+            // A notification for this request was already processed: this
+            // copy is an injected duplicate (or a retried forward's echo).
+            self.note_duplicate();
+            return;
+        }
+        self.reqs[req].remote_outcome = true;
         if success {
-            if !self.reqs[req].host_walk_started && !self.reqs[req].cancelled {
+            // Never cancel a fallback request: the degraded path must stay
+            // runnable no matter how late a lost-then-retried notification
+            // straggles in.
+            if !self.reqs[req].host_walk_started
+                && !self.reqs[req].cancelled
+                && !self.reqs[req].fallback
+            {
                 self.reqs[req].cancelled = true;
                 self.metrics.transfw.cancelled_host_walks += 1;
             } else if self.reqs[req].host_walk_started {

@@ -2,7 +2,7 @@
 //! path), fault resolution/migration, and the software UVM-driver mode.
 
 use ptw::Location;
-use sim_core::Cycle;
+use sim_core::{Cycle, SimError};
 use uvm::FaultAction;
 
 use crate::request::ReqId;
@@ -44,8 +44,7 @@ impl System {
                 self.reqs[req].forwarded = true;
                 self.metrics.transfw.forwarded += 1;
                 let arrival = self.cpu_control_arrival(now);
-                self.events
-                    .push(arrival, Event::RemoteWalkArrive { gpu: owner, req });
+                self.send_message(req, arrival, Event::RemoteWalkArrive { gpu: owner, req });
             }
         }
 
@@ -61,22 +60,30 @@ impl System {
 
     /// Starts host PT-walks while walkers are free, lazily skipping
     /// requests cancelled by a successful remote lookup.
-    pub(crate) fn host_dispatch(&mut self) {
+    pub(crate) fn host_dispatch(&mut self) -> Result<(), SimError> {
         let now = self.now;
         loop {
             if !self.host.walkers.has_free() {
-                return;
+                return Ok(());
             }
             let Some((req, waited)) = self.host.queue.pop(now) else {
-                return;
+                return Ok(());
             };
             if self.reqs[req].cancelled {
                 continue;
             }
-            assert!(self.host.walkers.try_acquire());
+            if !self.host.walkers.try_acquire() {
+                return Err(SimError::Protocol {
+                    cycle: now,
+                    what: "host: free walker vanished during dispatch".into(),
+                });
+            }
             self.reqs[req].lat.host_queue += waited;
             self.reqs[req].host_walk_started = true;
             self.metrics.host_walks += 1;
+            // Injected slowdowns: DRAM-contention walker stalls and
+            // host-MMU overload bursts.
+            let stall = self.injector.walker_stall() + self.injector.host_burst_penalty(now);
             let vpn = self.reqs[req].vpn;
             let levels = self.cfg.page_table_levels;
             let resume = self.host.pwc.lookup(vpn);
@@ -86,8 +93,9 @@ impl System {
             if let Some(asap) = self.host.asap.as_mut() {
                 accesses = asap.effective_accesses(accesses);
             }
-            let walk_cycles =
-                accesses as Cycle * self.cfg.walk_level_latency + self.cfg.host_fault_overhead;
+            let walk_cycles = accesses as Cycle * self.cfg.walk_level_latency
+                + self.cfg.host_fault_overhead
+                + stall;
             self.metrics.host_walk_accesses += walk.accesses as u64;
             let start = resume.map_or(levels, |k| k - 1);
             self.events.push(
@@ -147,6 +155,8 @@ impl System {
             // page's fingerprint (the tables are masked multisets).
             if self.cfg.policy == uvm::MigrationPolicy::ReadReplication
                 && Some(*v) != outcome.source.gpu()
+                && self.host.ft.is_some()
+                && !self.injector.drop_table_update()
             {
                 if let Some(ft) = self.host.ft.as_mut() {
                     ft.owner_removed(vpn, *v);
@@ -169,10 +179,15 @@ impl System {
             if let Some(pte) = self.host.pt.translate_mut(vpn) {
                 pte.loc = Location::Gpu(g);
             }
-            if let Some(ft) = self.host.ft.as_mut() {
-                ft.page_migrated(vpn, outcome.source.gpu(), g);
+            if self.host.ft.is_some() && !self.injector.drop_table_update() {
+                if let Some(ft) = self.host.ft.as_mut() {
+                    ft.page_migrated(vpn, outcome.source.gpu(), g);
+                }
             }
-        } else if outcome.action == FaultAction::Replicate {
+        } else if outcome.action == FaultAction::Replicate
+            && self.host.ft.is_some()
+            && !self.injector.drop_table_update()
+        {
             if let Some(ft) = self.host.ft.as_mut() {
                 ft.owner_added(vpn, g);
             }
@@ -197,34 +212,45 @@ impl System {
 
     /// The page (or mapping) is in place: install the local PTE, update the
     /// PRT, and reply to the requesting GPU for replay.
-    pub(crate) fn fault_resolved(&mut self, req: ReqId) {
+    pub(crate) fn fault_resolved(&mut self, req: ReqId) -> Result<(), SimError> {
         let now = self.now;
         if self.reqs[req].completed {
-            return; // a remote supply raced ahead; drop the duplicate
+            // A remote supply raced ahead (or a retried resolution already
+            // replied); drop the duplicate.
+            self.note_duplicate();
+            return Ok(());
         }
         let vpn = self.reqs[req].vpn;
         let g = self.reqs[req].gpu;
-        let loc = self.reqs[req].resolved_loc.expect("resolved");
+        let Some(loc) = self.reqs[req].resolved_loc else {
+            return Err(SimError::Protocol {
+                cycle: now,
+                what: format!("req {req} resolved with no location recorded"),
+            });
+        };
         self.map_on_gpu(g, vpn, loc);
         let arrival = self.cpu_control_arrival(now);
         self.reqs[req].lat.network += arrival - now;
-        self.events.push(
+        self.send_message(
+            req,
             arrival,
             Event::Reply {
                 req,
                 entry: TransEntry { ppn: vpn, loc },
             },
         );
+        Ok(())
     }
 
     /// The host's reply reached the requester: replay the translation.
     pub(crate) fn reply(&mut self, req: ReqId, entry: TransEntry) {
         if self.reqs[req].completed {
+            self.note_duplicate();
             return;
         }
         let g = self.reqs[req].gpu;
         let vpn = self.reqs[req].vpn;
-        self.reqs[req].completed = true;
+        self.retire(req);
         // Replay through the L2 pipeline costs one more L2 access.
         self.reqs[req].lat.network += self.cfg.l2_tlb_latency;
         // A host-TLB-hit reply maps the page in place on the requester (the
@@ -263,8 +289,7 @@ impl System {
                 self.reqs[req].forwarded = true;
                 self.metrics.transfw.forwarded += 1;
                 let arrival = self.cpu_control_arrival(now);
-                self.events
-                    .push(arrival, Event::RemoteWalkArrive { gpu: owner, req });
+                self.send_message(req, arrival, Event::RemoteWalkArrive { gpu: owner, req });
             }
         }
 
@@ -287,9 +312,9 @@ impl System {
 
     /// A driver batch completed: resolve every fault in it, then look for
     /// the next batch.
-    pub(crate) fn driver_batch_done(&mut self) {
+    pub(crate) fn driver_batch_done(&mut self) -> Result<(), SimError> {
         let now = self.now;
-        self.driver.finish_batch(now);
+        self.driver.finish_batch(now)?;
         let batch = std::mem::take(&mut self.driver_batch);
         for req in batch {
             if self.reqs[req].cancelled || self.reqs[req].completed {
@@ -301,5 +326,6 @@ impl System {
             self.resolve_fault(req);
         }
         self.events.push(now, Event::DriverCheck);
+        Ok(())
     }
 }

@@ -37,7 +37,7 @@
 //! }
 //!
 //! let cfg = SystemConfig::builder().gpus(2).cus_per_gpu(4).build();
-//! let metrics = System::new(cfg).run(&Seq);
+//! let metrics = System::new(cfg).run(&Seq).unwrap();
 //! assert!(metrics.total_cycles > 0);
 //! assert_eq!(metrics.mem_instructions, 64);
 //! ```
@@ -53,6 +53,10 @@ mod system_tests;
 pub mod trace;
 pub mod workload;
 
-pub use config::{FarFaultMode, IdealKnobs, PwcKind, SystemConfig, SystemConfigBuilder, TransFwKnobs};
-pub use metrics::{LatencyBreakdown, RunMetrics, SharingProfile};
+pub use config::{
+    FarFaultMode, IdealKnobs, PwcKind, SystemConfig, SystemConfigBuilder, TransFwKnobs,
+    WatchdogConfig,
+};
+pub use metrics::{LatencyBreakdown, ResilienceStats, RunMetrics, SharingProfile};
+pub use sim_core::{FaultPlan, SimError};
 pub use system::System;

@@ -191,6 +191,24 @@ impl RemoteProbeStats {
     }
 }
 
+/// Resilience counters: what the protocol watchdogs and the fault injector
+/// did during the run. All-zero on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Remote lookups / forwarded walks whose watchdog deadline fired.
+    pub remote_timeouts: u64,
+    /// Lossy retries issued by the watchdog before degrading.
+    pub retries: u64,
+    /// Requests that degraded to the reliable fallback host-walk path.
+    pub fallback_walks: u64,
+    /// Duplicated protocol messages discarded by idempotence guards.
+    pub duplicates_suppressed: u64,
+    /// Translation requests retired (each exactly once — audited).
+    pub requests_retired: u64,
+    /// Faults actually injected, by kind.
+    pub faults_injected: sim_core::InjectStats,
+}
+
 /// Everything measured by one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct RunMetrics {
@@ -240,6 +258,8 @@ pub struct RunMetrics {
     pub driver_batches: u64,
     /// Peak host PW-queue occupancy.
     pub host_queue_peak: usize,
+    /// Watchdog and fault-injection counters.
+    pub resilience: ResilienceStats,
 }
 
 impl RunMetrics {

@@ -47,6 +47,19 @@ pub struct Req {
     pub cancelled: bool,
     /// The requester received a translation; later arrivals are discarded.
     pub completed: bool,
+    /// The remote-walk outcome notification was processed at the host;
+    /// later copies (injected duplicates, retried forwards) are discarded.
+    pub remote_outcome: bool,
+    /// The watchdog's deadline fired at least once for this request.
+    pub remote_timed_out: bool,
+    /// Lossy retries issued by the watchdog for this request.
+    pub watchdog_retries: u32,
+    /// The request degraded to the reliable fallback host-walk path; all
+    /// subsequent messages for it bypass the fault injector.
+    pub fallback: bool,
+    /// Times the request was retired (delivered a translation to its
+    /// waiters). The auditor requires exactly 1 for every request.
+    pub retire_count: u32,
     /// Cycle the fault reached the host/driver (for queue accounting).
     pub host_submit_time: Cycle,
     /// Per-request latency attribution.
@@ -66,6 +79,11 @@ impl Req {
             host_walk_started: false,
             cancelled: false,
             completed: false,
+            remote_outcome: false,
+            remote_timed_out: false,
+            watchdog_retries: 0,
+            fallback: false,
+            retire_count: 0,
             host_submit_time: 0,
             lat: LatencyBreakdown::default(),
         }
@@ -156,6 +174,9 @@ mod tests {
         assert!(!req.remote_supplied);
         assert!(!req.cancelled);
         assert!(!req.completed);
+        assert!(!req.fallback);
+        assert!(!req.remote_timed_out);
+        assert_eq!(req.retire_count, 0);
         assert_eq!(req.lat.total(), 0);
     }
 

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use interconnect::Fabric;
 use ptw::{Asap, GpuId, InfinitePwc, Location, PageTable, Pte, PwCache, PwQueue, Stc, Utc, WalkerPool};
-use sim_core::{Cycle, EventQueue, SimRng};
+use sim_core::{Cycle, EventQueue, FaultInjector, MessageFate, SimError, SimRng};
 use tlb::{Mshr, MshrOutcome, Tlb};
 use transfw::{ForwardPolicy, Ft, Prt};
 use uvm::{PageDirectory, UvmDriver};
@@ -31,7 +31,7 @@ pub(crate) struct GmmuJob {
     pub remote: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum Event {
     WfStart(WfRef),
     WfMem(WfRef),
@@ -51,6 +51,11 @@ pub(crate) enum Event {
     DriverSubmit { req: ReqId },
     DriverCheck,
     DriverBatchDone,
+    /// Watchdog: deadline for a request that left its GPU over the fabric.
+    /// `attempt` pins the deadline to one send; stale deadlines are ignored.
+    ReqDeadline { req: ReqId, attempt: u32 },
+    /// Watchdog: periodic whole-system progress check.
+    LivenessCheck,
 }
 
 pub(crate) struct Wavefront {
@@ -114,6 +119,13 @@ pub struct System {
     pub(crate) policy: ForwardPolicy,
     pub(crate) rng: SimRng,
     pub(crate) cache_hit_rate: f64,
+    pub(crate) injector: FaultInjector,
+    /// Time of the last non-watchdog event: what `total_cycles` reports, so
+    /// watchdog bookkeeping events never inflate the measured runtime.
+    pub(crate) last_real_event: Cycle,
+    /// Progress snapshot at the previous liveness check:
+    /// `(requests retired, memory instructions, requests created)`.
+    pub(crate) liveness_mark: (u64, u64, u64),
 }
 
 impl System {
@@ -195,6 +207,9 @@ impl System {
             policy,
             rng: SimRng::new(cfg.seed),
             cache_hit_rate: 0.5,
+            injector: FaultInjector::new(cfg.faults.clone()),
+            last_real_event: 0,
+            liveness_mark: (0, 0, 0),
             now: 0,
             events: EventQueue::with_capacity(1 << 14),
             gpus,
@@ -209,9 +224,36 @@ impl System {
     }
 
     /// Runs `workload` to completion and returns the collected metrics.
-    pub fn run(mut self, workload: &dyn Workload) -> RunMetrics {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the run cannot complete soundly: a
+    /// [`SimError::Livelock`] if outstanding work stops making progress for
+    /// a whole liveness interval, [`SimError::CycleCapExceeded`] past
+    /// `watchdog.max_cycles`, a [`SimError::Protocol`] from a handler that
+    /// observed impossible state, or an [`SimError::InvariantViolation`]
+    /// from the post-run auditor.
+    pub fn run(mut self, workload: &dyn Workload) -> Result<RunMetrics, SimError> {
         self.cache_hit_rate = workload.data_cache_hit_rate();
         self.metrics.app = workload.name().to_string();
+
+        // Stale-entry pollution (fault injection): garbage fingerprints the
+        // PRTs and FT accumulated "before" this run's window.
+        if self.injector.plan().table_pollution > 0 {
+            let keys = self.injector.pollution_keys();
+            for gpu in &mut self.gpus {
+                if let Some(prt) = gpu.prt.as_mut() {
+                    for &k in &keys {
+                        prt.page_arrived(k);
+                    }
+                }
+            }
+            if let Some(ft) = self.host.ft.as_mut() {
+                for (i, &k) in keys.iter().enumerate() {
+                    ft.owner_added(k, (i % self.cfg.gpus as usize) as GpuId);
+                }
+            }
+        }
 
         // Centralised page table: every page starts valid on the host, then
         // warm pages move to their initial owner (see
@@ -272,21 +314,49 @@ impl System {
             }
         }
 
+        // Event-loop liveness watchdog: periodic progress checks. The event
+        // is bookkeeping-only (no simulated state, no RNG) and is excluded
+        // from `total_cycles`, so arming it keeps fault-free runs
+        // bit-identical while still catching wedges in every test.
+        if self.cfg.watchdog.enabled {
+            self.events
+                .push(self.cfg.watchdog.liveness_interval, Event::LivenessCheck);
+        }
+
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time moved backwards");
             self.now = t;
-            self.dispatch(ev, workload);
+            if let Some(cap) = self.cfg.watchdog.max_cycles {
+                if t > cap {
+                    return Err(SimError::CycleCapExceeded {
+                        cap,
+                        outstanding: self.outstanding_requests(),
+                    });
+                }
+            }
+            if !matches!(ev, Event::LivenessCheck | Event::ReqDeadline { .. }) {
+                self.last_real_event = t;
+            }
+            self.dispatch(ev, workload)?;
         }
 
         self.finalize()
     }
 
-    fn dispatch(&mut self, ev: Event, workload: &dyn Workload) {
+    /// Translation requests created but not yet retired.
+    fn outstanding_requests(&self) -> u64 {
+        self.reqs.iter().filter(|r| !r.completed).count() as u64
+    }
+
+    fn dispatch(&mut self, ev: Event, workload: &dyn Workload) -> Result<(), SimError> {
         match ev {
             Event::WfStart(wf) => self.wf_start(wf, workload),
             Event::WfMem(wf) => self.wf_mem(wf),
             Event::L2Access(wf) => self.l2_access(wf),
-            Event::GmmuEnqueue { gpu, job } => self.gmmu_enqueue(gpu, job),
+            Event::GmmuEnqueue { gpu, job } => {
+                self.gmmu_enqueue(gpu, job);
+                Ok(())
+            }
             Event::GmmuDispatch { gpu } => self.gmmu_dispatch(gpu),
             Event::GmmuWalkDone {
                 gpu,
@@ -296,30 +366,164 @@ impl System {
                 pte,
                 insert_lo,
                 insert_hi,
-            } => self.gmmu_walk_done(gpu, job, walk_cycles, accesses, pte, insert_lo, insert_hi),
-            Event::HostArrive { req } => self.host_arrive(req),
+            } => {
+                self.gmmu_walk_done(gpu, job, walk_cycles, accesses, pte, insert_lo, insert_hi);
+                Ok(())
+            }
+            Event::HostArrive { req } => {
+                self.host_arrive(req);
+                Ok(())
+            }
             Event::HostDispatch => self.host_dispatch(),
             Event::HostWalkDone {
                 req,
                 walk_cycles,
                 insert_lo,
                 insert_hi,
-            } => self.host_walk_done(req, walk_cycles, insert_lo, insert_hi),
-            Event::RemoteWalkArrive { gpu, req } => self.remote_walk_arrive(gpu, req),
-            Event::RemoteSupply { req, entry } => self.remote_supply(req, entry),
-            Event::RemoteNotify { req, success } => self.remote_notify(req, success),
+            } => {
+                self.host_walk_done(req, walk_cycles, insert_lo, insert_hi);
+                Ok(())
+            }
+            Event::RemoteWalkArrive { gpu, req } => {
+                self.remote_walk_arrive(gpu, req);
+                Ok(())
+            }
+            Event::RemoteSupply { req, entry } => {
+                self.remote_supply(req, entry);
+                Ok(())
+            }
+            Event::RemoteNotify { req, success } => {
+                self.remote_notify(req, success);
+                Ok(())
+            }
             Event::FaultResolved { req } => self.fault_resolved(req),
-            Event::Reply { req, entry } => self.reply(req, entry),
+            Event::Reply { req, entry } => {
+                self.reply(req, entry);
+                Ok(())
+            }
             Event::DataDone(wf) => self.data_done(wf, workload),
-            Event::DriverSubmit { req } => self.driver_submit(req),
-            Event::DriverCheck => self.driver_check(),
+            Event::DriverSubmit { req } => {
+                self.driver_submit(req);
+                Ok(())
+            }
+            Event::DriverCheck => {
+                self.driver_check();
+                Ok(())
+            }
             Event::DriverBatchDone => self.driver_batch_done(),
+            Event::ReqDeadline { req, attempt } => {
+                self.req_deadline(req, attempt);
+                Ok(())
+            }
+            Event::LivenessCheck => self.liveness_check(),
+        }
+    }
+
+    // ----- protocol watchdogs --------------------------------------------
+
+    /// A deadline armed when `req` was sent over the fabric fired. If the
+    /// request is still outstanding and this deadline matches its latest
+    /// send, the watchdog retries (lossy, bounded) and finally degrades to a
+    /// reliable direct host walk — the ordinary path of §II-B, with the
+    /// §IV-C cancellation undone so the fallback cannot be skipped.
+    fn req_deadline(&mut self, req: ReqId, attempt: u32) {
+        if self.reqs[req].completed || self.reqs[req].fallback {
+            return;
+        }
+        if attempt != self.reqs[req].watchdog_retries {
+            return; // stale: a newer send re-armed the deadline
+        }
+        let now = self.now;
+        self.reqs[req].remote_timed_out = true;
+        self.metrics.resilience.remote_timeouts += 1;
+        if attempt < self.cfg.watchdog.max_retries {
+            self.reqs[req].watchdog_retries += 1;
+            self.metrics.resilience.retries += 1;
+            self.reqs[req].cancelled = false;
+            self.send_fault_to_host(req, now);
+        } else {
+            // Graceful degradation: mark the request fallback (all of its
+            // subsequent messages bypass the injector) and hand it straight
+            // to the host MMU.
+            self.reqs[req].fallback = true;
+            self.reqs[req].cancelled = false;
+            self.metrics.resilience.fallback_walks += 1;
+            let arrival = self.cpu_control_arrival(now);
+            self.reqs[req].lat.network += arrival - now;
+            self.events.push(arrival, Event::HostArrive { req });
+        }
+    }
+
+    /// Periodic whole-system progress check: if nothing retired, started or
+    /// executed for an entire interval while requests are outstanding, the
+    /// protocol has wedged (e.g. every copy of a completion message was
+    /// lost and no fallback fired) and the run aborts instead of spinning.
+    fn liveness_check(&mut self) -> Result<(), SimError> {
+        if self.events.is_empty() {
+            return Ok(()); // run drained; nothing left to watch
+        }
+        let mark = (
+            self.metrics.resilience.requests_retired,
+            self.metrics.mem_instructions,
+            self.reqs.len() as u64,
+        );
+        let outstanding = self.outstanding_requests();
+        if mark == self.liveness_mark && outstanding > 0 {
+            return Err(SimError::Livelock {
+                cycle: self.now,
+                outstanding,
+            });
+        }
+        self.liveness_mark = mark;
+        self.events.push(
+            self.now + self.cfg.watchdog.liveness_interval,
+            Event::LivenessCheck,
+        );
+        Ok(())
+    }
+
+    /// Routes one fabric-borne protocol message through the fault injector:
+    /// deliver, drop, delay or duplicate. Fallback requests bypass the
+    /// injector entirely — the degraded path is modelled as reliable, which
+    /// is what guarantees forward progress after the watchdog gives up on
+    /// the lossy fast path.
+    pub(crate) fn send_message(&mut self, req: ReqId, at: Cycle, ev: Event) {
+        if !self.injector.active() || self.reqs[req].fallback {
+            self.events.push(at, ev);
+            return;
+        }
+        match self.injector.message_fate() {
+            MessageFate::Deliver => self.events.push(at, ev),
+            MessageFate::Drop => {}
+            MessageFate::Delay(d) => self.events.push(at + d, ev),
+            MessageFate::Duplicate => {
+                self.events.push(at, ev.clone());
+                self.events.push(at, ev);
+            }
+        }
+    }
+
+    /// Marks `req` retired: its waiters got a translation. The auditor
+    /// checks every request retires exactly once.
+    pub(crate) fn retire(&mut self, req: ReqId) {
+        self.reqs[req].completed = true;
+        self.reqs[req].retire_count += 1;
+        self.metrics.resilience.requests_retired += 1;
+    }
+
+    /// Counts a protocol message discarded by an idempotence guard. Only
+    /// counted under an active plan: the same guards also absorb benign
+    /// races in fault-free runs (remote supply vs. host walk), which are
+    /// not duplicates.
+    pub(crate) fn note_duplicate(&mut self) {
+        if self.injector.active() {
+            self.metrics.resilience.duplicates_suppressed += 1;
         }
     }
 
     // ----- wavefront lifecycle ------------------------------------------
 
-    fn wf_start(&mut self, wf: WfRef, workload: &dyn Workload) {
+    fn wf_start(&mut self, wf: WfRef, workload: &dyn Workload) -> Result<(), SimError> {
         loop {
             let gpu = &mut self.gpus[wf.gpu as usize];
             let slot = &mut gpu.cus[wf.cu as usize].wfs[wf.wf as usize];
@@ -329,15 +533,22 @@ impl System {
                         slot.stream =
                             Some(workload.make_stream(cta, self.cfg.seed ^ (cta as u64) << 1));
                     }
-                    None => return, // wavefront retires
+                    None => return Ok(()), // wavefront retires
                 }
             }
+            let now = self.now;
             let slot = &mut self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize];
-            match slot.stream.as_mut().expect("stream present").next_access() {
+            let Some(stream) = slot.stream.as_mut() else {
+                return Err(SimError::Protocol {
+                    cycle: now,
+                    what: format!("wavefront {wf:?} scheduled without a stream"),
+                });
+            };
+            match stream.next_access() {
                 Some(a) => {
                     slot.pending = Some(a);
                     self.events.push(self.now + a.compute, Event::WfMem(wf));
-                    return;
+                    return Ok(());
                 }
                 None => {
                     slot.stream = None; // CTA retired; pull the next one
@@ -346,10 +557,19 @@ impl System {
         }
     }
 
-    fn wf_mem(&mut self, wf: WfRef) {
-        let a = self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize]
+    /// The pending access of a wavefront slot, as a typed error when the
+    /// slot is empty (a duplicated or misrouted wavefront event).
+    fn pending_access(&self, wf: WfRef) -> Result<Access, SimError> {
+        self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize]
             .pending
-            .expect("pending access");
+            .ok_or_else(|| SimError::Protocol {
+                cycle: self.now,
+                what: format!("wavefront {wf:?} woken with no pending access"),
+            })
+    }
+
+    fn wf_mem(&mut self, wf: WfRef) -> Result<(), SimError> {
+        let a = self.pending_access(wf)?;
         let tvpn = self.cfg.translation_vpn(a.vpn);
         self.metrics.mem_instructions += 1;
         self.metrics.sharing.record(tvpn, wf.gpu, a.is_write);
@@ -368,12 +588,11 @@ impl System {
                 self.events.push(self.now + l1_lat, Event::L2Access(wf));
             }
         }
+        Ok(())
     }
 
-    fn l2_access(&mut self, wf: WfRef) {
-        let a = self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize]
-            .pending
-            .expect("pending access");
+    fn l2_access(&mut self, wf: WfRef) -> Result<(), SimError> {
+        let a = self.pending_access(wf)?;
         let tvpn = self.cfg.translation_vpn(a.vpn);
         let l2_lat = self.cfg.l2_tlb_latency;
         let hit = self.gpus[wf.gpu as usize].l2.lookup(tvpn).copied();
@@ -381,7 +600,7 @@ impl System {
             self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(tvpn, entry);
             let lat = l2_lat + self.data_latency(wf.gpu, tvpn, entry);
             self.events.push(self.now + lat, Event::DataDone(wf));
-            return;
+            return Ok(());
         }
 
         // Least-TLB (§V-I): the GPUs' L2 TLBs behave as one distributed TLB;
@@ -396,7 +615,7 @@ impl System {
                 self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(tvpn, entry);
                 let lat = l2_lat + rtt + self.data_latency(wf.gpu, tvpn, entry);
                 self.events.push(self.now + lat, Event::DataDone(wf));
-                return;
+                return Ok(());
             }
         }
 
@@ -413,6 +632,7 @@ impl System {
                 self.start_translation(req, born);
             }
         }
+        Ok(())
     }
 
     /// Entry point of the translation machinery for a fresh L2 TLB miss:
@@ -451,18 +671,28 @@ impl System {
     }
 
     /// Ships a far fault (or short-circuited request) to the host side.
+    /// The message crosses the fabric, so it is subject to fault injection;
+    /// under an active plan a watchdog deadline is armed for the round trip.
     pub(crate) fn send_fault_to_host(&mut self, req: ReqId, at: Cycle) {
         let arrival = self.cpu_control_arrival(at);
         self.reqs[req].lat.network += arrival - at;
-        match self.cfg.fault_mode {
-            FarFaultMode::HostMmu => self.events.push(arrival, Event::HostArrive { req }),
-            FarFaultMode::UvmDriver => self.events.push(arrival, Event::DriverSubmit { req }),
+        let ev = match self.cfg.fault_mode {
+            FarFaultMode::HostMmu => Event::HostArrive { req },
+            FarFaultMode::UvmDriver => Event::DriverSubmit { req },
+        };
+        self.send_message(req, arrival, ev);
+        if self.injector.active() && self.cfg.watchdog.enabled && !self.reqs[req].fallback {
+            let attempt = self.reqs[req].watchdog_retries;
+            self.events.push(
+                at + self.cfg.watchdog.request_timeout,
+                Event::ReqDeadline { req, attempt },
+            );
         }
     }
 
-    fn data_done(&mut self, wf: WfRef, workload: &dyn Workload) {
+    fn data_done(&mut self, wf: WfRef, workload: &dyn Workload) -> Result<(), SimError> {
         self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize].pending = None;
-        self.wf_start(wf, workload);
+        self.wf_start(wf, workload)
     }
 
     // ----- shared helpers ------------------------------------------------
@@ -509,14 +739,20 @@ impl System {
         if let Some(pte) = self.host.pt.translate_mut(vpn) {
             pte.loc = Location::Gpu(to);
         }
-        if let Some(ft) = self.host.ft.as_mut() {
-            ft.page_migrated(vpn, outcome.source.gpu(), to);
+        // FT maintenance is lossy under a stale-entry fault plan; the
+        // authoritative host PT/TLB updates above never are.
+        if self.host.ft.is_some() && !self.injector.drop_table_update() {
+            if let Some(ft) = self.host.ft.as_mut() {
+                ft.page_migrated(vpn, outcome.source.gpu(), to);
+            }
         }
     }
 
     /// Destroys GPU `g`'s local mapping of `vpn`: page table, PW-cache
     /// levels backing it, L1/L2 TLB shootdowns and PRT update.
     pub(crate) fn unmap_on_gpu(&mut self, g: GpuId, vpn: u64) {
+        let drop_update =
+            self.gpus[g as usize].prt.is_some() && self.injector.drop_table_update();
         let gpu = &mut self.gpus[g as usize];
         if let Some((_, emptied)) = gpu.pt.remove(vpn) {
             for k in emptied {
@@ -530,16 +766,22 @@ impl System {
             cu.l1.invalidate(vpn);
         }
         if let Some(prt) = gpu.prt.as_mut() {
-            prt.page_departed(vpn);
+            if !drop_update {
+                prt.page_departed(vpn);
+            }
         }
     }
 
     /// Creates GPU `g`'s local mapping of `vpn` pointing at `loc`.
     pub(crate) fn map_on_gpu(&mut self, g: GpuId, vpn: u64, loc: Location) {
+        let drop_update =
+            self.gpus[g as usize].prt.is_some() && self.injector.drop_table_update();
         let gpu = &mut self.gpus[g as usize];
         gpu.pt.insert(vpn, Pte::new(vpn, loc));
         if let Some(prt) = gpu.prt.as_mut() {
-            prt.page_arrived(vpn);
+            if !drop_update {
+                prt.page_arrived(vpn);
+            }
         }
     }
 
@@ -555,64 +797,106 @@ impl System {
         }
     }
 
-    /// End-of-run structural invariants: every queue drained, every walker
-    /// released, no coalesced waiter lost, and the Trans-FW tables
-    /// consistent with the page tables they shadow.
+    /// End-of-run structural audit: every queue drained, every walker
+    /// released, no coalesced waiter lost, every translation request retired
+    /// exactly once, the page directory internally consistent, and the
+    /// Trans-FW tables consistent with the page tables they shadow.
     ///
-    /// # Panics
-    ///
-    /// Panics when the simulation reached quiescence in an inconsistent
-    /// state — these would all be lost-wakeup or leaked-resource bugs.
-    fn check_invariants(&mut self) {
+    /// Collects *every* violation (instead of stopping at the first) and
+    /// reports them as one [`SimError::InvariantViolation`]. Runs after
+    /// every simulation, fault-injected or not — these would all be
+    /// lost-wakeup or leaked-resource bugs.
+    fn audit(&mut self) -> Result<(), SimError> {
+        let mut violations: Vec<String> = Vec::new();
         for (g, gpu) in self.gpus.iter().enumerate() {
-            assert_eq!(gpu.walkers.busy(), 0, "GPU{g}: leaked walker");
-            assert!(gpu.queue.is_empty(), "GPU{g}: stuck PW-queue entries");
-            assert!(
-                gpu.mshr.is_empty(),
-                "GPU{g}: lost MSHR waiters (wavefronts never woken)"
-            );
+            if gpu.walkers.busy() != 0 {
+                violations.push(format!("GPU{g}: leaked walker ({} busy)", gpu.walkers.busy()));
+            }
+            if !gpu.queue.is_empty() {
+                violations.push(format!("GPU{g}: stuck PW-queue entries"));
+            }
+            if !gpu.mshr.is_empty() {
+                violations.push(format!("GPU{g}: lost MSHR waiters (wavefronts never woken)"));
+            }
         }
-        assert_eq!(self.host.walkers.busy(), 0, "host: leaked walker");
-        assert!(self.host.queue.is_empty(), "host: stuck PW-queue entries");
-        assert!(!self.driver.is_busy(), "driver: batch never finished");
-        assert_eq!(self.driver.pending_len(), 0, "driver: stranded faults");
+        if self.host.walkers.busy() != 0 {
+            violations.push(format!("host: leaked walker ({} busy)", self.host.walkers.busy()));
+        }
+        if !self.host.queue.is_empty() {
+            violations.push("host: stuck PW-queue entries".into());
+        }
+        if self.driver.is_busy() {
+            violations.push("driver: batch never finished".into());
+        }
+        if self.driver.pending_len() != 0 {
+            violations.push(format!("driver: {} stranded faults", self.driver.pending_len()));
+        }
 
-        // The host's centralised table must agree with the directory.
+        // Request conservation: every translation request retires exactly
+        // once — no stranded waiters, no double completions (the dedup
+        // guards must have absorbed every duplicated message).
+        for (id, req) in self.reqs.iter().enumerate() {
+            if req.retire_count != 1 {
+                violations.push(format!(
+                    "req {id} (vpn {}, gpu {}): retired {} times",
+                    req.vpn, req.gpu, req.retire_count
+                ));
+            }
+        }
+
+        // The host's centralised table must agree with the directory, and
+        // the directory must be self-consistent.
         for vpn in 0..self.host.pt.mapped_pages() as u64 {
             if let Some(pte) = self.host.pt.translate(vpn) {
-                assert_eq!(
-                    pte.loc,
-                    self.dir.home(vpn),
-                    "vpn {vpn}: host PT and directory disagree"
-                );
+                if pte.loc != self.dir.home(vpn) {
+                    violations.push(format!(
+                        "vpn {vpn}: host PT says {:?} but directory says {:?}",
+                        pte.loc,
+                        self.dir.home(vpn)
+                    ));
+                }
             }
+        }
+        if let Err(e) = self.dir.audit() {
+            violations.push(e.to_string());
         }
 
         // PRT: no false negatives beyond the rare fingerprint-collision
-        // deletes the paper's design accepts.
-        for g in 0..self.gpus.len() {
-            let mapped: Vec<u64> = (0..self.host.pt.mapped_pages() as u64)
-                .filter(|&vpn| self.gpus[g].pt.translate(vpn).is_some())
-                .collect();
-            let gpu = &mut self.gpus[g];
-            if let Some(prt) = gpu.prt.as_mut() {
-                let missing = mapped
-                    .iter()
-                    .filter(|&&vpn| !prt.may_be_local(vpn))
-                    .count();
-                let rate = missing as f64 / mapped.len().max(1) as f64;
-                assert!(
-                    rate < 0.01,
-                    "GPU{g}: PRT false-negative rate {rate} over {} pages",
-                    mapped.len()
-                );
+        // deletes the paper's design accepts. A plan that deliberately
+        // corrupts the filters (stale entries, pollution) voids this check
+        // — correctness then rests on the watchdog fallback instead.
+        if !self.injector.plan().perturbs_tables() {
+            for g in 0..self.gpus.len() {
+                let mapped: Vec<u64> = (0..self.host.pt.mapped_pages() as u64)
+                    .filter(|&vpn| self.gpus[g].pt.translate(vpn).is_some())
+                    .collect();
+                let gpu = &mut self.gpus[g];
+                if let Some(prt) = gpu.prt.as_mut() {
+                    let missing = mapped
+                        .iter()
+                        .filter(|&&vpn| !prt.may_be_local(vpn))
+                        .count();
+                    let rate = missing as f64 / mapped.len().max(1) as f64;
+                    if rate >= 0.01 {
+                        violations.push(format!(
+                            "GPU{g}: PRT false-negative rate {rate} over {} pages",
+                            mapped.len()
+                        ));
+                    }
+                }
             }
+        }
+
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::InvariantViolation(violations.join("; ")))
         }
     }
 
-    fn finalize(mut self) -> RunMetrics {
-        self.check_invariants();
-        self.metrics.total_cycles = self.now;
+    fn finalize(mut self) -> Result<RunMetrics, SimError> {
+        self.audit()?;
+        self.metrics.total_cycles = self.last_real_event;
         for gpu in &self.gpus {
             for cu in &gpu.cus {
                 self.metrics.l1_hits += cu.l1.hits();
@@ -636,6 +920,7 @@ impl System {
             self.metrics.breakdown.migration += req.lat.migration;
             self.metrics.breakdown.network += req.lat.network;
         }
-        self.metrics
+        self.metrics.resilience.faults_injected = self.injector.stats();
+        Ok(self.metrics)
     }
 }

@@ -75,7 +75,7 @@ fn single_access_local_page_completes_quickly() {
         vec![Access::read(0, 10)],
     )
     .with_owners(vec![Some(0), Some(0), Some(0), Some(0)]);
-    let m = System::new(tiny_cfg()).run(&w);
+    let m = System::new(tiny_cfg()).run(&w).unwrap();
     assert_eq!(m.mem_instructions, 1);
     assert_eq!(m.local_faults, 0);
     assert_eq!(m.l1_misses, 1);
@@ -93,7 +93,7 @@ fn remote_page_faults_and_migrates() {
     // one migration; the page ends up local.
     let w = Scripted::new(2, 1, vec![Access::read(0, 5)])
         .with_owners(vec![Some(1), Some(1)]);
-    let m = System::new(tiny_cfg()).run(&w);
+    let m = System::new(tiny_cfg()).run(&w).unwrap();
     assert_eq!(m.local_faults, 1);
     assert_eq!(m.directory.migrations, 1);
     assert_eq!(m.host_walks, 1);
@@ -103,7 +103,7 @@ fn remote_page_faults_and_migrates() {
 fn repeated_access_hits_l1_tlb() {
     let accesses = vec![Access::read(0, 5); 10];
     let w = Scripted::new(2, 1, accesses).with_owners(vec![Some(0), Some(0)]);
-    let m = System::new(tiny_cfg()).run(&w);
+    let m = System::new(tiny_cfg()).run(&w).unwrap();
     assert_eq!(m.mem_instructions, 10);
     assert_eq!(m.l1_misses, 1, "only the first access misses");
     assert_eq!(m.l1_hits, 9);
@@ -117,7 +117,7 @@ fn mshr_coalesces_concurrent_misses_to_same_page() {
     // the L2 MSHR, so at most 2 translation requests exist system-wide.
     let w = Scripted::new(2, 3, vec![Access::read(0, 5)])
         .with_owners(vec![Some(1), Some(1)]);
-    let m = System::new(tiny_cfg()).run(&w);
+    let m = System::new(tiny_cfg()).run(&w).unwrap();
     assert_eq!(m.mem_instructions, 3);
     assert!(
         m.translation_requests <= 2,
@@ -132,7 +132,7 @@ fn ping_pong_generates_repeated_faults() {
     // page must bounce at least once each way.
     let accesses = vec![Access::write(0, 50); 8];
     let w = Scripted::new(1, 2, accesses).with_owners(vec![Some(0)]);
-    let m = System::new(tiny_cfg()).run(&w);
+    let m = System::new(tiny_cfg()).run(&w).unwrap();
     assert!(
         m.directory.migrations >= 1,
         "shared writes must migrate the page"
@@ -151,7 +151,7 @@ fn no_fault_ideal_never_faults() {
         },
         ..tiny_cfg()
     })
-    .run(&w);
+    .run(&w).unwrap();
     assert_eq!(m.local_faults, 0);
     assert_eq!(m.directory.migrations, 0);
 }
@@ -167,7 +167,7 @@ fn zero_migration_latency_removes_migration_component() {
         },
         ..tiny_cfg()
     })
-    .run(&w);
+    .run(&w).unwrap();
     assert!(m.local_faults > 0, "faults still happen");
     assert_eq!(m.breakdown.migration, 0, "but cost nothing");
 }
@@ -182,7 +182,7 @@ fn transfw_prt_short_circuits_remote_page() {
         transfw: Some(TransFwKnobs::full()),
         ..tiny_cfg()
     };
-    let m = System::new(cfg).run(&w);
+    let m = System::new(cfg).run(&w).unwrap();
     assert_eq!(m.transfw.gmmu_bypassed, 1, "PRT miss must short-circuit");
     assert_eq!(m.local_faults, 0, "no GMMU walk means no local fault event");
 }
@@ -195,7 +195,7 @@ fn transfw_prt_lets_local_pages_walk_locally() {
         transfw: Some(TransFwKnobs::full()),
         ..tiny_cfg()
     };
-    let m = System::new(cfg).run(&w);
+    let m = System::new(cfg).run(&w).unwrap();
     assert_eq!(m.transfw.gmmu_bypassed, 0, "local page must not bypass");
     assert_eq!(m.local_faults, 0);
 }
@@ -208,7 +208,7 @@ fn driver_mode_batches_faults() {
         fault_mode: FarFaultMode::UvmDriver,
         ..tiny_cfg()
     };
-    let m = System::new(cfg).run(&w);
+    let m = System::new(cfg).run(&w).unwrap();
     assert!(m.driver_batches >= 1);
     assert_eq!(m.local_faults, 2);
     assert_eq!(m.host_walks, 2, "driver-processed faults count as walks");
@@ -226,7 +226,7 @@ fn infinite_pwc_walks_are_short_after_warmup() {
     cfg.l1_tlb_entries = 4; // force L1/L2 evictions so walks repeat
     cfg.l2_tlb_entries = 4;
     cfg.l2_tlb_assoc = 4;
-    let m = System::new(cfg).run(&w);
+    let m = System::new(cfg).run(&w).unwrap();
     let per_walk = m.gmmu_walk_accesses as f64 / m.translation_requests.max(1) as f64;
     assert!(
         per_walk < 3.0,
@@ -242,7 +242,7 @@ fn large_pages_collapse_vpns() {
     let w = Scripted::new(512, 1, accesses).with_owners(vec![Some(0); 512]);
     let mut cfg = tiny_cfg();
     cfg.page_size_bits = 21;
-    let m = System::new(cfg).run(&w);
+    let m = System::new(cfg).run(&w).unwrap();
     assert_eq!(m.translation_requests, 1, "one 2MB translation");
     assert_eq!(m.l1_misses, 1);
 }
@@ -251,7 +251,7 @@ fn large_pages_collapse_vpns() {
 fn metrics_accumulate_over_both_gpus() {
     let accesses = vec![Access::read(0, 5), Access::read(1, 5)];
     let w = Scripted::new(4, 2, accesses).with_owners(vec![Some(0); 4]);
-    let m = System::new(tiny_cfg()).run(&w);
+    let m = System::new(tiny_cfg()).run(&w).unwrap();
     // 2 CTAs x 2 accesses.
     assert_eq!(m.mem_instructions, 4);
     assert_eq!(m.sharing.page_count(), 2);
@@ -283,7 +283,7 @@ fn greedy_cta_placement_fills_gpus_in_blocks() {
             0.0
         }
     }
-    let m = System::new(tiny_cfg()).run(&PerCta);
+    let m = System::new(tiny_cfg()).run(&PerCta).unwrap();
     assert_eq!(m.local_faults, 0, "greedy block placement matches owners");
     let deg = m.sharing.access_fraction_by_degree(2);
     assert!((deg[0] - 1.0).abs() < 1e-9, "all accesses private: {deg:?}");

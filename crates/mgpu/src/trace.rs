@@ -370,7 +370,7 @@ mod tests {
             .cus_per_gpu(1)
             .wavefronts_per_cu(1)
             .build();
-        let m = System::new(cfg).run(&placed);
+        let m = System::new(cfg).run(&placed).unwrap();
         assert_eq!(m.mem_instructions, 3);
         assert!(m.total_cycles > 0);
     }

@@ -1,0 +1,438 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] declares *what* can go wrong — interconnect message
+//! drops/delays/duplication, page-walker stalls, stale PRT/FT filter
+//! entries, host-MMU overload bursts — and a [`FaultInjector`] turns the
+//! plan into concrete, reproducible decisions. The injector owns its own
+//! [`SimRng`] stream (derived from the plan's seed, independent of the
+//! simulator's RNG), so enabling a plan never perturbs the fault-free
+//! random sequence and two runs with the same plan make identical
+//! decisions.
+//!
+//! An empty ([`FaultPlan::none`]) plan makes the injector inert: it draws
+//! no random numbers and injects nothing, which is what keeps fault-free
+//! runs bit-identical to a build without the resilience layer.
+
+use crate::{Cycle, SimRng};
+
+/// Declarative description of the faults to inject into one run.
+///
+/// All probabilities are per-decision in `[0, 1]`; the default plan is
+/// all-zero (no faults).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::fault::{FaultPlan, FaultInjector, MessageFate};
+///
+/// let plan = FaultPlan { message_drop_prob: 1.0, ..FaultPlan::none() };
+/// let mut inj = FaultInjector::new(plan);
+/// assert!(inj.active());
+/// assert_eq!(inj.message_fate(), MessageFate::Drop);
+/// assert_eq!(inj.stats().messages_dropped, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injector's private RNG stream.
+    pub seed: u64,
+    /// Probability a protocol message is silently dropped in the fabric.
+    pub message_drop_prob: f64,
+    /// Probability a protocol message is delayed by [`Self::message_delay_cycles`].
+    pub message_delay_prob: f64,
+    /// Extra latency applied to delayed messages.
+    pub message_delay_cycles: Cycle,
+    /// Probability a protocol message is delivered twice.
+    pub message_duplicate_prob: f64,
+    /// Probability a page-table walk stalls for [`Self::walker_stall_cycles`]
+    /// extra cycles (DRAM contention, ECC retries).
+    pub walker_stall_prob: f64,
+    /// Extra walk latency on a stall.
+    pub walker_stall_cycles: Cycle,
+    /// Probability a PRT/FT maintenance update (page arrival/departure,
+    /// owner change) is lost, leaving a stale filter entry.
+    pub table_update_drop_prob: f64,
+    /// Garbage fingerprints pre-inserted into each PRT and the FT before
+    /// the run: models stale entries accumulated before this run's window
+    /// and, when large, forces the Cuckoo-filter overflow stash into play.
+    pub table_pollution: usize,
+    /// Host-MMU overload bursts: period of the burst cycle (0 disables).
+    pub host_burst_period: Cycle,
+    /// Length of the overloaded window at the start of each period.
+    pub host_burst_len: Cycle,
+    /// Extra host-walk latency while inside a burst window.
+    pub host_burst_extra: Cycle,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> Self {
+        Self {
+            seed: 0xFA_07,
+            message_drop_prob: 0.0,
+            message_delay_prob: 0.0,
+            message_delay_cycles: 0,
+            message_duplicate_prob: 0.0,
+            walker_stall_prob: 0.0,
+            walker_stall_cycles: 0,
+            table_update_drop_prob: 0.0,
+            table_pollution: 0,
+            host_burst_period: 0,
+            host_burst_len: 0,
+            host_burst_extra: 0,
+        }
+    }
+
+    /// A plan that drops `p` of protocol messages (the acceptance scenario:
+    /// `FaultPlan::message_loss(seed, 0.01)` loses 1% of remote-lookup and
+    /// forwarding traffic).
+    pub fn message_loss(seed: u64, p: f64) -> Self {
+        Self { seed, message_drop_prob: p, ..Self::none() }
+    }
+
+    /// A general interconnect-chaos plan: drop, delay and duplicate.
+    pub fn message_chaos(seed: u64, p: f64, delay_cycles: Cycle) -> Self {
+        Self {
+            seed,
+            message_drop_prob: p,
+            message_delay_prob: p,
+            message_delay_cycles: delay_cycles,
+            message_duplicate_prob: p,
+            ..Self::none()
+        }
+    }
+
+    /// Whether any fault can ever be injected under this plan.
+    pub fn is_active(&self) -> bool {
+        self.message_drop_prob > 0.0
+            || self.message_delay_prob > 0.0
+            || self.message_duplicate_prob > 0.0
+            || self.walker_stall_prob > 0.0
+            || self.table_update_drop_prob > 0.0
+            || self.table_pollution > 0
+            || (self.host_burst_period > 0 && self.host_burst_len > 0 && self.host_burst_extra > 0)
+    }
+
+    /// Whether the plan perturbs the PRT/FT filters themselves (stale
+    /// entries or pollution) — consumers relax filter-accuracy invariants
+    /// when this holds.
+    pub fn perturbs_tables(&self) -> bool {
+        self.table_update_drop_prob > 0.0 || self.table_pollution > 0
+    }
+
+    /// Validates the plan's probabilities and burst geometry.
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        for (name, p) in [
+            ("message_drop_prob", self.message_drop_prob),
+            ("message_delay_prob", self.message_delay_prob),
+            ("message_duplicate_prob", self.message_duplicate_prob),
+            ("walker_stall_prob", self.walker_stall_prob),
+            ("table_update_drop_prob", self.table_update_drop_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(crate::SimError::Config(format!("{name} = {p} not in [0, 1]")));
+            }
+        }
+        if self.host_burst_period > 0 && self.host_burst_len > self.host_burst_period {
+            return Err(crate::SimError::Config(format!(
+                "host_burst_len {} exceeds host_burst_period {}",
+                self.host_burst_len, self.host_burst_period
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What the injector decided to do with one protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop.
+    Drop,
+    /// Deliver after the given extra delay.
+    Delay(Cycle),
+    /// Deliver twice (both copies on time).
+    Duplicate,
+}
+
+/// Counts of faults actually injected during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectStats {
+    /// Protocol messages dropped.
+    pub messages_dropped: u64,
+    /// Protocol messages delayed.
+    pub messages_delayed: u64,
+    /// Protocol messages duplicated.
+    pub messages_duplicated: u64,
+    /// Page-table walks stalled.
+    pub walker_stalls: u64,
+    /// PRT/FT maintenance updates lost.
+    pub table_updates_dropped: u64,
+    /// Host walks slowed by an overload burst.
+    pub host_burst_walks: u64,
+}
+
+impl InjectStats {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.messages_dropped
+            + self.messages_delayed
+            + self.messages_duplicated
+            + self.walker_stalls
+            + self.table_updates_dropped
+            + self.host_burst_walks
+    }
+}
+
+/// Deterministic fault source driven by a [`FaultPlan`].
+///
+/// Each decision consumes randomness from a private stream seeded only by
+/// the plan, so the same plan yields the same fault schedule regardless of
+/// what the simulated system does with its own RNG.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    active: bool,
+    rng: SimRng,
+    stats: InjectStats,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let active = plan.is_active();
+        let rng = SimRng::new(plan.seed ^ 0x000F_A017_1EC7);
+        Self { plan, active, rng, stats: InjectStats::default() }
+    }
+
+    /// Whether any fault can ever be injected (false for the empty plan —
+    /// in that case no decision consumes randomness).
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn stats(&self) -> InjectStats {
+        self.stats
+    }
+
+    /// Decides the fate of one protocol message.
+    pub fn message_fate(&mut self) -> MessageFate {
+        if !self.active {
+            return MessageFate::Deliver;
+        }
+        let x = self.rng.gen_f64();
+        let p_drop = self.plan.message_drop_prob;
+        let p_delay = p_drop + self.plan.message_delay_prob;
+        let p_dup = p_delay + self.plan.message_duplicate_prob;
+        if x < p_drop {
+            self.stats.messages_dropped += 1;
+            MessageFate::Drop
+        } else if x < p_delay {
+            self.stats.messages_delayed += 1;
+            MessageFate::Delay(self.plan.message_delay_cycles)
+        } else if x < p_dup {
+            self.stats.messages_duplicated += 1;
+            MessageFate::Duplicate
+        } else {
+            MessageFate::Deliver
+        }
+    }
+
+    /// Extra cycles a page-table walk stalls (0 = no stall).
+    pub fn walker_stall(&mut self) -> Cycle {
+        if self.active
+            && self.plan.walker_stall_prob > 0.0
+            && self.rng.chance(self.plan.walker_stall_prob)
+        {
+            self.stats.walker_stalls += 1;
+            self.plan.walker_stall_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Whether to lose one PRT/FT maintenance update (stale-entry fault).
+    pub fn drop_table_update(&mut self) -> bool {
+        if self.active
+            && self.plan.table_update_drop_prob > 0.0
+            && self.rng.chance(self.plan.table_update_drop_prob)
+        {
+            self.stats.table_updates_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Extra host-walk latency if `now` falls inside an overload burst.
+    pub fn host_burst_penalty(&mut self, now: Cycle) -> Cycle {
+        let p = self.plan.host_burst_period;
+        if self.active && p > 0 && now % p < self.plan.host_burst_len && self.plan.host_burst_extra > 0
+        {
+            self.stats.host_burst_walks += 1;
+            self.plan.host_burst_extra
+        } else {
+            0
+        }
+    }
+
+    /// Deterministic garbage keys to pre-insert into a filter (the
+    /// `table_pollution` fault). Keys are drawn high above any realistic
+    /// workload footprint so they collide with real pages only through
+    /// fingerprint aliasing — exactly the stale-entry behaviour under test.
+    pub fn pollution_keys(&mut self) -> Vec<u64> {
+        let n = self.plan.table_pollution;
+        (0..n).map(|_| (1 << 44) + self.rng.gen_range(1 << 40)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        assert!(!inj.active());
+        let rng_before = format!("{:?}", inj.rng);
+        for _ in 0..100 {
+            assert_eq!(inj.message_fate(), MessageFate::Deliver);
+            assert_eq!(inj.walker_stall(), 0);
+            assert!(!inj.drop_table_update());
+            assert_eq!(inj.host_burst_penalty(12345), 0);
+        }
+        assert_eq!(inj.stats(), InjectStats::default());
+        assert_eq!(format!("{:?}", inj.rng), rng_before, "inert injector draws no randomness");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::message_chaos(99, 0.2, 500);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..1000 {
+            assert_eq!(a.message_fate(), b.message_fate());
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0);
+    }
+
+    #[test]
+    fn drop_probability_is_roughly_respected() {
+        let mut inj = FaultInjector::new(FaultPlan::message_loss(7, 0.1));
+        let n = 100_000;
+        let dropped = (0..n)
+            .filter(|_| inj.message_fate() == MessageFate::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "drop rate {rate}");
+        assert_eq!(inj.stats().messages_dropped, dropped as u64);
+    }
+
+    #[test]
+    fn fates_partition_probability_mass() {
+        let plan = FaultPlan::message_chaos(3, 0.25, 100);
+        let mut inj = FaultInjector::new(plan);
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            match inj.message_fate() {
+                MessageFate::Deliver => counts[0] += 1,
+                MessageFate::Drop => counts[1] += 1,
+                MessageFate::Delay(c) => {
+                    assert_eq!(c, 100);
+                    counts[2] += 1;
+                }
+                MessageFate::Duplicate => counts[3] += 1,
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let rate = c as f64 / 40_000.0;
+            assert!((rate - 0.25).abs() < 0.02, "fate {i} rate {rate}");
+        }
+    }
+
+    #[test]
+    fn walker_stalls_and_table_drops_fire() {
+        let plan = FaultPlan {
+            walker_stall_prob: 0.5,
+            walker_stall_cycles: 200,
+            table_update_drop_prob: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan);
+        let stalls = (0..1000).filter(|_| inj.walker_stall() == 200).count();
+        let drops = (0..1000).filter(|_| inj.drop_table_update()).count();
+        assert!((400..600).contains(&stalls), "{stalls}");
+        assert!((400..600).contains(&drops), "{drops}");
+    }
+
+    #[test]
+    fn burst_windows_are_periodic() {
+        let plan = FaultPlan {
+            host_burst_period: 1000,
+            host_burst_len: 100,
+            host_burst_extra: 50,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.host_burst_penalty(0), 50);
+        assert_eq!(inj.host_burst_penalty(99), 50);
+        assert_eq!(inj.host_burst_penalty(100), 0);
+        assert_eq!(inj.host_burst_penalty(1005), 50);
+        assert_eq!(inj.stats().host_burst_walks, 3);
+    }
+
+    #[test]
+    fn pollution_keys_are_deterministic_and_high() {
+        let plan = FaultPlan { table_pollution: 32, ..FaultPlan::none() };
+        let a = FaultInjector::new(plan.clone()).pollution_keys();
+        let b = FaultInjector::new(plan).pollution_keys();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().all(|&k| k >= 1 << 44));
+    }
+
+    #[test]
+    fn validate_rejects_bad_probabilities() {
+        let plan = FaultPlan { message_drop_prob: 1.5, ..FaultPlan::none() };
+        assert!(plan.validate().is_err());
+        let plan = FaultPlan {
+            host_burst_period: 10,
+            host_burst_len: 20,
+            host_burst_extra: 1,
+            ..FaultPlan::none()
+        };
+        assert!(plan.validate().is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(FaultPlan::message_loss(1, 0.01).validate().is_ok());
+    }
+
+    #[test]
+    fn is_active_covers_every_knob() {
+        assert!(!FaultPlan::none().is_active());
+        assert!(FaultPlan { message_delay_prob: 0.1, ..FaultPlan::none() }.is_active());
+        assert!(FaultPlan { table_pollution: 1, ..FaultPlan::none() }.is_active());
+        let burst = FaultPlan {
+            host_burst_period: 10,
+            host_burst_len: 2,
+            host_burst_extra: 5,
+            ..FaultPlan::none()
+        };
+        assert!(burst.is_active());
+        assert!(burst.validate().is_ok());
+        assert!(!burst.perturbs_tables());
+        assert!(FaultPlan { table_update_drop_prob: 0.1, ..FaultPlan::none() }.perturbs_tables());
+    }
+}

@@ -26,10 +26,14 @@
 //! assert!(q.is_empty());
 //! ```
 
+pub mod error;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use error::SimError;
+pub use fault::{FaultInjector, FaultPlan, InjectStats, MessageFate};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

@@ -62,7 +62,7 @@ impl<V> Tlb<V> {
     pub fn new(entries: usize, assoc: usize, latency: Cycle) -> Self {
         assert!(entries > 0 && assoc > 0, "entries and assoc must be positive");
         assert!(
-            entries % assoc == 0,
+            entries.is_multiple_of(assoc),
             "entries ({entries}) must be a multiple of assoc ({assoc})"
         );
         let set_count = entries / assoc;

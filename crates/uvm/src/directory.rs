@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use ptw::{GpuId, Location};
+use sim_core::SimError;
 
 /// Page-placement policy (§V-D/E evaluate the last two).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,9 +187,37 @@ impl PageDirectory {
     ///
     /// # Panics
     ///
-    /// Panics if `gpu` is out of range.
+    /// Panics if `gpu` is out of range. Event-driven callers that may see
+    /// corrupted fault descriptors should use
+    /// [`try_resolve_fault`](Self::try_resolve_fault) instead.
     pub fn resolve_fault(&mut self, vpn: u64, gpu: GpuId, is_write: bool) -> FaultOutcome {
-        assert!(gpu < self.gpu_count, "gpu {gpu} out of range");
+        self.try_resolve_fault(vpn, gpu, is_write)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`resolve_fault`](Self::resolve_fault): an
+    /// out-of-range `gpu` (a corrupted or misrouted fault descriptor)
+    /// becomes a [`SimError::Protocol`] instead of a panic, and the
+    /// directory state is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] when `gpu >= gpu_count`.
+    pub fn try_resolve_fault(
+        &mut self,
+        vpn: u64,
+        gpu: GpuId,
+        is_write: bool,
+    ) -> Result<FaultOutcome, SimError> {
+        if gpu >= self.gpu_count {
+            return Err(SimError::Protocol {
+                cycle: 0,
+                what: format!(
+                    "fault on vpn {vpn} from gpu {gpu} out of range (gpu_count {})",
+                    self.gpu_count
+                ),
+            });
+        }
         let policy = self.policy;
         let stats = &mut self.stats;
         let page = {
@@ -197,14 +226,14 @@ impl PageDirectory {
         };
 
         if page.resident_on(gpu) && !(is_write && page.replicas != 0) {
-            return FaultOutcome {
+            return Ok(FaultOutcome {
                 action: FaultAction::AlreadyResident,
                 source: Location::Gpu(gpu),
                 invalidations: Vec::new(),
-            };
+            });
         }
 
-        match policy {
+        Ok(match policy {
             MigrationPolicy::OnTouch => {
                 let source = page.home;
                 let mut invalidations: Vec<GpuId> = source.gpu().into_iter().collect();
@@ -294,7 +323,7 @@ impl PageDirectory {
                     }
                 }
             }
-        }
+        })
     }
 
     /// Records one access through a remote mapping; when the access counter
@@ -306,13 +335,18 @@ impl PageDirectory {
         let MigrationPolicy::RemoteMapping { migrate_threshold } = self.policy else {
             return None;
         };
+        // An out-of-range GPU (corrupted descriptor) has no counter slot and
+        // can never be promoted; ignore it rather than index out of bounds.
+        if gpu >= self.gpu_count {
+            return None;
+        }
         let stats = &mut self.stats;
         let gpu_count = self.gpu_count;
         let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
         if page.home == Location::Gpu(gpu) {
             return None;
         }
-        let count = &mut page.access_counts[gpu as usize];
+        let count = page.access_counts.get_mut(gpu as usize)?;
         *count += 1;
         if *count < migrate_threshold {
             return None;
@@ -338,6 +372,59 @@ impl PageDirectory {
             source,
             invalidations,
         })
+    }
+
+    /// Post-run consistency audit: every page's placement state must be
+    /// internally coherent. Run by the system-level invariant auditor after
+    /// each simulation (including fault-injected ones).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvariantViolation`] listing every inconsistent
+    /// page: out-of-range home, replica/remote-map bits beyond `gpu_count`,
+    /// the home GPU listed as its own replica, or a malformed access-counter
+    /// vector.
+    pub fn audit(&self) -> Result<(), SimError> {
+        let mut violations = Vec::new();
+        let live_mask: u64 = if self.gpu_count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.gpu_count) - 1
+        };
+        for (&vpn, page) in &self.pages {
+            if let Location::Gpu(h) = page.home {
+                if h >= self.gpu_count {
+                    violations.push(format!("page {vpn}: home gpu {h} out of range"));
+                }
+                if page.replicas & (1 << h) != 0 {
+                    violations.push(format!("page {vpn}: home gpu {h} listed as replica"));
+                }
+            }
+            if page.replicas & !live_mask != 0 {
+                violations.push(format!(
+                    "page {vpn}: replica mask 0b{:b} names nonexistent GPUs",
+                    page.replicas
+                ));
+            }
+            if page.remote_maps & !live_mask != 0 {
+                violations.push(format!(
+                    "page {vpn}: remote-map mask 0b{:b} names nonexistent GPUs",
+                    page.remote_maps
+                ));
+            }
+            if page.access_counts.len() != self.gpu_count as usize {
+                violations.push(format!(
+                    "page {vpn}: {} access counters for {} GPUs",
+                    page.access_counts.len(),
+                    self.gpu_count
+                ));
+            }
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(SimError::InvariantViolation(violations.join("; ")))
+        }
     }
 }
 
@@ -470,5 +557,52 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn fault_from_unknown_gpu_panics() {
         PageDirectory::new(2, MigrationPolicy::OnTouch).resolve_fault(0, 5, false);
+    }
+
+    #[test]
+    fn try_resolve_rejects_unknown_gpu_without_mutating() {
+        let mut d = PageDirectory::new(2, MigrationPolicy::OnTouch);
+        let err = d.try_resolve_fault(0, 5, false).unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }), "{err}");
+        assert!(d.page(0).is_none(), "rejected fault must not create state");
+        assert_eq!(d.stats().migrations, 0);
+    }
+
+    #[test]
+    fn remote_access_from_unknown_gpu_is_ignored() {
+        let mut d = PageDirectory::new(2, MigrationPolicy::RemoteMapping { migrate_threshold: 1 });
+        d.resolve_fault(5, 0, false);
+        assert!(d.record_remote_access(5, 9).is_none());
+        assert_eq!(d.stats().promotions, 0);
+    }
+
+    #[test]
+    fn audit_accepts_consistent_state() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 1, false);
+        d.resolve_fault(9, 2, true);
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn audit_flags_corrupted_state() {
+        let mut d = PageDirectory::new(2, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        // Corrupt the directory the way a dropped invalidation would:
+        // a replica bit for a GPU that does not exist.
+        d.pages.get_mut(&5).unwrap().replicas = 1 << 7;
+        let err = d.audit().unwrap_err();
+        assert!(matches!(err, SimError::InvariantViolation(_)), "{err}");
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn audit_flags_home_listed_as_replica() {
+        let mut d = PageDirectory::new(2, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        d.pages.get_mut(&5).unwrap().replicas = 1 << 0;
+        let err = d.audit().unwrap_err();
+        assert!(err.to_string().contains("listed as replica"));
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use sim_core::Cycle;
+use sim_core::{Cycle, SimError};
 
 /// Tunable costs of the software fault path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +57,7 @@ pub struct DriverBatch<F> {
 /// let batch = drv.try_start_batch(100).expect("driver idle, work pending");
 /// assert_eq!(batch.faults, vec![7]);
 /// assert!(batch.done_at > 100);
-/// drv.finish_batch(batch.done_at);
+/// drv.finish_batch(batch.done_at).unwrap();
 /// ```
 #[derive(Debug, Clone)]
 pub struct UvmDriver<F> {
@@ -127,12 +127,20 @@ impl<F> UvmDriver<F> {
     /// Marks the in-flight batch complete; the driver may immediately start
     /// the next one via [`try_start_batch`](Self::try_start_batch).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no batch is in flight.
-    pub fn finish_batch(&mut self, _now: Cycle) {
-        assert!(self.busy, "finish_batch without a batch in flight");
+    /// Returns [`SimError::Protocol`] if no batch is in flight — a
+    /// duplicated or spurious batch-completion event must not corrupt the
+    /// driver's serialisation state.
+    pub fn finish_batch(&mut self, now: Cycle) -> Result<(), SimError> {
+        if !self.busy {
+            return Err(SimError::Protocol {
+                cycle: now,
+                what: "finish_batch without a batch in flight".into(),
+            });
+        }
         self.busy = false;
+        Ok(())
     }
 
     /// Whether a batch is currently processing.
@@ -209,7 +217,7 @@ mod tests {
         }
         let b1 = d.try_start_batch(0).unwrap();
         assert!(d.try_start_batch(10).is_none(), "busy driver refuses");
-        d.finish_batch(b1.done_at);
+        d.finish_batch(b1.done_at).unwrap();
         let b2 = d.try_start_batch(b1.done_at).unwrap();
         assert_eq!(b2.faults, vec![4, 5, 6, 7]);
         assert_eq!(d.batch_count(), 2);
@@ -233,9 +241,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "without a batch")]
-    fn finish_without_start_panics() {
-        UvmDriver::<u32>::new(cfg()).finish_batch(0);
+    fn finish_without_start_is_a_protocol_error() {
+        let err = UvmDriver::<u32>::new(cfg()).finish_batch(0).unwrap_err();
+        assert!(matches!(err, SimError::Protocol { .. }), "{err}");
+        assert!(err.to_string().contains("without a batch"));
+    }
+
+    #[test]
+    fn spurious_finish_does_not_corrupt_serialisation() {
+        let mut d: UvmDriver<u32> = UvmDriver::new(cfg());
+        d.submit(1, 0);
+        let b = d.try_start_batch(0).unwrap();
+        assert!(d.finish_batch(b.done_at).is_ok());
+        // A duplicated completion event reports an error but leaves the
+        // driver consistent and able to start new batches.
+        assert!(d.finish_batch(b.done_at + 1).is_err());
+        d.submit(2, b.done_at + 2);
+        assert!(d.try_start_batch(b.done_at + 2).is_some());
     }
 
     #[test]

@@ -95,7 +95,7 @@ fn driver_backlog_drains_in_arrival_order() {
     while let Some(batch) = drv.try_start_batch(now) {
         now = batch.done_at;
         order.extend(batch.faults);
-        drv.finish_batch(now);
+        drv.finish_batch(now).unwrap();
     }
     assert_eq!(order, (0..8).collect::<Vec<_>>());
     assert_eq!(drv.batch_count(), 3);

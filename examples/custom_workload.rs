@@ -100,8 +100,8 @@ fn main() {
             policy,
             ..SystemConfig::with_transfw()
         };
-        let base = System::new(base_cfg).run(&app);
-        let tfw = System::new(tfw_cfg).run(&app);
+        let base = System::new(base_cfg).run(&app).unwrap();
+        let tfw = System::new(tfw_cfg).run(&app).unwrap();
         println!(
             "{label:16} | {:>15} | {:>15} | {:>6.3}x | {}/{}",
             base.total_cycles,

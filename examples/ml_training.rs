@@ -18,13 +18,13 @@ fn main() {
 
     for model in [workloads::vgg16().scaled(scale), workloads::resnet18().scaled(scale)] {
         println!("=== {} (data-parallel, 4 GPUs) ===", model.name);
-        let base = System::new(SystemConfig::baseline()).run(&model);
-        let tfw = System::new(SystemConfig::with_transfw()).run(&model);
+        let base = System::new(SystemConfig::baseline()).run(&model).unwrap();
+        let tfw = System::new(SystemConfig::with_transfw()).run(&model).unwrap();
         let repl_cfg = SystemConfig {
             policy: MigrationPolicy::ReadReplication,
             ..SystemConfig::with_transfw()
         };
-        let tfw_repl = System::new(repl_cfg).run(&model);
+        let tfw_repl = System::new(repl_cfg).run(&model).unwrap();
 
         println!("  baseline          : {:>12} cycles ({} faults)", base.total_cycles, base.local_faults);
         println!(

@@ -21,7 +21,7 @@ fn main() {
     println!("--------+-------------------------------------+--------+-------------------------------");
     for spec in workloads::all_apps() {
         let app = spec.scaled(scale);
-        let m = System::new(SystemConfig::baseline()).run(&app);
+        let m = System::new(SystemConfig::baseline()).run(&app).unwrap();
         let deg = m.sharing.access_fraction_by_degree(4);
         let fault_share = sim_core::stats::ratio(m.breakdown.fault_total(), m.breakdown.total());
         println!(

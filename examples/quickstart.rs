@@ -23,8 +23,8 @@ fn main() {
 
     println!("running {} at scale {scale} on the Table II 4-GPU system…", app.name);
 
-    let baseline = System::new(SystemConfig::baseline()).run(&app);
-    let transfw = System::new(SystemConfig::with_transfw()).run(&app);
+    let baseline = System::new(SystemConfig::baseline()).run(&app).unwrap();
+    let transfw = System::new(SystemConfig::with_transfw()).run(&app).unwrap();
 
     println!();
     println!("                        baseline      Trans-FW");

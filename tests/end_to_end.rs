@@ -6,7 +6,7 @@ use transfw_sim::prelude::*;
 const SCALE: f64 = 0.1;
 
 fn run(cfg: SystemConfig, app: &dyn Workload) -> RunMetrics {
-    System::new(cfg).run(app)
+    System::new(cfg).run(app).unwrap()
 }
 
 #[test]

@@ -7,7 +7,7 @@ use transfw_sim::uvm::MigrationPolicy;
 const SCALE: f64 = 0.1;
 
 fn run_with(policy: MigrationPolicy, app: &dyn Workload) -> RunMetrics {
-    System::new(SystemConfig { policy, ..SystemConfig::baseline() }).run(app)
+    System::new(SystemConfig { policy, ..SystemConfig::baseline() }).run(app).unwrap()
 }
 
 #[test]
@@ -88,13 +88,13 @@ fn remote_mapping_promotes_hot_pages() {
 #[test]
 fn software_driver_is_slower_than_host_mmu() {
     let app = workloads::app("MT").unwrap().scaled(SCALE);
-    let hw = System::new(SystemConfig::baseline()).run(&app);
+    let hw = System::new(SystemConfig::baseline()).run(&app).unwrap();
     let sw = System::new(
         SystemConfig::builder()
             .fault_mode(mgpu::FarFaultMode::UvmDriver)
             .build(),
     )
-    .run(&app);
+    .run(&app).unwrap();
     assert!(sw.driver_batches > 0, "driver must process batches");
     assert!(
         sw.total_cycles > hw.total_cycles,
@@ -112,14 +112,14 @@ fn transfw_helps_on_driver_mode_too() {
             .fault_mode(mgpu::FarFaultMode::UvmDriver)
             .build(),
     )
-    .run(&app);
+    .run(&app).unwrap();
     let tfw = System::new(SystemConfig {
         transfw: Some(TransFwKnobs::full()),
         ..SystemConfig::builder()
             .fault_mode(mgpu::FarFaultMode::UvmDriver)
             .build()
     })
-    .run(&app);
+    .run(&app).unwrap();
     assert!(
         tfw.speedup_vs(&base) > 1.05,
         "Fig. 26: Trans-FW must help driver mode, got {}",
@@ -132,14 +132,14 @@ fn driver_scaling_degrades_with_gpu_count() {
     // Fig. 2(a): the software/hardware gap widens with more GPUs.
     let app = workloads::app("PR").unwrap().scaled(SCALE);
     let gap = |gpus: u16| {
-        let hw = System::new(SystemConfig::builder().gpus(gpus).build()).run(&app);
+        let hw = System::new(SystemConfig::builder().gpus(gpus).build()).run(&app).unwrap();
         let sw = System::new(
             SystemConfig::builder()
                 .gpus(gpus)
                 .fault_mode(mgpu::FarFaultMode::UvmDriver)
                 .build(),
         )
-        .run(&app);
+        .run(&app).unwrap();
         sw.total_cycles as f64 / hw.total_cycles as f64
     };
     let g4 = gap(4);
@@ -153,8 +153,8 @@ fn driver_scaling_degrades_with_gpu_count() {
 #[test]
 fn stc_pwcache_works_end_to_end() {
     let app = workloads::app("KM").unwrap().scaled(SCALE);
-    let utc = System::new(SystemConfig::baseline()).run(&app);
-    let stc = System::new(SystemConfig::builder().pwc_kind(mgpu::PwcKind::Stc).build()).run(&app);
+    let utc = System::new(SystemConfig::baseline()).run(&app).unwrap();
+    let stc = System::new(SystemConfig::builder().pwc_kind(mgpu::PwcKind::Stc).build()).run(&app).unwrap();
     assert!(stc.total_cycles > 0);
     // Both organisations should be in the same performance ballpark.
     let ratio = stc.total_cycles as f64 / utc.total_cycles as f64;
@@ -164,8 +164,8 @@ fn stc_pwcache_works_end_to_end() {
 #[test]
 fn asap_reduces_walk_cycles() {
     let app = workloads::app("PR").unwrap().scaled(SCALE);
-    let base = System::new(SystemConfig::baseline()).run(&app);
-    let asap = System::new(SystemConfig::builder().asap(Some(1.0)).build()).run(&app);
+    let base = System::new(SystemConfig::baseline()).run(&app).unwrap();
+    let asap = System::new(SystemConfig::builder().asap(Some(1.0)).build()).run(&app).unwrap();
     // With perfect ASAP, walk latency collapses to ~1 access per walk.
     assert!(
         asap.breakdown.host_walk < base.breakdown.host_walk,
@@ -178,8 +178,8 @@ fn asap_reduces_walk_cycles() {
 #[test]
 fn least_tlb_adds_remote_tlb_hits() {
     let app = workloads::app("KM").unwrap().scaled(SCALE);
-    let base = System::new(SystemConfig::baseline()).run(&app);
-    let least = System::new(SystemConfig::builder().least_tlb(true).build()).run(&app);
+    let base = System::new(SystemConfig::baseline()).run(&app).unwrap();
+    let least = System::new(SystemConfig::builder().least_tlb(true).build()).run(&app).unwrap();
     // Remote L2 probes satisfy some misses before they become walks.
     assert!(
         least.translation_requests <= base.translation_requests,

@@ -1,20 +1,27 @@
-//! Property-based tests on the core data structures and their invariants.
+//! Randomized model-checking tests on the core data structures and their
+//! invariants, driven by the deterministic [`SimRng`] (the external
+//! `proptest` crate is unavailable offline; these keep the same properties
+//! with seeded exploration over many generated cases).
 
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 use transfw_sim::cuckoo::CuckooFilter;
 use transfw_sim::mgpu::metrics::SharingProfile;
 use transfw_sim::ptw::{Location, PageTable, Pte};
-use transfw_sim::sim_core::EventQueue;
+use transfw_sim::sim_core::{EventQueue, SimRng};
 use transfw_sim::tlb::{Mshr, MshrOutcome, Tlb};
 use transfw_sim::uvm::{MigrationPolicy, PageDirectory};
 
-proptest! {
-    /// The event queue pops events in nondecreasing time order and returns
-    /// exactly the pushed multiset.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 0..200)) {
+const CASES: u64 = 64;
+
+/// The event queue pops events in nondecreasing time order and returns
+/// exactly the pushed multiset, FIFO on ties.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x0E11 ^ case);
+        let n = rng.gen_index(200);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(t, i);
@@ -22,53 +29,61 @@ proptest! {
         let mut popped = Vec::new();
         let mut last = 0u64;
         while let Some((t, i)) = q.pop() {
-            prop_assert!(t >= last, "time went backwards");
+            assert!(t >= last, "time went backwards");
             last = t;
             popped.push((t, i));
         }
-        prop_assert_eq!(popped.len(), times.len());
-        // Ties pop in insertion order.
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO violated on tie");
+                assert!(w[0].1 < w[1].1, "FIFO violated on tie");
             }
         }
     }
+}
 
-    /// A cuckoo filter never yields a false negative under any interleaving
-    /// of inserts and deletes, and counts its content exactly.
-    #[test]
-    fn cuckoo_no_false_negatives(ops in prop::collection::vec((0u64..500, prop::bool::ANY), 0..300)) {
+/// A cuckoo filter never yields a false negative under any interleaving of
+/// inserts and deletes, and counts its content exactly.
+#[test]
+fn cuckoo_no_false_negatives() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xC0C0 ^ case);
         let mut filter = CuckooFilter::new(64, 4, 12);
         let mut model: HashMap<u64, u32> = HashMap::new();
-        for (key, insert) in ops {
-            if insert {
+        for _ in 0..rng.gen_index(300) {
+            let key = rng.gen_range(500);
+            if rng.chance(0.5) {
                 let _ = filter.insert(key);
                 *model.entry(key).or_insert(0) += 1;
             } else if model.get(&key).copied().unwrap_or(0) > 0 {
-                prop_assert!(filter.remove(key), "present key must be removable");
+                assert!(filter.remove(key), "present key must be removable");
                 *model.get_mut(&key).unwrap() -= 1;
             }
         }
         let live: u32 = model.values().sum();
-        prop_assert_eq!(filter.len() as u32, live);
+        assert_eq!(filter.len() as u32, live);
         for (key, &count) in &model {
             if count > 0 {
-                prop_assert!(filter.contains(*key), "false negative on {key}");
+                assert!(filter.contains(*key), "false negative on {key}");
             }
         }
     }
+}
 
-    /// TLB contents always match a reference LRU model per set.
-    #[test]
-    fn tlb_matches_lru_model(ops in prop::collection::vec((0u64..64, prop::bool::ANY), 0..300)) {
-        const ENTRIES: usize = 16;
-        const ASSOC: usize = 4;
-        const SETS: u64 = (ENTRIES / ASSOC) as u64;
+/// TLB contents always match a reference LRU model per set.
+#[test]
+fn tlb_matches_lru_model() {
+    const ENTRIES: usize = 16;
+    const ASSOC: usize = 4;
+    const SETS: u64 = (ENTRIES / ASSOC) as u64;
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x71B ^ case);
         let mut tlb: Tlb<u64> = Tlb::new(ENTRIES, ASSOC, 1);
         // model: per set, Vec of vpns in LRU -> MRU order.
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); SETS as usize];
-        for (vpn, is_fill) in ops {
+        for _ in 0..rng.gen_index(300) {
+            let vpn = rng.gen_range(64);
+            let is_fill = rng.chance(0.5);
             let set = &mut model[(vpn % SETS) as usize];
             if is_fill {
                 tlb.fill(vpn, vpn * 10);
@@ -81,108 +96,122 @@ proptest! {
             } else {
                 let hit = tlb.lookup(vpn).copied();
                 let model_hit = set.iter().position(|&v| v == vpn);
-                prop_assert_eq!(hit.is_some(), model_hit.is_some(), "hit mismatch on {}", vpn);
+                assert_eq!(hit.is_some(), model_hit.is_some(), "hit mismatch on {vpn}");
                 if let Some(pos) = model_hit {
-                    prop_assert_eq!(hit, Some(vpn * 10));
+                    assert_eq!(hit, Some(vpn * 10));
                     set.remove(pos);
                     set.push(vpn); // promote to MRU
                 }
             }
         }
     }
+}
 
-    /// Page-table node accounting: walks after arbitrary insert/remove
-    /// sequences agree with a set model, and access counts stay in range.
-    #[test]
-    fn page_table_walks_match_model(ops in prop::collection::vec((0u64..1 << 20, prop::bool::ANY), 0..200)) {
+/// Page-table node accounting: walks after arbitrary insert/remove
+/// sequences agree with a set model, and access counts stay in range.
+#[test]
+fn page_table_walks_match_model() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x9A6E ^ case);
         let mut pt = PageTable::new(5);
         let mut model: HashSet<u64> = HashSet::new();
-        for (vpn, insert) in ops {
-            if insert {
+        for _ in 0..rng.gen_index(200) {
+            let vpn = rng.gen_range(1 << 20);
+            if rng.chance(0.5) {
                 pt.insert(vpn, Pte::new(vpn, Location::Cpu));
                 model.insert(vpn);
             } else {
                 let removed = pt.remove(vpn).is_some();
-                prop_assert_eq!(removed, model.remove(&vpn));
+                assert_eq!(removed, model.remove(&vpn));
             }
             let walk = pt.walk(vpn, None);
-            prop_assert_eq!(walk.pte.is_some(), model.contains(&vpn));
-            prop_assert!(walk.accesses >= 1 && walk.accesses <= 5);
+            assert_eq!(walk.pte.is_some(), model.contains(&vpn));
+            assert!(walk.accesses >= 1 && walk.accesses <= 5);
             if model.contains(&vpn) {
-                prop_assert_eq!(walk.accesses, 5, "mapped cold walk reads all levels");
+                assert_eq!(walk.accesses, 5, "mapped cold walk reads all levels");
             }
         }
-        prop_assert_eq!(pt.mapped_pages(), model.len());
+        assert_eq!(pt.mapped_pages(), model.len());
     }
+}
 
-    /// The page directory preserves the single-home invariant under any
-    /// fault sequence, for every policy.
-    #[test]
-    fn directory_single_home_invariant(
-        ops in prop::collection::vec((0u64..40, 0u16..4, prop::bool::ANY), 1..200),
-        policy in 0..3usize,
-    ) {
-        let policy = [
-            MigrationPolicy::OnTouch,
-            MigrationPolicy::ReadReplication,
-            MigrationPolicy::RemoteMapping { migrate_threshold: 3 },
-        ][policy];
+/// The page directory preserves the single-home invariant under any fault
+/// sequence, for every policy.
+#[test]
+fn directory_single_home_invariant() {
+    let policies = [
+        MigrationPolicy::OnTouch,
+        MigrationPolicy::ReadReplication,
+        MigrationPolicy::RemoteMapping { migrate_threshold: 3 },
+    ];
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0xD14EC ^ case);
+        let policy = policies[rng.gen_index(policies.len())];
         let mut dir = PageDirectory::new(4, policy);
-        for (vpn, gpu, is_write) in ops {
+        for _ in 0..1 + rng.gen_index(199) {
+            let vpn = rng.gen_range(40);
+            let gpu = rng.gen_range(4) as u16;
+            let is_write = rng.chance(0.5);
             let out = dir.resolve_fault(vpn, gpu, is_write);
             // The faulting GPU never invalidates itself.
-            prop_assert!(!out.invalidations.contains(&gpu));
+            assert!(!out.invalidations.contains(&gpu));
             let page = dir.page(vpn).unwrap();
-            // Home is always a single location; replicas never include the
-            // home GPU's bit redundantly counted as an invalidation target.
+            // Home is always a single in-range location.
             if let Location::Gpu(h) = page.home {
-                prop_assert!(h < 4);
+                assert!(h < 4);
             }
             // A write never leaves foreign replicas behind.
             if is_write && policy == MigrationPolicy::ReadReplication {
                 let replicas = page.replicas;
-                prop_assert!(replicas == 0 || replicas == 1 << gpu,
-                    "write left replicas 0b{replicas:b}");
+                assert!(
+                    replicas == 0 || replicas == 1 << gpu,
+                    "write left replicas 0b{replicas:b}"
+                );
             }
         }
     }
+}
 
-    /// MSHR: primaries and merges partition successful registrations, and
-    /// complete() returns exactly the registered waiters.
-    #[test]
-    fn mshr_waiter_conservation(ops in prop::collection::vec(0u64..16, 0..100)) {
+/// MSHR: primaries and merges partition successful registrations, and
+/// complete() returns exactly the registered waiters.
+#[test]
+fn mshr_waiter_conservation() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x351 ^ case);
         let mut mshr: Mshr<usize> = Mshr::new(8);
         let mut model: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (i, vpn) in ops.iter().copied().enumerate() {
+        for i in 0..rng.gen_index(100) {
+            let vpn = rng.gen_range(16);
             match mshr.register(vpn, i) {
                 MshrOutcome::Primary => {
-                    prop_assert!(!model.contains_key(&vpn));
+                    assert!(!model.contains_key(&vpn));
                     model.insert(vpn, vec![i]);
                 }
                 MshrOutcome::Merged => {
                     model.get_mut(&vpn).expect("merge implies entry").push(i);
                 }
                 MshrOutcome::Full => {
-                    prop_assert!(model.len() >= 8 && !model.contains_key(&vpn));
+                    assert!(model.len() >= 8 && !model.contains_key(&vpn));
                 }
             }
         }
         for (vpn, waiters) in model {
-            prop_assert_eq!(mshr.complete(vpn), waiters);
+            assert_eq!(mshr.complete(vpn), waiters);
         }
-        prop_assert!(mshr.is_empty());
+        assert!(mshr.is_empty());
     }
+}
 
-    /// Sharing-profile fractions always sum to 1 over nonempty input.
-    #[test]
-    fn sharing_fractions_sum_to_one(
-        ops in prop::collection::vec((0u64..64, 0u16..4, prop::bool::ANY), 1..300)
-    ) {
+/// Sharing-profile fractions always sum to 1 over nonempty input.
+#[test]
+fn sharing_fractions_sum_to_one() {
+    for case in 0..CASES {
+        let mut rng = SimRng::new(0x54A2E ^ case);
         let mut s = SharingProfile::new();
-        for (vpn, gpu, w) in ops {
-            s.record(vpn, gpu, w);
+        for _ in 0..1 + rng.gen_index(299) {
+            s.record(rng.gen_range(64), rng.gen_range(4) as u16, rng.chance(0.5));
         }
         let sum: f64 = s.access_fraction_by_degree(4).iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
     }
 }

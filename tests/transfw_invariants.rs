@@ -5,7 +5,7 @@ use transfw_sim::prelude::*;
 const SCALE: f64 = 0.15;
 
 fn run_transfw(app: &dyn Workload) -> RunMetrics {
-    System::new(SystemConfig::with_transfw()).run(app)
+    System::new(SystemConfig::with_transfw()).run(app).unwrap()
 }
 
 #[test]
@@ -65,7 +65,7 @@ fn remote_supply_succeeds_often_under_sharing() {
 #[test]
 fn short_circuit_reduces_gmmu_walk_traffic() {
     let app = workloads::app("MT").unwrap().scaled(0.3);
-    let base = System::new(SystemConfig::baseline()).run(&app);
+    let base = System::new(SystemConfig::baseline()).run(&app).unwrap();
     let tfw = run_transfw(&app);
     // §V-A: Trans-FW cuts total GMMU PT-walk memory accesses (the PRT skips
     // doomed walks; borrowed walks add some back).
@@ -94,6 +94,7 @@ fn forwarding_threshold_zero_forwards_most() {
             ..SystemConfig::baseline()
         })
         .run(&app)
+        .unwrap()
     };
     let eager = mk(0.0);
     let lazy = mk(2.0);
@@ -108,7 +109,7 @@ fn forwarding_threshold_zero_forwards_most() {
 #[test]
 fn ablations_are_weaker_than_full_mechanism() {
     let app = workloads::app("MT").unwrap().scaled(0.3);
-    let base = System::new(SystemConfig::baseline()).run(&app);
+    let base = System::new(SystemConfig::baseline()).run(&app).unwrap();
     let full = run_transfw(&app);
     let prt_only = System::new(SystemConfig {
         transfw: Some(TransFwKnobs {
@@ -118,7 +119,7 @@ fn ablations_are_weaker_than_full_mechanism() {
         }),
         ..SystemConfig::baseline()
     })
-    .run(&app);
+    .run(&app).unwrap();
     let full_speedup = full.speedup_vs(&base);
     let prt_speedup = prt_only.speedup_vs(&base);
     assert!(
@@ -131,7 +132,7 @@ fn ablations_are_weaker_than_full_mechanism() {
 #[test]
 fn transfw_reduces_host_queue_wait() {
     let app = workloads::app("SC").unwrap().scaled(0.3);
-    let base = System::new(SystemConfig::baseline()).run(&app);
+    let base = System::new(SystemConfig::baseline()).run(&app).unwrap();
     let tfw = run_transfw(&app);
     assert!(
         tfw.breakdown.host_queue < base.breakdown.host_queue,
@@ -144,7 +145,7 @@ fn transfw_reduces_host_queue_wait() {
 #[test]
 fn no_transfw_structures_in_baseline() {
     let app = workloads::app("KM").unwrap().scaled(SCALE);
-    let m = System::new(SystemConfig::baseline()).run(&app);
+    let m = System::new(SystemConfig::baseline()).run(&app).unwrap();
     assert_eq!(m.transfw.gmmu_bypassed, 0);
     assert_eq!(m.transfw.forwarded, 0);
     assert_eq!(m.transfw.remote_supplied, 0);
