@@ -125,6 +125,21 @@ impl Ft {
     pub fn overflow_count(&self) -> u64 {
         self.filter.overflow_count()
     }
+
+    /// Probes (without counting the probe in the lookup statistics) whether
+    /// `gpu` is currently named as a candidate owner of `vpn` — used by the
+    /// recovery protocol to invalidate only the entries actually keyed to a
+    /// failed GPU.
+    pub fn names_owner(&self, vpn: u64, gpu: GpuId) -> bool {
+        self.filter.contains(self.key(vpn, gpu))
+    }
+
+    /// A 64-bit digest of the table's occupancy and counters, for epoch
+    /// checkpoints.
+    pub fn state_digest(&self) -> u64 {
+        let mut sm = self.filter.len() as u64 ^ (self.lookups << 24) ^ (self.hits << 48);
+        sim_core::rng::splitmix64(&mut sm)
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +230,16 @@ mod tests {
     #[should_panic(expected = "gpu_count")]
     fn zero_gpus_panics() {
         let _ = Ft::new(&TransFwConfig::default(), 0);
+    }
+
+    #[test]
+    fn names_owner_probes_without_counting() {
+        let mut f = ft();
+        f.page_migrated(0x30, None, 2);
+        assert!(f.names_owner(0x30, 2));
+        assert!(!f.names_owner(0x30, 1));
+        assert_eq!(f.lookup_count(), 0, "probe does not count as a lookup");
+        f.owner_removed(0x30, 2);
+        assert!(!f.names_owner(0x30, 2), "invalidation clears the entry");
     }
 }

@@ -109,6 +109,21 @@ impl Prt {
     pub fn overflow_count(&self) -> u64 {
         self.filter.overflow_count()
     }
+
+    /// Drops every fingerprint while preserving the lookup/hit counters —
+    /// the bulk flush a GPU performs when it is taken offline and its local
+    /// memory is evicted wholesale. The table is rebuilt from the page
+    /// directory on rejoin (see the recovery protocol in DESIGN.md).
+    pub fn clear(&mut self) {
+        self.filter.clear();
+    }
+
+    /// A 64-bit digest of the table's current membership and counters, for
+    /// epoch checkpoints. Deterministic across runs with the same history.
+    pub fn state_digest(&self) -> u64 {
+        let mut sm = self.filter.len() as u64 ^ (self.lookups << 24) ^ (self.hits << 48);
+        sim_core::rng::splitmix64(&mut sm)
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +196,26 @@ mod tests {
         let p = prt();
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
         assert!((kb - 0.79).abs() < 0.01, "PRT is {kb} KB, paper says 0.79");
+    }
+
+    #[test]
+    fn clear_flushes_membership_but_keeps_counters() {
+        let mut p = prt();
+        for vpn in (0..400u64).step_by(8) {
+            p.page_arrived(vpn);
+        }
+        p.may_be_local(0);
+        p.may_be_local(8);
+        let (lookups, hits) = (p.lookup_count(), p.hit_count());
+        let digest_before = p.state_digest();
+        p.clear();
+        assert!(p.is_empty());
+        assert!(!p.may_be_local(0), "cleared PRT answers definitively-remote");
+        assert_eq!(p.lookup_count(), lookups + 1, "counters survive the clear");
+        assert_eq!(p.hit_count(), hits);
+        assert_ne!(p.state_digest(), digest_before);
+        p.page_arrived(16);
+        assert!(p.may_be_local(16), "table usable after clear");
     }
 
     #[test]

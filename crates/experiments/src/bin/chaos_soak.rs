@@ -1,0 +1,121 @@
+//! Chaos-soak driver: a seeded, time-boxed matrix of component failures
+//! (GPU offline, link partitions, host-MMU failover, all of them at once on
+//! top of message loss) over a sample of the Table III applications.
+//!
+//! Every run executes under the invariant auditor inside `System::run`, and
+//! this driver additionally enforces retire-exactly-once and completion for
+//! each cell. The per-run robustness counters are written to
+//! `BENCH_CHAOS_SOAK.json` (see `experiments::run_json`).
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin chaos_soak [SCALE] [SEEDS]
+//! ```
+
+use experiments::runner::{parallel_map, runs_json};
+use mgpu::{ComponentEvent, FaultPlan, RunMetrics, System, SystemConfig};
+
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    let offline = |gpu, at_cycle, duration| ComponentEvent::GpuOffline {
+        gpu,
+        at_cycle,
+        duration,
+    };
+    let partition = |a, b, at_cycle, duration| ComponentEvent::LinkPartition {
+        a,
+        b,
+        at_cycle,
+        duration,
+    };
+    vec![
+        (
+            "gpu-offline",
+            FaultPlan::components(vec![offline(1, 2_000, 5_000)]),
+        ),
+        (
+            "double-offline",
+            FaultPlan::components(vec![offline(0, 1_000, 3_000), offline(3, 4_000, 3_000)]),
+        ),
+        (
+            "link-partition",
+            FaultPlan::components(vec![
+                partition(0, 1, 500, 10_000),
+                partition(2, 3, 2_000, 10_000),
+            ]),
+        ),
+        (
+            "host-failover",
+            FaultPlan::components(vec![ComponentEvent::HostMmuFailover {
+                at_cycle: 1_500,
+                stall: 4_000,
+            }]),
+        ),
+        ("everything", {
+            let mut plan = FaultPlan::message_loss(23, 0.01);
+            plan.component_events = vec![
+                offline(2, 2_000, 4_000),
+                partition(0, 3, 1_000, 8_000),
+                ComponentEvent::HostMmuFailover {
+                    at_cycle: 5_000,
+                    stall: 2_000,
+                },
+            ];
+            plan
+        }),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let t0 = std::time::Instant::now();
+
+    let mut cells = Vec::new();
+    for (scenario, plan) in scenarios() {
+        for app_name in ["KM", "MT", "PR", "SC"] {
+            for seed in 1..=seeds.max(1) {
+                cells.push((scenario, plan.clone(), app_name, seed));
+            }
+        }
+    }
+    let total = cells.len();
+
+    let runs: Vec<(u64, RunMetrics)> = parallel_map(cells, |(scenario, plan, app_name, seed)| {
+        let app = workloads::app(app_name)
+            .unwrap_or_else(|| panic!("unknown app {app_name}"))
+            .scaled(scale);
+        let mut cfg = SystemConfig::with_transfw();
+        cfg.seed = seed;
+        cfg.faults = plan;
+        cfg.checkpoint_interval = Some(2_000);
+        let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
+            panic!("chaos soak: {scenario}/{app_name} seed {seed} failed: {e}");
+        });
+        assert_eq!(
+            m.resilience.requests_retired, m.translation_requests,
+            "{scenario}/{app_name} seed {seed}: must retire every request exactly once"
+        );
+        assert_eq!(
+            m.mem_instructions,
+            (app.ctas * app.accesses_per_cta) as u64,
+            "{scenario}/{app_name} seed {seed}: lost instructions"
+        );
+        eprintln!(
+            "[chaos-soak] {scenario:>14}/{app_name:<3} seed {seed}: {} cycles, \
+             offline={} reroutes={} migrations={} checkpoints={}",
+            m.total_cycles,
+            m.recovery.gpu_offline_events,
+            m.recovery.rerouted_messages,
+            m.recovery.ownership_migrations,
+            m.recovery.checkpoints_taken,
+        );
+        (seed, m)
+    });
+
+    let json = runs_json(&runs);
+    std::fs::write("BENCH_CHAOS_SOAK.json", &json).expect("write BENCH_CHAOS_SOAK.json");
+    eprintln!(
+        "[chaos-soak] {total} cells clean in {:.1?} (scale {scale}, {seeds} seed(s)) -> BENCH_CHAOS_SOAK.json",
+        t0.elapsed()
+    );
+}

@@ -48,4 +48,4 @@ pub mod runner;
 pub mod table3;
 
 pub use report::Report;
-pub use runner::{average_cycles, parallel_map, run_one, RunOpts};
+pub use runner::{average_cycles, parallel_map, run_json, run_one, runs_json, RunOpts};

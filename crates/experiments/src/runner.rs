@@ -70,6 +70,91 @@ pub fn average_cycles(
     (cycles / opts.seeds.len() as f64, first.expect("ran"))
 }
 
+/// Serializes one run's robustness-relevant metrics as a JSON object
+/// (hand-rolled: the workspace deliberately has no serialization
+/// dependency). This is what the bench harness embeds in `BENCH_*.json`
+/// so the robustness trajectory — watchdog activity from the resilience
+/// layer plus the component-failure recovery counters — is captured next
+/// to the timing numbers, not just printed and lost.
+///
+/// # Examples
+///
+/// ```
+/// use mgpu::RunMetrics;
+///
+/// let m = RunMetrics { app: "MT".into(), total_cycles: 42, ..Default::default() };
+/// let json = experiments::run_json(&m, 7);
+/// assert!(json.contains("\"app\":\"MT\""));
+/// assert!(json.contains("\"remote_timeouts\":0"));
+/// assert!(json.contains("\"ownership_migrations\":0"));
+/// ```
+pub fn run_json(m: &RunMetrics, seed: u64) -> String {
+    let r = &m.resilience;
+    let c = &m.recovery;
+    format!(
+        concat!(
+            "{{\"app\":\"{}\",\"seed\":{},\"total_cycles\":{},",
+            "\"mem_instructions\":{},\"translation_requests\":{},",
+            "\"local_faults\":{},\"host_walks\":{},",
+            "\"resilience\":{{\"remote_timeouts\":{},\"retries\":{},",
+            "\"fallback_walks\":{},\"duplicates_suppressed\":{},",
+            "\"requests_retired\":{}}},",
+            "\"recovery\":{{\"gpu_offline_events\":{},\"gpu_rejoins\":{},",
+            "\"link_partition_events\":{},\"host_failover_events\":{},",
+            "\"ft_invalidations\":{},\"prt_rebuilds\":{},",
+            "\"ownership_migrations\":{},\"reissued_walks\":{},",
+            "\"deferred_events\":{},\"rerouted_messages\":{},",
+            "\"checkpoints_taken\":{},\"restores_performed\":{}}}}}"
+        ),
+        json_escape(&m.app),
+        seed,
+        m.total_cycles,
+        m.mem_instructions,
+        m.translation_requests,
+        m.local_faults,
+        m.host_walks,
+        r.remote_timeouts,
+        r.retries,
+        r.fallback_walks,
+        r.duplicates_suppressed,
+        r.requests_retired,
+        c.gpu_offline_events,
+        c.gpu_rejoins,
+        c.link_partition_events,
+        c.host_failover_events,
+        c.ft_invalidations,
+        c.prt_rebuilds,
+        c.ownership_migrations,
+        c.reissued_walks,
+        c.deferred_events,
+        c.rerouted_messages,
+        c.checkpoints_taken,
+        c.restores_performed,
+    )
+}
+
+/// Serializes a batch of `(seed, metrics)` runs as a JSON array, one
+/// [`run_json`] object per element.
+pub fn runs_json(runs: &[(u64, RunMetrics)]) -> String {
+    let body: Vec<String> = runs.iter().map(|(seed, m)| run_json(m, *seed)).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Minimal JSON string escaping for app names (quotes, backslashes and
+/// control characters; names are ASCII in practice).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Maps `f` over `items` with one OS thread per item (simulation runs are
 /// independent and CPU-bound).
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -131,6 +216,47 @@ mod tests {
         let (a, _) = average_cycles(&cfg, &app, &opts);
         let (b, _) = average_cycles(&cfg, &app, &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_json_includes_every_robustness_counter() {
+        let app = workloads::app("KM").unwrap().scaled(0.05);
+        let m = run_one(SystemConfig::with_transfw(), &app, 3);
+        let json = run_json(&m, 3);
+        for key in [
+            "remote_timeouts",
+            "retries",
+            "fallback_walks",
+            "duplicates_suppressed",
+            "requests_retired",
+            "gpu_offline_events",
+            "ft_invalidations",
+            "prt_rebuilds",
+            "ownership_migrations",
+            "reissued_walks",
+            "checkpoints_taken",
+            "restores_performed",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}: {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Balanced braces: a cheap well-formedness check without a parser.
+        let open = json.matches('{').count();
+        assert_eq!(open, json.matches('}').count());
+    }
+
+    #[test]
+    fn runs_json_is_an_array() {
+        let app = workloads::app("FIR").unwrap().scaled(0.05);
+        let m = run_one(SystemConfig::baseline(), &app, 1);
+        let arr = runs_json(&[(1, m.clone()), (2, m)]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("\"app\"").count(), 2);
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
     }
 
     #[test]

@@ -124,6 +124,11 @@ pub struct Fabric {
     down: Vec<Link>,
     /// Per-GPU peer egress ports (GPU→GPU traffic serialises at the source).
     peer: Vec<Link>,
+    /// Symmetric pairwise partition state: `partitions[a]` has bit `b` set
+    /// when the peer path between `a` and `b` is severed (and vice versa).
+    partitions: Vec<u64>,
+    /// Peer sends rerouted over the two-hop host path due to a partition.
+    rerouted: u64,
 }
 
 impl Fabric {
@@ -135,10 +140,13 @@ impl Fabric {
     /// Panics if `gpus` is zero or `bytes_per_cycle` is zero.
     pub fn new(gpus: usize, cpu_latency: Cycle, peer_latency: Cycle, bytes_per_cycle: u64) -> Self {
         assert!(gpus > 0, "need at least one GPU");
+        assert!(gpus <= 64, "partition bitmask supports at most 64 GPUs");
         Self {
             up: (0..gpus).map(|_| Link::new(cpu_latency, bytes_per_cycle)).collect(),
             down: (0..gpus).map(|_| Link::new(cpu_latency, bytes_per_cycle)).collect(),
             peer: (0..gpus).map(|_| Link::new(peer_latency, bytes_per_cycle)).collect(),
+            partitions: vec![0; gpus],
+            rerouted: 0,
         }
     }
 
@@ -159,12 +167,55 @@ impl Fabric {
 
     /// Sends from GPU `src` to GPU `dst`; returns arrival time.
     ///
+    /// If the peer path between `src` and `dst` is partitioned (see
+    /// [`set_partitioned`](Self::set_partitioned)), the payload is rerouted
+    /// over the reliable two-hop host path — serialising on `src`'s uplink
+    /// and then `dst`'s downlink, so it queues behind (and applies
+    /// backpressure to) ordinary host traffic instead of hanging.
+    ///
     /// # Panics
     ///
     /// Panics if `src == dst`.
     pub fn send_gpu_to_gpu(&mut self, src: usize, dst: usize, now: Cycle, bytes: u64) -> Cycle {
         assert_ne!(src, dst, "GPU cannot send to itself");
+        if self.is_partitioned(src, dst) {
+            self.rerouted += 1;
+            let at_host = self.up[src].send(now, bytes);
+            return self.down[dst].send(at_host, bytes);
+        }
         self.peer[src].send(now, bytes)
+    }
+
+    /// Severs (`true`) or heals (`false`) the peer path between `a` and `b`.
+    /// Partition state is symmetric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn set_partitioned(&mut self, a: usize, b: usize, severed: bool) {
+        assert_ne!(a, b, "cannot partition a GPU from itself");
+        if severed {
+            self.partitions[a] |= 1 << b;
+            self.partitions[b] |= 1 << a;
+        } else {
+            self.partitions[a] &= !(1 << b);
+            self.partitions[b] &= !(1 << a);
+        }
+    }
+
+    /// Whether the peer path between `a` and `b` is currently severed.
+    pub fn is_partitioned(&self, a: usize, b: usize) -> bool {
+        self.partitions[a] & (1 << b) != 0
+    }
+
+    /// Whether any peer path is currently severed.
+    pub fn any_partition(&self) -> bool {
+        self.partitions.iter().any(|&m| m != 0)
+    }
+
+    /// Peer sends rerouted over the host path because of a partition.
+    pub fn rerouted_count(&self) -> u64 {
+        self.rerouted
     }
 
     /// Reconfigures the peer-link latency on every port (Fig. 21 sweep).
@@ -264,6 +315,62 @@ mod tests {
     #[should_panic(expected = "cannot send to itself")]
     fn self_send_panics() {
         Fabric::new(2, 1, 1, 32).send_gpu_to_gpu(1, 1, 0, 32);
+    }
+
+    #[test]
+    fn partitioned_peer_path_reroutes_via_host() {
+        let mut f = Fabric::new(4, 150, 40, 32);
+        assert!(!f.any_partition());
+        let direct = f.send_gpu_to_gpu(0, 1, 0, 32);
+        assert_eq!(direct, 41, "healthy path uses the peer link");
+
+        f.set_partitioned(0, 1, true);
+        assert!(f.is_partitioned(0, 1));
+        assert!(f.is_partitioned(1, 0), "partition state is symmetric");
+        assert!(f.any_partition());
+
+        // Rerouted: serialise on 0's uplink (arrive host at 151), then 1's
+        // downlink (151 + 1 + 150) — two real store-and-forward hops.
+        let rerouted = f.send_gpu_to_gpu(0, 1, 0, 32);
+        assert_eq!(rerouted, 302);
+        assert_eq!(f.rerouted_count(), 1);
+        assert!(rerouted > direct, "host detour is slower than the peer link");
+
+        // The detour occupies the host links: ordinary host traffic queues
+        // behind it (backpressure), and the peer port stays idle.
+        let host_after = f.send_cpu_to_gpu(1, 0, 3200);
+        assert!(host_after > 151 + 100, "downlink was busy with the detour");
+        assert_eq!(f.peer[0].message_count(), 1, "peer port unused while severed");
+    }
+
+    #[test]
+    fn partition_window_heals() {
+        let mut f = Fabric::new(2, 150, 40, 32);
+        f.set_partitioned(0, 1, true);
+        f.send_gpu_to_gpu(0, 1, 0, 32);
+        f.set_partitioned(0, 1, false);
+        assert!(!f.is_partitioned(0, 1));
+        assert!(!f.any_partition());
+        let healed = f.send_gpu_to_gpu(0, 1, 10_000, 32);
+        assert_eq!(healed, 10_041, "healed path is direct again");
+        assert_eq!(f.rerouted_count(), 1, "only the severed-window send rerouted");
+    }
+
+    #[test]
+    fn partition_only_affects_named_pair() {
+        let mut f = Fabric::new(4, 150, 40, 32);
+        f.set_partitioned(1, 2, true);
+        assert!(!f.is_partitioned(0, 1));
+        assert!(!f.is_partitioned(2, 3));
+        let unaffected = f.send_gpu_to_gpu(0, 3, 0, 32);
+        assert_eq!(unaffected, 41);
+        assert_eq!(f.rerouted_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition")]
+    fn self_partition_panics() {
+        Fabric::new(2, 1, 1, 32).set_partitioned(1, 1, true);
     }
 
     #[test]

@@ -182,6 +182,11 @@ pub struct SystemConfig {
     pub least_tlb: bool,
     /// Fault-injection plan ([`FaultPlan::none`] = pristine run).
     pub faults: FaultPlan,
+    /// Epoch-checkpoint period in cycles (None = no checkpointing). When
+    /// set, the system records a state digest every interval so a crashed
+    /// run can be restored and verified bit-identical (see
+    /// [`run_with_restore`](crate::run_with_restore)).
+    pub checkpoint_interval: Option<Cycle>,
     /// Protocol-watchdog and liveness knobs.
     pub watchdog: WatchdogConfig,
     /// Deterministic simulation seed.
@@ -225,6 +230,7 @@ impl Default for SystemConfig {
             ideal: IdealKnobs::default(),
             least_tlb: false,
             faults: FaultPlan::none(),
+            checkpoint_interval: None,
             watchdog: WatchdogConfig::default(),
             seed: 0xBEEF,
         }
@@ -280,6 +286,12 @@ impl SystemConfig {
         );
         if let Err(e) = self.faults.validate() {
             panic!("{e}");
+        }
+        if let Err(e) = self.faults.validate_topology(self.gpus as usize) {
+            panic!("{e}");
+        }
+        if let Some(interval) = self.checkpoint_interval {
+            assert!(interval > 0, "checkpoint_interval must be positive");
         }
         if self.watchdog.enabled {
             assert!(
@@ -433,6 +445,10 @@ impl SystemConfigBuilder {
     setter!(
         /// Fault-injection plan.
         faults: FaultPlan
+    );
+    setter!(
+        /// Epoch-checkpoint period.
+        checkpoint_interval: Option<Cycle>
     );
     setter!(
         /// Watchdog knobs.

@@ -11,6 +11,12 @@ impl System {
     /// Enqueues a walk job, retrying later if the PW-queue is full.
     pub(crate) fn gmmu_enqueue(&mut self, gpu: u16, job: GmmuJob) {
         let now = self.now;
+        // Stamp the job with the GPU's current recovery generation: an
+        // enqueue deferred across an offline window must not look stale.
+        let job = GmmuJob {
+            gen: self.gpus[gpu as usize].gen,
+            ..job
+        };
         match self.gpus[gpu as usize].queue.push(job, now) {
             Ok(()) => self.events.push(now, Event::GmmuDispatch { gpu }),
             Err(job) => {
@@ -39,6 +45,7 @@ impl System {
             if !job.remote {
                 self.reqs[job.req].lat.gmmu_queue += waited;
             }
+            self.gpus[gpu as usize].inflight.push(job);
             let stall = self.injector.walker_stall();
             let vpn = self.reqs[job.req].vpn;
             let levels = self.cfg.page_table_levels;
@@ -84,8 +91,22 @@ impl System {
         insert_hi: u32,
     ) {
         let now = self.now;
+        if job.gen != self.gpus[gpu as usize].gen {
+            // The GPU went offline after this walk started: its walker was
+            // force-reset and the job drained/re-issued by the recovery
+            // protocol, so this completion is stale — drop it without
+            // releasing a walker that no longer exists.
+            return;
+        }
         {
             let g = &mut self.gpus[gpu as usize];
+            if let Some(pos) = g
+                .inflight
+                .iter()
+                .position(|j| j.req == job.req && j.remote == job.remote)
+            {
+                g.inflight.remove(pos);
+            }
             g.walkers.release();
             let vpn = self.reqs[job.req].vpn;
             for k in insert_lo..=insert_hi.min(self.cfg.page_table_levels) {
@@ -154,7 +175,8 @@ impl System {
             self.note_duplicate();
             return;
         }
-        self.gmmu_enqueue(gpu, GmmuJob { req, remote: true });
+        let gen = self.gpus[gpu as usize].gen;
+        self.gmmu_enqueue(gpu, GmmuJob { req, remote: true, gen });
     }
 
     /// A borrowed walk completed on `gpu`: on success, ship the translation
@@ -168,8 +190,9 @@ impl System {
         let supply = pte.filter(|p| p.loc == Location::Gpu(gpu));
         let success = supply.is_some();
         if let Some(pte) = supply {
-            let _ = requester;
-            let arrival = self.peer_control_arrival(now);
+            // Honours link partitions: a severed supplier→requester pair
+            // detours over the reliable host links.
+            let arrival = self.peer_control_arrival_between(gpu, requester as u16, now);
             self.send_message(
                 req,
                 arrival,
@@ -184,7 +207,6 @@ impl System {
         } else {
             self.metrics.transfw.remote_failed += 1;
         }
-        let _ = gpu;
         let notify_at = self.cpu_control_arrival(now);
         self.send_message(req, notify_at, Event::RemoteNotify { req, success });
     }

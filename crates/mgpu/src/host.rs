@@ -62,6 +62,14 @@ impl System {
     /// requests cancelled by a successful remote lookup.
     pub(crate) fn host_dispatch(&mut self) -> Result<(), SimError> {
         let now = self.now;
+        if let Some(until) = self.host_failover_until {
+            if now < until {
+                // Host-MMU failover window: arrivals keep queueing under the
+                // PW-queue's bounded admission; dispatch resumes at the
+                // queue-drain kick when the standby complex takes over.
+                return Ok(());
+            }
+        }
         loop {
             if !self.host.walkers.has_free() {
                 return Ok(());
@@ -143,6 +151,15 @@ impl System {
         let now = self.now;
         let vpn = self.reqs[req].vpn;
         let g = self.reqs[req].gpu;
+        if let Some(until) = self.offline_until[g as usize] {
+            // The requester is offline: resolving now would migrate the page
+            // into a dead GPU. Park the request and re-resolve against fresh
+            // placement state once it rejoins.
+            self.metrics.recovery.deferred_events += 1;
+            let retry = self.host_entry_event(req);
+            self.events.push(until, retry);
+            return;
+        }
         let is_write = self.reqs[req].is_write;
         let outcome = self.dir.resolve_fault(vpn, g, is_write);
 
@@ -300,6 +317,11 @@ impl System {
     /// Starts a driver batch if the driver is idle and faults are pending.
     pub(crate) fn driver_check(&mut self) {
         let now = self.now;
+        if let Some(until) = self.host_failover_until {
+            if now < until {
+                return; // failover window: batches resume at the drain kick
+            }
+        }
         if let Some(batch) = self.driver.try_start_batch(now) {
             for &req in &batch.faults {
                 self.reqs[req].host_walk_started = true;

@@ -46,6 +46,7 @@ pub mod config;
 pub mod gmmu;
 pub mod host;
 pub mod metrics;
+pub mod recovery;
 pub mod request;
 pub mod system;
 #[cfg(test)]
@@ -57,6 +58,7 @@ pub use config::{
     FarFaultMode, IdealKnobs, PwcKind, SystemConfig, SystemConfigBuilder, TransFwKnobs,
     WatchdogConfig,
 };
-pub use metrics::{LatencyBreakdown, ResilienceStats, RunMetrics, SharingProfile};
-pub use sim_core::{FaultPlan, SimError};
+pub use metrics::{LatencyBreakdown, RecoveryStats, ResilienceStats, RunMetrics, SharingProfile};
+pub use recovery::{run_with_restore, RestoreOutcome};
+pub use sim_core::{CheckpointLog, ComponentEvent, EpochCheckpoint, FaultPlan, SimError};
 pub use system::System;

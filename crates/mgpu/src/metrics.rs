@@ -80,12 +80,12 @@ impl LatencyBreakdown {
 
 /// Page-sharing bookkeeping for Figs. 7 and 24: which GPUs touched each
 /// page, and how many reads/writes each page received.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SharingProfile {
     pages: HashMap<u64, PageTouch>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct PageTouch {
     gpu_mask: u64,
     reads: u64,
@@ -209,8 +209,44 @@ pub struct ResilienceStats {
     pub faults_injected: sim_core::InjectStats,
 }
 
+/// Component-failure and recovery counters: what the recovery state machine
+/// did during the run. All-zero unless the fault plan schedules component
+/// events or checkpointing is enabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// GPUs taken offline by the fault plan.
+    pub gpu_offline_events: u64,
+    /// GPUs re-admitted after an offline window.
+    pub gpu_rejoins: u64,
+    /// Link partitions opened by the fault plan.
+    pub link_partition_events: u64,
+    /// Host-MMU failover windows entered.
+    pub host_failover_events: u64,
+    /// Forwarding-table entries invalidated because they were keyed to a
+    /// failed GPU (owner removals plus migrated-away home entries).
+    pub ft_invalidations: u64,
+    /// PRT rebuilds performed from the page directory on rejoin.
+    pub prt_rebuilds: u64,
+    /// Pages whose ownership migrated off a failed GPU to a surviving GPU
+    /// or back to host memory.
+    pub ownership_migrations: u64,
+    /// In-flight walks of a failed GPU re-issued through the reliable host
+    /// path.
+    pub reissued_walks: u64,
+    /// Events deferred because their target component was offline (the
+    /// warm-up cost a rejoining GPU pays).
+    pub deferred_events: u64,
+    /// Peer messages rerouted through the host because the direct link was
+    /// partitioned.
+    pub rerouted_messages: u64,
+    /// Epoch checkpoints recorded.
+    pub checkpoints_taken: u64,
+    /// Restores performed (set by the checkpoint/restore harness).
+    pub restores_performed: u64,
+}
+
 /// Everything measured by one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetrics {
     /// Workload name.
     pub app: String,
@@ -260,6 +296,8 @@ pub struct RunMetrics {
     pub host_queue_peak: usize,
     /// Watchdog and fault-injection counters.
     pub resilience: ResilienceStats,
+    /// Component-failure and recovery counters.
+    pub recovery: RecoveryStats,
 }
 
 impl RunMetrics {

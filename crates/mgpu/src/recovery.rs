@@ -1,0 +1,439 @@
+//! Component-failure recovery: the state machine that keeps the protocol
+//! sound when a GPU drops off the fabric, a peer link partitions, or the
+//! host MMU fails over — plus the epoch checkpoint/restore harness.
+//!
+//! The recovery protocol (see DESIGN.md, "Recovery protocol") is driven by
+//! the scheduled [`sim_core::ComponentEvent`]s of the fault plan:
+//!
+//! * **GPU offline** — drain its PW-queue and in-flight walks (re-issuing
+//!   local work through the reliable host path at rejoin, refusing borrowed
+//!   walks with a failure notify), invalidate every FT entry keyed to the
+//!   victim *before* migrating page ownership to survivors through the
+//!   directory, shoot down survivors' dangling remote maps, and flush the
+//!   victim's page table, PW-cache, TLBs and PRT wholesale.
+//! * **GPU rejoin** — rebuild the PRT from the directory's authoritative
+//!   residency list and release the compute/translation events that were
+//!   parked during the window (the warm-up cost).
+//! * **Link partition** — peer traffic between the severed pair detours
+//!   store-and-forward over the host links (real occupancy → backpressure)
+//!   instead of hanging.
+//! * **Host-MMU failover** — dispatch stalls while arrivals keep queueing
+//!   under the PW-queue's bounded admission; a drain kick restarts dispatch
+//!   when the window closes.
+//!
+//! Checkpoints are digest certificates, not deep snapshots: the simulator
+//! is deterministic, so "restore" means replaying from the initial state
+//! and verifying that every epoch digest of the crashed run reproduces
+//! bit-identically ([`run_with_restore`]).
+
+use std::sync::{Arc, Mutex};
+
+use ptw::{Location, PageTable};
+use sim_core::{CheckpointLog, ComponentEvent, Cycle, EpochCheckpoint, SimError, StateDigest};
+
+use crate::config::FarFaultMode;
+use crate::metrics::RunMetrics;
+use crate::request::ReqId;
+use crate::system::{Event, GmmuJob, System};
+use crate::workload::Workload;
+
+impl System {
+    /// Translates the fault plan's scheduled component events into
+    /// bookkeeping events on the queue. Called once at the start of a run;
+    /// an empty plan pushes nothing, preserving fault-free bit-identity.
+    pub(crate) fn schedule_component_events(&mut self) {
+        let events = self.injector.plan().component_events.clone();
+        for ev in events {
+            match ev {
+                ComponentEvent::GpuOffline { gpu, at_cycle, duration } => {
+                    let until = at_cycle.saturating_add(duration);
+                    let gpu = gpu as u16;
+                    self.push_bookkeeping(at_cycle, Event::GpuOffline { gpu, until });
+                    // Pushed before any deferred work targeting `until`, so
+                    // FIFO tie-breaking runs the rejoin first.
+                    self.push_bookkeeping(until, Event::GpuRejoin { gpu, until });
+                }
+                ComponentEvent::LinkPartition { a, b, at_cycle, duration } => {
+                    let (a, b) = (a as u16, b as u16);
+                    self.push_bookkeeping(at_cycle, Event::LinkDown { a, b });
+                    if duration > 0 {
+                        self.push_bookkeeping(at_cycle + duration, Event::LinkUp { a, b });
+                    }
+                }
+                ComponentEvent::HostMmuFailover { at_cycle, stall } => {
+                    let until = at_cycle.saturating_add(stall);
+                    self.push_bookkeeping(at_cycle, Event::HostFailoverStart { until });
+                    if stall > 0 {
+                        self.push_bookkeeping(until, Event::HostFailoverEnd);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The event that (re-)enters a request into the far-fault path, per
+    /// the configured fault mode.
+    pub(crate) fn host_entry_event(&self, req: ReqId) -> Event {
+        match self.cfg.fault_mode {
+            FarFaultMode::HostMmu => Event::HostArrive { req },
+            FarFaultMode::UvmDriver => Event::DriverSubmit { req },
+        }
+    }
+
+    /// Filters one popped event through the offline windows: events
+    /// targeting a dead GPU are deferred to its rejoin, redirected through
+    /// the host, or refused — never silently dropped with a request
+    /// attached. Returns `None` when the event was consumed.
+    pub(crate) fn intercept_for_recovery(&mut self, ev: Event) -> Option<Event> {
+        if self.offline_count == 0 {
+            return Some(ev);
+        }
+        let target: Option<u16> = match &ev {
+            Event::WfStart(wf)
+            | Event::WfMem(wf)
+            | Event::L2Access(wf)
+            | Event::DataDone(wf) => Some(wf.gpu),
+            Event::GmmuEnqueue { gpu, .. }
+            | Event::GmmuDispatch { gpu }
+            | Event::RemoteWalkArrive { gpu, .. } => Some(*gpu),
+            Event::RemoteSupply { req, .. }
+            | Event::Reply { req, .. }
+            | Event::HostArrive { req }
+            | Event::DriverSubmit { req }
+            | Event::FaultResolved { req } => Some(self.reqs[*req].gpu),
+            _ => None,
+        };
+        let Some(until) = target.and_then(|g| self.offline_until[g as usize]) else {
+            return Some(ev); // no target, or the target is healthy
+        };
+        match ev {
+            // Compute, translation entry points and deliveries addressed to
+            // the victim wait out the window: the warm-up cost of rejoin.
+            Event::WfStart(_)
+            | Event::WfMem(_)
+            | Event::L2Access(_)
+            | Event::DataDone(_)
+            | Event::GmmuEnqueue { .. }
+            | Event::RemoteSupply { .. }
+            | Event::HostArrive { .. }
+            | Event::DriverSubmit { .. } => {
+                self.metrics.recovery.deferred_events += 1;
+                self.events.push(until, ev);
+                None
+            }
+            // The queue was drained at offline time; the rejoin re-kicks it.
+            Event::GmmuDispatch { .. } => None,
+            // A forwarded walk reaching a dead GPU is refused immediately so
+            // the host falls back to its own walk instead of waiting.
+            Event::RemoteWalkArrive { req, .. } => {
+                self.metrics.transfw.remote_failed += 1;
+                let at = self.cpu_control_arrival(self.now);
+                self.send_message(req, at, Event::RemoteNotify { req, success: false });
+                None
+            }
+            // A resolution (or its reply) computed before the failure
+            // carries placement the eviction has invalidated: re-enter the
+            // host path at rejoin and re-resolve against fresh state.
+            Event::Reply { req, .. } | Event::FaultResolved { req } => {
+                if self.reqs[req].completed {
+                    self.note_duplicate();
+                } else {
+                    self.metrics.recovery.deferred_events += 1;
+                    let retry = self.host_entry_event(req);
+                    self.events.push(until, retry);
+                }
+                None
+            }
+            _ => Some(ev),
+        }
+    }
+
+    /// GPU `g` drops off the fabric until `until`: drain, invalidate,
+    /// migrate ownership, flush (the tentpole recovery sequence).
+    pub(crate) fn gpu_offline(&mut self, g: u16, until: Cycle) {
+        self.metrics.recovery.gpu_offline_events += 1;
+        let gi = g as usize;
+        if let Some(old) = self.offline_until[gi] {
+            // Overlapping windows: the state was already drained; just
+            // extend. The stale rejoin event is recognised by its `until`.
+            self.offline_until[gi] = Some(old.max(until));
+            return;
+        }
+        self.offline_until[gi] = Some(until);
+        self.offline_count += 1;
+        // Invalidate in-flight walk completions (their walkers are reset
+        // below; the stale events are dropped by the generation check).
+        self.gpus[gi].gen = self.gpus[gi].gen.wrapping_add(1);
+
+        // Drain queued and in-flight walks.
+        let mut orphans: Vec<GmmuJob> = Vec::new();
+        while let Some(job) = self.gpus[gi].queue.remove_where(|_| true) {
+            orphans.push(job);
+        }
+        orphans.append(&mut std::mem::take(&mut self.gpus[gi].inflight));
+        self.gpus[gi].walkers.force_reset();
+        let now = self.now;
+        for job in orphans {
+            if job.remote {
+                // A borrowed walk dies with its borrower: refuse it so the
+                // host's own walk proceeds.
+                self.metrics.transfw.remote_failed += 1;
+                let at = self.cpu_control_arrival(now);
+                self.send_message(job.req, at, Event::RemoteNotify { req: job.req, success: false });
+            } else if !self.reqs[job.req].completed {
+                // Re-issue the victim's own walk through the reliable host
+                // path once it rejoins.
+                self.reqs[job.req].fallback = true;
+                self.reqs[job.req].cancelled = false;
+                self.metrics.recovery.reissued_walks += 1;
+                let entry = self.host_entry_event(job.req);
+                self.events.push(until, entry);
+            }
+        }
+
+        // Ownership migration through the directory, with the FT entries
+        // keyed to the victim invalidated in the same step — the host must
+        // stop forwarding to the dead GPU immediately (forwards already in
+        // flight are refused by the interceptor).
+        let report = self.dir.evict_gpu(g);
+        for &(vpn, new_home) in &report.migrated {
+            self.metrics.recovery.ownership_migrations += 1;
+            self.host.tlb.invalidate(vpn);
+            if let Some(pte) = self.host.pt.translate_mut(vpn) {
+                pte.loc = new_home;
+            }
+            if let Some(ft) = self.host.ft.as_mut() {
+                match new_home {
+                    Location::Gpu(n) => ft.page_migrated(vpn, Some(g), n),
+                    Location::Cpu => ft.owner_removed(vpn, g),
+                }
+                self.metrics.recovery.ft_invalidations += 1;
+            }
+        }
+        for &vpn in &report.dropped_replicas {
+            if let Some(ft) = self.host.ft.as_mut() {
+                ft.owner_removed(vpn, g);
+                self.metrics.recovery.ft_invalidations += 1;
+            }
+        }
+        // Survivors holding remote maps of pages that lived on the victim
+        // re-fault on next touch.
+        for &(vpn, holder) in &report.invalidate {
+            self.unmap_on_gpu(holder, vpn);
+        }
+
+        // Flush the victim wholesale: device memory is gone. The MSHR is
+        // deliberately kept — its coalesced waiters are woken by the
+        // re-issued walks after rejoin.
+        let levels = self.cfg.page_table_levels;
+        let gpu = &mut self.gpus[gi];
+        gpu.pt = PageTable::new(levels);
+        gpu.pwc.flush();
+        gpu.l2.flush();
+        for cu in &mut gpu.cus {
+            cu.l1.flush();
+        }
+        if let Some(prt) = gpu.prt.as_mut() {
+            prt.clear();
+        }
+    }
+
+    /// GPU `g` rejoins at the end of the window it went down for: rebuild
+    /// the PRT from the directory and restart dispatch. Stale rejoins (the
+    /// window was extended by a second offline event) are ignored.
+    pub(crate) fn gpu_rejoin(&mut self, g: u16, until: Cycle) {
+        let gi = g as usize;
+        if self.offline_until[gi] != Some(until) {
+            return;
+        }
+        self.offline_until[gi] = None;
+        self.offline_count -= 1;
+        self.metrics.recovery.gpu_rejoins += 1;
+        // PRT rebuild from the directory's authoritative residency list
+        // (empty right after an eviction; pages repopulate it as the
+        // re-issued and deferred walks migrate them back in).
+        let resident = self.dir.resident_vpns_on(g);
+        if let Some(prt) = self.gpus[gi].prt.as_mut() {
+            for &vpn in &resident {
+                prt.page_arrived(vpn);
+            }
+            self.metrics.recovery.prt_rebuilds += 1;
+        }
+        self.events.push(self.now, Event::GmmuDispatch { gpu: g });
+    }
+
+    /// The peer link between `a` and `b` is severed: subsequent peer
+    /// traffic detours via the host (see
+    /// [`Fabric::set_partitioned`](interconnect::Fabric::set_partitioned)).
+    pub(crate) fn link_down(&mut self, a: u16, b: u16) {
+        self.metrics.recovery.link_partition_events += 1;
+        self.fabric.set_partitioned(a as usize, b as usize, true);
+    }
+
+    /// The peer link heals.
+    pub(crate) fn link_up(&mut self, a: u16, b: u16) {
+        self.fabric.set_partitioned(a as usize, b as usize, false);
+    }
+
+    /// The host MMU stops dispatching until `until` (failover to a standby
+    /// walker complex). Overlapping windows extend.
+    pub(crate) fn host_failover_start(&mut self, until: Cycle) {
+        self.metrics.recovery.host_failover_events += 1;
+        self.host_failover_until =
+            Some(self.host_failover_until.map_or(until, |u| u.max(until)));
+    }
+
+    /// The failover window closed: drain the backlog.
+    pub(crate) fn host_failover_end(&mut self) {
+        let Some(until) = self.host_failover_until else {
+            return;
+        };
+        if self.now < until {
+            return; // stale end of an extended window
+        }
+        self.host_failover_until = None;
+        self.events.push(self.now, Event::HostDispatch);
+        if self.cfg.fault_mode == FarFaultMode::UvmDriver {
+            self.events.push(self.now, Event::DriverCheck);
+        }
+    }
+
+    /// Records one epoch checkpoint: a digest of the complete observable
+    /// simulation state at this cycle.
+    pub(crate) fn epoch_checkpoint(&mut self) {
+        let cp = EpochCheckpoint {
+            epoch: self.checkpoint_log.len() as u64,
+            cycle: self.now,
+            digest: self.state_digest(),
+        };
+        self.checkpoint_log.record(cp);
+        if let Some(sink) = &self.checkpoint_sink {
+            sink.lock().expect("checkpoint sink poisoned").record(cp);
+        }
+        self.metrics.recovery.checkpoints_taken += 1;
+        if let Some(interval) = self.cfg.checkpoint_interval {
+            if self.has_real_events() {
+                self.push_bookkeeping(self.now + interval, Event::Checkpoint);
+            }
+        }
+    }
+
+    /// A 64-bit digest over everything that determines the rest of the run:
+    /// cycle, RNG stream position, request states, per-GPU cache/queue/
+    /// walker/table state, host MMU state, the page directory and the key
+    /// counters. Two runs in the same state produce the same digest, and a
+    /// divergence anywhere shows up in every later digest.
+    pub(crate) fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(self.now)
+            .mix(self.rng.state_digest())
+            .mix(self.reqs.len() as u64)
+            .mix(self.metrics.mem_instructions)
+            .mix(self.metrics.translation_requests)
+            .mix(self.metrics.resilience.requests_retired)
+            .mix(self.metrics.local_faults);
+        for req in self.reqs.iter() {
+            d.mix(
+                req.vpn
+                    ^ ((req.completed as u64) << 63)
+                    ^ ((req.retire_count as u64) << 48)
+                    ^ ((req.gpu as u64) << 40),
+            );
+        }
+        for gpu in &self.gpus {
+            d.mix(gpu.l2.hits())
+                .mix(gpu.l2.misses())
+                .mix(gpu.mshr.len() as u64)
+                .mix(gpu.queue.len() as u64)
+                .mix(gpu.walkers.busy() as u64)
+                .mix(gpu.pt.mapped_pages() as u64)
+                .mix(gpu.gen as u64);
+            if let Some(prt) = gpu.prt.as_ref() {
+                d.mix(prt.state_digest());
+            }
+        }
+        d.mix(self.host.tlb.hits())
+            .mix(self.host.tlb.misses())
+            .mix(self.host.queue.len() as u64)
+            .mix(self.host.walkers.busy() as u64)
+            .mix(self.host.pt.mapped_pages() as u64);
+        if let Some(ft) = self.host.ft.as_ref() {
+            d.mix(ft.state_digest());
+        }
+        d.mix(self.dir.state_digest());
+        d.finish()
+    }
+}
+
+/// Outcome of a crash-and-restore cycle (see [`run_with_restore`]).
+#[derive(Debug, Clone)]
+pub struct RestoreOutcome {
+    /// Metrics of the restored, replayed-to-completion run.
+    pub metrics: RunMetrics,
+    /// Whether a restore actually happened (false when the "crashing" run
+    /// finished before the crash point).
+    pub restored: bool,
+    /// Epochs the crashed run had recorded when it died.
+    pub crashed_epochs: usize,
+}
+
+/// Runs `workload` with a crash injected at `crash_at` cycles, then
+/// restores from the checkpoint log: the simulator is deterministic, so
+/// restoring means replaying from the initial state and verifying that the
+/// crashed run's every epoch digest reproduces bit-identically. Returns the
+/// completed run's metrics (with `restores_performed` set) after the
+/// verification passes.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from either run other than the injected
+/// [`SimError::CycleCapExceeded`], and fails with
+/// [`SimError::InvariantViolation`] if the replay diverges from the crashed
+/// run's checkpoint prefix.
+///
+/// # Panics
+///
+/// Panics if `cfg.checkpoint_interval` is `None` — a restore needs epochs.
+pub fn run_with_restore(
+    cfg: &crate::config::SystemConfig,
+    workload: &dyn Workload,
+    crash_at: Cycle,
+) -> Result<RestoreOutcome, SimError> {
+    assert!(
+        cfg.checkpoint_interval.is_some(),
+        "run_with_restore requires checkpoint_interval"
+    );
+    // Crash half: run with a hard cycle cap standing in for the crash. The
+    // sink mirrors every checkpoint out of the dying System.
+    let crashed = Arc::new(Mutex::new(CheckpointLog::new()));
+    let mut crash_cfg = cfg.clone();
+    crash_cfg.watchdog.max_cycles = Some(crash_at);
+    let sys = System::new(crash_cfg).with_checkpoint_sink(crashed.clone());
+    match sys.run(workload) {
+        Ok(metrics) => {
+            // Finished before the crash point: nothing to restore.
+            return Ok(RestoreOutcome {
+                crashed_epochs: crashed.lock().expect("checkpoint sink poisoned").len(),
+                metrics,
+                restored: false,
+            });
+        }
+        Err(SimError::CycleCapExceeded { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    let crashed_log = crashed.lock().expect("checkpoint sink poisoned").clone();
+
+    // Restore half: deterministic replay from cycle 0, verified epoch by
+    // epoch against the crashed run's log.
+    let restored = Arc::new(Mutex::new(CheckpointLog::new()));
+    let sys = System::new(cfg.clone()).with_checkpoint_sink(restored.clone());
+    let mut metrics = sys.run(workload)?;
+    let restored_log = restored.lock().expect("checkpoint sink poisoned").clone();
+    crashed_log.verify_prefix_of(&restored_log)?;
+    metrics.recovery.restores_performed = 1;
+    Ok(RestoreOutcome {
+        metrics,
+        restored: true,
+        crashed_epochs: crashed_log.len(),
+    })
+}

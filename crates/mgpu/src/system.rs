@@ -2,9 +2,11 @@
 
 use std::collections::VecDeque;
 
+use std::sync::{Arc, Mutex};
+
 use interconnect::Fabric;
 use ptw::{Asap, GpuId, InfinitePwc, Location, PageTable, Pte, PwCache, PwQueue, Stc, Utc, WalkerPool};
-use sim_core::{Cycle, EventQueue, FaultInjector, MessageFate, SimError, SimRng};
+use sim_core::{CheckpointLog, Cycle, EventQueue, FaultInjector, MessageFate, SimError, SimRng};
 use tlb::{Mshr, MshrOutcome, Tlb};
 use transfw::{ForwardPolicy, Ft, Prt};
 use uvm::{PageDirectory, UvmDriver};
@@ -29,6 +31,10 @@ pub struct TransEntry {
 pub(crate) struct GmmuJob {
     pub req: ReqId,
     pub remote: bool,
+    /// The GPU's recovery generation at dispatch: a walk-done event whose
+    /// generation is stale (the GPU went offline in between) is discarded
+    /// instead of releasing a walker that was already force-reset.
+    pub gen: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -56,6 +62,21 @@ pub(crate) enum Event {
     ReqDeadline { req: ReqId, attempt: u32 },
     /// Watchdog: periodic whole-system progress check.
     LivenessCheck,
+    /// Recovery: GPU `gpu` drops off the fabric until cycle `until`.
+    GpuOffline { gpu: u16, until: Cycle },
+    /// Recovery: GPU `gpu` rejoins; stale if its window was extended past
+    /// `until` by a second offline event.
+    GpuRejoin { gpu: u16, until: Cycle },
+    /// Recovery: the peer link between `a` and `b` is severed.
+    LinkDown { a: u16, b: u16 },
+    /// Recovery: the peer link between `a` and `b` heals.
+    LinkUp { a: u16, b: u16 },
+    /// Recovery: the host MMU stops dispatching walks until `until`.
+    HostFailoverStart { until: Cycle },
+    /// Recovery: the host MMU resumes dispatching and drains its backlog.
+    HostFailoverEnd,
+    /// Epoch checkpoint: record a state digest and re-arm.
+    Checkpoint,
 }
 
 pub(crate) struct Wavefront {
@@ -79,6 +100,12 @@ pub(crate) struct Gpu {
     pub prt: Option<Prt>,
     pub asap: Option<Asap>,
     pub ctas: VecDeque<usize>,
+    /// Recovery generation: bumped when the GPU goes offline so in-flight
+    /// walk completions from before the failure are recognised as stale.
+    pub gen: u32,
+    /// Jobs whose walk is in flight (walker acquired, completion pending) —
+    /// drained and re-issued when the GPU goes offline.
+    pub inflight: Vec<GmmuJob>,
 }
 
 pub(crate) struct HostMmu {
@@ -126,6 +153,23 @@ pub struct System {
     /// Progress snapshot at the previous liveness check:
     /// `(requests retired, memory instructions, requests created)`.
     pub(crate) liveness_mark: (u64, u64, u64),
+    /// Per-GPU offline window: `Some(rejoin_cycle)` while the GPU is down.
+    pub(crate) offline_until: Vec<Option<Cycle>>,
+    /// Number of GPUs currently offline (fast path guard for the event
+    /// interceptor).
+    pub(crate) offline_count: usize,
+    /// Host-MMU failover window: `Some(resume_cycle)` while dispatch stalls.
+    pub(crate) host_failover_until: Option<Cycle>,
+    /// Bookkeeping events (watchdog/recovery/checkpoint) currently queued;
+    /// the liveness and checkpoint re-arm logic treats a queue holding only
+    /// bookkeeping as drained, so the two self-re-arming watchdogs cannot
+    /// keep each other alive forever.
+    pub(crate) bookkeeping_pending: usize,
+    /// Epoch checkpoints recorded by this run.
+    pub(crate) checkpoint_log: CheckpointLog,
+    /// Optional external mirror of the checkpoint log: survives a run that
+    /// aborts mid-flight (the crash half of checkpoint/restore).
+    pub(crate) checkpoint_sink: Option<Arc<Mutex<CheckpointLog>>>,
 }
 
 impl System {
@@ -167,6 +211,8 @@ impl System {
                     .map(|k| Prt::new(&k.config)),
                 asap: cfg.asap.map(Asap::new),
                 ctas: VecDeque::new(),
+                gen: 0,
+                inflight: Vec::new(),
             })
             .collect();
         let host = HostMmu {
@@ -210,12 +256,26 @@ impl System {
             injector: FaultInjector::new(cfg.faults.clone()),
             last_real_event: 0,
             liveness_mark: (0, 0, 0),
+            offline_until: vec![None; cfg.gpus as usize],
+            offline_count: 0,
+            host_failover_until: None,
+            bookkeeping_pending: 0,
+            checkpoint_log: CheckpointLog::new(),
+            checkpoint_sink: None,
             now: 0,
             events: EventQueue::with_capacity(1 << 14),
             gpus,
             host,
             cfg,
         }
+    }
+
+    /// Mirrors every epoch checkpoint into `sink` as it is recorded, so the
+    /// log survives a run that aborts (the crash half of checkpoint/restore;
+    /// see [`run_with_restore`](crate::run_with_restore)).
+    pub fn with_checkpoint_sink(mut self, sink: Arc<Mutex<CheckpointLog>>) -> Self {
+        self.checkpoint_sink = Some(sink);
+        self
     }
 
     /// Read access to the configuration.
@@ -319,28 +379,72 @@ impl System {
         // from `total_cycles`, so arming it keeps fault-free runs
         // bit-identical while still catching wedges in every test.
         if self.cfg.watchdog.enabled {
-            self.events
-                .push(self.cfg.watchdog.liveness_interval, Event::LivenessCheck);
+            self.push_bookkeeping(self.cfg.watchdog.liveness_interval, Event::LivenessCheck);
+        }
+
+        // Scheduled component failures and the epoch-checkpoint tick, all
+        // bookkeeping (excluded from `total_cycles`).
+        self.schedule_component_events();
+        if let Some(interval) = self.cfg.checkpoint_interval {
+            self.push_bookkeeping(interval, Event::Checkpoint);
         }
 
         while let Some((t, ev)) = self.events.pop() {
             debug_assert!(t >= self.now, "time moved backwards");
             self.now = t;
-            if let Some(cap) = self.cfg.watchdog.max_cycles {
-                if t > cap {
-                    return Err(SimError::CycleCapExceeded {
-                        cap,
-                        outstanding: self.outstanding_requests(),
-                    });
+            if Self::is_bookkeeping(&ev) {
+                self.bookkeeping_pending -= 1;
+            } else {
+                // The cycle cap gates *real* work only: once the workload is
+                // done, late bookkeeping (the initial liveness arming, stale
+                // request deadlines) drains past the cap harmlessly.
+                if let Some(cap) = self.cfg.watchdog.max_cycles {
+                    if t > cap {
+                        return Err(SimError::CycleCapExceeded {
+                            cap,
+                            outstanding: self.outstanding_requests(),
+                        });
+                    }
                 }
-            }
-            if !matches!(ev, Event::LivenessCheck | Event::ReqDeadline { .. }) {
                 self.last_real_event = t;
             }
+            let Some(ev) = self.intercept_for_recovery(ev) else {
+                continue; // deferred or redirected around an offline GPU
+            };
             self.dispatch(ev, workload)?;
         }
 
         self.finalize()
+    }
+
+    /// Whether an event is watchdog/recovery bookkeeping: excluded from
+    /// `total_cycles` and from the "real work pending" count that gates the
+    /// self-re-arming watchdogs.
+    fn is_bookkeeping(ev: &Event) -> bool {
+        matches!(
+            ev,
+            Event::LivenessCheck
+                | Event::ReqDeadline { .. }
+                | Event::Checkpoint
+                | Event::GpuOffline { .. }
+                | Event::GpuRejoin { .. }
+                | Event::LinkDown { .. }
+                | Event::LinkUp { .. }
+                | Event::HostFailoverStart { .. }
+                | Event::HostFailoverEnd
+        )
+    }
+
+    /// Pushes a bookkeeping event, keeping the pending count in sync.
+    pub(crate) fn push_bookkeeping(&mut self, at: Cycle, ev: Event) {
+        debug_assert!(Self::is_bookkeeping(&ev));
+        self.bookkeeping_pending += 1;
+        self.events.push(at, ev);
+    }
+
+    /// Whether anything other than bookkeeping is still queued.
+    pub(crate) fn has_real_events(&self) -> bool {
+        self.events.len() > self.bookkeeping_pending
     }
 
     /// Translation requests created but not yet retired.
@@ -416,6 +520,34 @@ impl System {
                 Ok(())
             }
             Event::LivenessCheck => self.liveness_check(),
+            Event::GpuOffline { gpu, until } => {
+                self.gpu_offline(gpu, until);
+                Ok(())
+            }
+            Event::GpuRejoin { gpu, until } => {
+                self.gpu_rejoin(gpu, until);
+                Ok(())
+            }
+            Event::LinkDown { a, b } => {
+                self.link_down(a, b);
+                Ok(())
+            }
+            Event::LinkUp { a, b } => {
+                self.link_up(a, b);
+                Ok(())
+            }
+            Event::HostFailoverStart { until } => {
+                self.host_failover_start(until);
+                Ok(())
+            }
+            Event::HostFailoverEnd => {
+                self.host_failover_end();
+                Ok(())
+            }
+            Event::Checkpoint => {
+                self.epoch_checkpoint();
+                Ok(())
+            }
         }
     }
 
@@ -459,7 +591,7 @@ impl System {
     /// protocol has wedged (e.g. every copy of a completion message was
     /// lost and no fallback fired) and the run aborts instead of spinning.
     fn liveness_check(&mut self) -> Result<(), SimError> {
-        if self.events.is_empty() {
+        if !self.has_real_events() {
             return Ok(()); // run drained; nothing left to watch
         }
         let mark = (
@@ -468,14 +600,18 @@ impl System {
             self.reqs.len() as u64,
         );
         let outstanding = self.outstanding_requests();
-        if mark == self.liveness_mark && outstanding > 0 {
+        // While a component is down, stalled progress is the *expected*
+        // state (work is parked until the rejoin/failover-end); only abort
+        // for no-progress once the system is whole again.
+        let degraded = self.offline_count > 0 || self.host_failover_until.is_some();
+        if mark == self.liveness_mark && outstanding > 0 && !degraded {
             return Err(SimError::Livelock {
                 cycle: self.now,
                 outstanding,
             });
         }
         self.liveness_mark = mark;
-        self.events.push(
+        self.push_bookkeeping(
             self.now + self.cfg.watchdog.liveness_interval,
             Event::LivenessCheck,
         );
@@ -652,7 +788,11 @@ impl System {
                 at,
                 Event::GmmuEnqueue {
                     gpu: g,
-                    job: GmmuJob { req, remote: false },
+                    job: GmmuJob {
+                        req,
+                        remote: false,
+                        gen: self.gpus[g as usize].gen,
+                    },
                 },
             );
         }
@@ -670,6 +810,23 @@ impl System {
         at + self.cfg.peer_link_latency
     }
 
+    /// Arrival time of a control message between two specific peers,
+    /// honouring link partitions: a severed pair detours store-and-forward
+    /// over the reliable host links (paying their occupancy, i.e. real
+    /// backpressure) instead of hanging on the dead link.
+    pub(crate) fn peer_control_arrival_between(&mut self, src: u16, dst: u16, at: Cycle) -> Cycle {
+        if self.fabric.is_partitioned(src as usize, dst as usize) {
+            self.metrics.recovery.rerouted_messages += 1;
+            let at_host = self
+                .fabric
+                .send_gpu_to_cpu(src as usize, at, interconnect::msg::CONTROL);
+            return self
+                .fabric
+                .send_cpu_to_gpu(dst as usize, at_host, interconnect::msg::CONTROL);
+        }
+        self.peer_control_arrival(at)
+    }
+
     /// Ships a far fault (or short-circuited request) to the host side.
     /// The message crosses the fabric, so it is subject to fault injection;
     /// under an active plan a watchdog deadline is armed for the round trip.
@@ -683,7 +840,7 @@ impl System {
         self.send_message(req, arrival, ev);
         if self.injector.active() && self.cfg.watchdog.enabled && !self.reqs[req].fallback {
             let attempt = self.reqs[req].watchdog_retries;
-            self.events.push(
+            self.push_bookkeeping(
                 at + self.cfg.watchdog.request_timeout,
                 Event::ReqDeadline { req, attempt },
             );
@@ -921,6 +1078,9 @@ impl System {
             self.metrics.breakdown.network += req.lat.network;
         }
         self.metrics.resilience.faults_injected = self.injector.stats();
+        // Data transfers rerouted inside the fabric join the control
+        // messages rerouted at the protocol layer.
+        self.metrics.recovery.rerouted_messages += self.fabric.rerouted_count();
         Ok(self.metrics)
     }
 }

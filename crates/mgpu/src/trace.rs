@@ -35,12 +35,25 @@
 //! }
 //!
 //! let text = record(&Two, 42);
-//! let replay = TraceWorkload::parse(&text).unwrap();
+//! let replay = TraceWorkload::parse(&text)?;
 //! assert_eq!(replay.footprint_pages(), 4);
 //! let mut s = replay.make_stream(0, 0);
 //! assert_eq!(s.next_access(), Some(Access::read(0, 5)));
 //! assert_eq!(s.next_access(), Some(Access::write(3, 7)));
 //! assert_eq!(s.next_access(), None);
+//! # Ok::<(), mgpu::trace::ParseTraceError>(())
+//! ```
+//!
+//! A malformed trace is rejected with the offending line number, so a bad
+//! capture pinpoints itself instead of panicking deep in replay:
+//!
+//! ```
+//! use mgpu::trace::TraceWorkload;
+//!
+//! let bad = "transfw-trace v1 name=t footprint=2 ctas=1\n0 0 r 1\n0 0 r\n";
+//! let e = TraceWorkload::parse(bad).unwrap_err();
+//! assert_eq!(e.line, 3);
+//! assert!(e.message.contains("missing compute"));
 //! ```
 
 use std::collections::HashMap;
@@ -243,7 +256,11 @@ impl Workload for TraceWorkload {
     }
 
     fn make_stream(&self, cta: usize, _seed: u64) -> Box<dyn AccessStream> {
-        Box::new(self.streams[cta].clone().into_iter())
+        // An out-of-range CTA (a caller scheduling more CTAs than the trace
+        // recorded) replays as an empty stream rather than panicking: the
+        // trait has no error channel, and an empty stream degrades the run
+        // instead of aborting it mid-simulation.
+        Box::new(self.streams.get(cta).cloned().unwrap_or_default().into_iter())
     }
 }
 
@@ -348,6 +365,13 @@ mod tests {
         let e = TraceWorkload::parse("transfw-trace v1 name=t footprint=2 ctas=1\n0 0 r 1\n0 0 r\n")
             .unwrap_err();
         assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn out_of_range_cta_replays_empty_instead_of_panicking() {
+        let t = TraceWorkload::parse(sample()).unwrap();
+        let mut s = t.make_stream(99, 0);
+        assert_eq!(s.next_access(), None);
     }
 
     #[test]

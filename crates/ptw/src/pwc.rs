@@ -83,6 +83,11 @@ pub trait PwCache: std::fmt::Debug + Send {
     /// a page-table node is torn down on unmap).
     fn invalidate(&mut self, vpn: u64, k: u32);
 
+    /// Drops every cached entry while preserving accumulated statistics —
+    /// used when a GPU is taken offline and its page-table state is torn
+    /// down wholesale rather than entry by entry.
+    fn flush(&mut self);
+
     /// Statistics gathered so far.
     fn stats(&self) -> &PwCacheStats;
 
@@ -144,6 +149,10 @@ impl LruArray {
 
     fn remove(&mut self, key: (u32, u64)) -> bool {
         self.entries.remove(&key).is_some()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
     }
 
     fn len(&self) -> usize {
@@ -221,6 +230,10 @@ impl PwCache for Utc {
 
     fn invalidate(&mut self, vpn: u64, k: u32) {
         self.array.remove((k, tag(vpn, k)));
+    }
+
+    fn flush(&mut self) {
+        self.array.clear();
     }
 
     fn stats(&self) -> &PwCacheStats {
@@ -321,6 +334,12 @@ impl PwCache for Stc {
         self.array_mut(k).remove(key);
     }
 
+    fn flush(&mut self) {
+        for array in &mut self.arrays {
+            array.clear();
+        }
+    }
+
     fn stats(&self) -> &PwCacheStats {
         &self.stats
     }
@@ -373,6 +392,10 @@ impl PwCache for InfinitePwc {
 
     fn invalidate(&mut self, vpn: u64, k: u32) {
         self.entries.remove(&(k, tag(vpn, k)));
+    }
+
+    fn flush(&mut self) {
+        self.entries.clear();
     }
 
     fn stats(&self) -> &PwCacheStats {
@@ -488,5 +511,24 @@ mod tests {
     #[should_panic(expected = "one capacity per cached level")]
     fn stc_capacity_mismatch_panics() {
         let _ = Stc::new(&[1, 2], 5);
+    }
+
+    #[test]
+    fn flush_empties_caches_but_keeps_stats() {
+        let caches: Vec<Box<dyn PwCache>> = vec![
+            Box::new(Utc::new(16, 5)),
+            Box::new(Stc::paper_default(5)),
+            Box::new(InfinitePwc::new(5)),
+        ];
+        for mut pwc in caches {
+            pwc.insert(0x1234, 3);
+            assert_eq!(pwc.lookup(0x1234), Some(3));
+            let lookups_before = pwc.stats().lookups;
+            pwc.flush();
+            assert_eq!(pwc.probe(0x1234), None, "flush drops entries");
+            assert_eq!(pwc.stats().lookups, lookups_before, "flush preserves stats");
+            pwc.insert(0x1234, 2);
+            assert_eq!(pwc.lookup(0x1234), Some(2), "cache usable after flush");
+        }
     }
 }

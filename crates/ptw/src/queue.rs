@@ -199,6 +199,14 @@ impl WalkerPool {
     pub fn walk_count(&self) -> u64 {
         self.walks
     }
+
+    /// Force-releases every busy walker, returning how many were aborted.
+    /// Used when the component owning the pool goes offline: the in-flight
+    /// walks it was serving are discarded or re-issued by the caller, and
+    /// the pool must come back up idle.
+    pub fn force_reset(&mut self) -> usize {
+        std::mem::take(&mut self.busy)
+    }
 }
 
 /// Latency of a walk performing `accesses` serialized memory accesses.
@@ -283,5 +291,17 @@ mod tests {
     fn walk_latency_scales() {
         assert_eq!(walk_latency(0, 100), 0);
         assert_eq!(walk_latency(3, 100), 300);
+    }
+
+    #[test]
+    fn force_reset_aborts_busy_walkers() {
+        let mut p = WalkerPool::new(2);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert_eq!(p.force_reset(), 2);
+        assert_eq!(p.busy(), 0);
+        assert!(p.has_free());
+        assert_eq!(p.walk_count(), 2, "walk counter survives the reset");
+        assert_eq!(p.force_reset(), 0);
     }
 }

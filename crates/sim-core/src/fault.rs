@@ -15,6 +15,61 @@
 
 use crate::{Cycle, SimRng};
 
+/// A scheduled component-level failure: unlike the probabilistic message
+/// and walker faults, these fire at a declared cycle and (for the windowed
+/// kinds) heal after a declared duration, so a recovery protocol can be
+/// exercised deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentEvent {
+    /// GPU `gpu` drops off the fabric at `at_cycle` and rejoins after
+    /// `duration` cycles. Its in-flight walks must be drained or re-issued,
+    /// FT entries keyed to it invalidated, page ownership migrated to
+    /// survivors, and its PRT flushed; on rejoin the PRT is rebuilt from
+    /// the directory.
+    GpuOffline {
+        /// Index of the failing GPU.
+        gpu: usize,
+        /// Cycle at which the GPU goes offline.
+        at_cycle: Cycle,
+        /// Cycles until it rejoins (must be positive: a GPU that never
+        /// rejoins would strand the compute work deferred to its rejoin).
+        duration: Cycle,
+    },
+    /// The direct peer link between GPUs `a` and `b` is severed for the
+    /// window `[at_cycle, at_cycle + duration)`; traffic between them must
+    /// be rerouted via the reliable host path.
+    LinkPartition {
+        /// One endpoint of the partitioned link.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Cycle at which the partition starts.
+        at_cycle: Cycle,
+        /// Length of the partition window (0 = permanent).
+        duration: Cycle,
+    },
+    /// The host MMU stops dispatching walks for `stall` cycles starting at
+    /// `at_cycle` (failover to a standby walker complex); arrivals keep
+    /// queueing under the bounded admission control of the PW-queue.
+    HostMmuFailover {
+        /// Cycle at which the host MMU stalls.
+        at_cycle: Cycle,
+        /// Length of the stall.
+        stall: Cycle,
+    },
+}
+
+impl ComponentEvent {
+    /// Cycle at which the event fires.
+    pub fn at_cycle(&self) -> Cycle {
+        match *self {
+            ComponentEvent::GpuOffline { at_cycle, .. }
+            | ComponentEvent::LinkPartition { at_cycle, .. }
+            | ComponentEvent::HostMmuFailover { at_cycle, .. } => at_cycle,
+        }
+    }
+}
+
 /// Declarative description of the faults to inject into one run.
 ///
 /// All probabilities are per-decision in `[0, 1]`; the default plan is
@@ -61,6 +116,9 @@ pub struct FaultPlan {
     pub host_burst_len: Cycle,
     /// Extra host-walk latency while inside a burst window.
     pub host_burst_extra: Cycle,
+    /// Scheduled component-level failures (GPU offline, link partition,
+    /// host-MMU failover). Empty by default.
+    pub component_events: Vec<ComponentEvent>,
 }
 
 impl FaultPlan {
@@ -79,7 +137,13 @@ impl FaultPlan {
             host_burst_period: 0,
             host_burst_len: 0,
             host_burst_extra: 0,
+            component_events: Vec::new(),
         }
+    }
+
+    /// A plan whose only faults are the given scheduled component events.
+    pub fn components(events: Vec<ComponentEvent>) -> Self {
+        Self { component_events: events, ..Self::none() }
     }
 
     /// A plan that drops `p` of protocol messages (the acceptance scenario:
@@ -110,6 +174,7 @@ impl FaultPlan {
             || self.table_update_drop_prob > 0.0
             || self.table_pollution > 0
             || (self.host_burst_period > 0 && self.host_burst_len > 0 && self.host_burst_extra > 0)
+            || !self.component_events.is_empty()
     }
 
     /// Whether the plan perturbs the PRT/FT filters themselves (stale
@@ -137,6 +202,41 @@ impl FaultPlan {
                 "host_burst_len {} exceeds host_burst_period {}",
                 self.host_burst_len, self.host_burst_period
             )));
+        }
+        for ev in &self.component_events {
+            match *ev {
+                ComponentEvent::LinkPartition { a, b, .. } if a == b => {
+                    return Err(crate::SimError::Config(format!(
+                        "link partition endpoints must differ (got {a}=={b})"
+                    )));
+                }
+                ComponentEvent::GpuOffline { gpu, duration: 0, .. } => {
+                    return Err(crate::SimError::Config(format!(
+                        "GPU {gpu} offline duration must be positive (it must rejoin)"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates component-event GPU indices against the system's GPU count
+    /// (a separate pass because the plan itself does not know the topology).
+    pub fn validate_topology(&self, gpu_count: usize) -> Result<(), crate::SimError> {
+        for ev in &self.component_events {
+            let bad = match *ev {
+                ComponentEvent::GpuOffline { gpu, .. } => (gpu >= gpu_count).then_some(gpu),
+                ComponentEvent::LinkPartition { a, b, .. } => {
+                    [a, b].into_iter().find(|&g| g >= gpu_count)
+                }
+                ComponentEvent::HostMmuFailover { .. } => None,
+            };
+            if let Some(g) = bad {
+                return Err(crate::SimError::Config(format!(
+                    "component event references GPU {g} but the system has {gpu_count} GPU(s)"
+                )));
+            }
         }
         Ok(())
     }
@@ -434,5 +534,53 @@ mod tests {
         assert!(burst.validate().is_ok());
         assert!(!burst.perturbs_tables());
         assert!(FaultPlan { table_update_drop_prob: 0.1, ..FaultPlan::none() }.perturbs_tables());
+    }
+
+    #[test]
+    fn component_events_activate_but_do_not_perturb_tables() {
+        let plan = FaultPlan::components(vec![ComponentEvent::GpuOffline {
+            gpu: 1,
+            at_cycle: 500,
+            duration: 2000,
+        }]);
+        assert!(plan.is_active());
+        assert!(!plan.perturbs_tables(), "recovery must leave tables coherent");
+        assert!(plan.validate().is_ok());
+        assert_eq!(plan.component_events[0].at_cycle(), 500);
+    }
+
+    #[test]
+    fn component_event_validation() {
+        let degenerate = FaultPlan::components(vec![ComponentEvent::LinkPartition {
+            a: 2,
+            b: 2,
+            at_cycle: 0,
+            duration: 10,
+        }]);
+        assert!(degenerate.validate().is_err());
+
+        let immortal = FaultPlan::components(vec![ComponentEvent::GpuOffline {
+            gpu: 0,
+            at_cycle: 5,
+            duration: 0,
+        }]);
+        assert!(immortal.validate().is_err(), "offline GPUs must rejoin");
+
+        let plan = FaultPlan::components(vec![
+            ComponentEvent::GpuOffline { gpu: 3, at_cycle: 0, duration: 10 },
+            ComponentEvent::HostMmuFailover { at_cycle: 5, stall: 100 },
+        ]);
+        assert!(plan.validate().is_ok());
+        assert!(plan.validate_topology(4).is_ok());
+        assert!(plan.validate_topology(3).is_err(), "GPU 3 out of range for 3 GPUs");
+
+        let part = FaultPlan::components(vec![ComponentEvent::LinkPartition {
+            a: 0,
+            b: 5,
+            at_cycle: 0,
+            duration: 10,
+        }]);
+        assert!(part.validate_topology(4).is_err());
+        assert!(part.validate_topology(6).is_ok());
     }
 }

@@ -26,14 +26,16 @@
 //! assert!(q.is_empty());
 //! ```
 
+pub mod checkpoint;
 pub mod error;
 pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 
+pub use checkpoint::{CheckpointLog, EpochCheckpoint, StateDigest};
 pub use error::SimError;
-pub use fault::{FaultInjector, FaultPlan, InjectStats, MessageFate};
+pub use fault::{ComponentEvent, FaultInjector, FaultPlan, InjectStats, MessageFate};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

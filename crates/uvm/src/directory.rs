@@ -86,6 +86,34 @@ pub enum FaultAction {
     AlreadyResident,
 }
 
+/// What [`PageDirectory::evict_gpu`] did, so the memory system can mirror
+/// the ownership changes into the host page table, host TLB, FT and the
+/// surviving GPUs' local tables. All lists are sorted by VPN so the caller's
+/// bookkeeping replays deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvictionReport {
+    /// Pages whose home moved off the evicted GPU, with the new home
+    /// (a surviving replica holder when one exists, else the CPU).
+    pub migrated: Vec<(u64, Location)>,
+    /// Pages that lost a read replica held by the evicted GPU.
+    pub dropped_replicas: Vec<u64>,
+    /// Pages that lost a remote mapping held by the evicted GPU.
+    pub dropped_remote_maps: Vec<u64>,
+    /// Stale remote mappings on *surviving* GPUs that pointed at physical
+    /// memory on the evicted GPU and must be shot down.
+    pub invalidate: Vec<(u64, GpuId)>,
+}
+
+impl EvictionReport {
+    /// Whether the eviction touched any state at all.
+    pub fn is_empty(&self) -> bool {
+        self.migrated.is_empty()
+            && self.dropped_replicas.is_empty()
+            && self.dropped_remote_maps.is_empty()
+            && self.invalidate.is_empty()
+    }
+}
+
 /// Aggregate placement statistics for Figs. 7/23/25.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DirectoryStats {
@@ -374,6 +402,95 @@ impl PageDirectory {
         })
     }
 
+    /// Evicts every trace of `gpu` from the directory: pages homed there are
+    /// re-owned (the lowest surviving replica holder is promoted, else the
+    /// home falls back to the CPU backing copy), its replica and remote-map
+    /// bits are cleared everywhere, and its access counters reset. Remote
+    /// mappings on *other* GPUs that pointed at the evicted GPU's memory are
+    /// reported for shootdown.
+    ///
+    /// Pages are processed in ascending VPN order, so two runs that reach
+    /// this call with identical directory contents produce identical
+    /// reports — the property the checkpoint/restore certificate relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range.
+    pub fn evict_gpu(&mut self, gpu: GpuId) -> EvictionReport {
+        assert!(gpu < self.gpu_count, "gpu {gpu} out of range");
+        let mut report = EvictionReport::default();
+        let mut vpns: Vec<u64> = self.pages.keys().copied().collect();
+        vpns.sort_unstable();
+        let bit = 1u64 << gpu;
+        for vpn in vpns {
+            let page = self.pages.get_mut(&vpn).expect("key just enumerated");
+            if page.replicas & bit != 0 {
+                page.replicas &= !bit;
+                report.dropped_replicas.push(vpn);
+            }
+            if page.remote_maps & bit != 0 {
+                page.remote_maps &= !bit;
+                report.dropped_remote_maps.push(vpn);
+            }
+            if let Some(c) = page.access_counts.get_mut(gpu as usize) {
+                *c = 0;
+            }
+            if page.home == Location::Gpu(gpu) {
+                // Promote the lowest surviving replica; with none left the
+                // CPU backing copy (always coherent for read replicas)
+                // becomes the home again.
+                let new_home = (0..self.gpu_count)
+                    .find(|&g| page.replicas & (1 << g) != 0)
+                    .map_or(Location::Cpu, |g| {
+                        page.replicas &= !(1 << g);
+                        Location::Gpu(g)
+                    });
+                page.home = new_home;
+                self.stats.migrations += 1;
+                // Data moved (or ceased to exist on the old owner): remote
+                // mappings on survivors now dangle and must be shot down.
+                for g in 0..self.gpu_count {
+                    if g != gpu && page.remote_maps & (1 << g) != 0 {
+                        report.invalidate.push((vpn, g));
+                    }
+                }
+                page.remote_maps = 0;
+                report.migrated.push((vpn, new_home));
+            }
+        }
+        report
+    }
+
+    /// Every VPN with a resident copy (home or replica) on `gpu`, in
+    /// ascending order — the seed list for a PRT rebuild on rejoin.
+    pub fn resident_vpns_on(&self, gpu: GpuId) -> Vec<u64> {
+        let mut vpns: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.resident_on(gpu))
+            .map(|(&vpn, _)| vpn)
+            .collect();
+        vpns.sort_unstable();
+        vpns
+    }
+
+    /// A 64-bit order-independent-input digest of the directory contents
+    /// (VPNs visited in sorted order), for epoch checkpoints.
+    pub fn state_digest(&self) -> u64 {
+        let mut vpns: Vec<u64> = self.pages.keys().copied().collect();
+        vpns.sort_unstable();
+        let mut digest = sim_core::checkpoint::StateDigest::new();
+        for vpn in vpns {
+            let page = &self.pages[&vpn];
+            let home = match page.home {
+                Location::Cpu => u64::MAX,
+                Location::Gpu(g) => g as u64,
+            };
+            digest.mix(vpn).mix(home).mix(page.replicas).mix(page.remote_maps);
+        }
+        digest.finish()
+    }
+
     /// Post-run consistency audit: every page's placement state must be
     /// internally coherent. Run by the system-level invariant auditor after
     /// each simulation (including fault-injected ones).
@@ -595,6 +712,92 @@ mod tests {
         let err = d.audit().unwrap_err();
         assert!(matches!(err, SimError::InvariantViolation(_)), "{err}");
         assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn evict_gpu_promotes_replica_to_home() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false); // home on 0
+        d.resolve_fault(5, 1, false); // replica on 1
+        d.resolve_fault(5, 3, false); // replica on 3
+        let report = d.evict_gpu(0);
+        assert_eq!(report.migrated, vec![(5, Location::Gpu(1))], "lowest replica promoted");
+        assert_eq!(d.home(5), Location::Gpu(1));
+        assert!(!d.is_resident(5, 0));
+        assert!(d.is_resident(5, 3), "other replica survives");
+        assert!(d.page(5).unwrap().replicas & 0b10 == 0, "promoted GPU no longer a replica");
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_gpu_without_replicas_falls_back_to_cpu() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
+        d.resolve_fault(7, 2, false);
+        d.resolve_fault(9, 2, false);
+        d.resolve_fault(11, 0, false);
+        let report = d.evict_gpu(2);
+        assert_eq!(report.migrated, vec![(7, Location::Cpu), (9, Location::Cpu)]);
+        assert_eq!(d.home(7), Location::Cpu);
+        assert_eq!(d.home(11), Location::Gpu(0), "unrelated page untouched");
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_gpu_drops_replicas_and_remote_maps() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 1, false); // replica on 1
+        d.add_remote_map(6, 1);
+        let report = d.evict_gpu(1);
+        assert_eq!(report.dropped_replicas, vec![5]);
+        assert_eq!(report.dropped_remote_maps, vec![6]);
+        assert!(report.migrated.is_empty(), "1 was not home for anything");
+        assert!(!d.is_resident(5, 1));
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_gpu_invalidates_survivors_remote_maps() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::RemoteMapping { migrate_threshold: 8 });
+        d.resolve_fault(5, 2, false); // home on 2
+        d.resolve_fault(5, 1, false); // remote map on 1 -> 2's memory
+        d.resolve_fault(5, 3, false); // remote map on 3 -> 2's memory
+        let report = d.evict_gpu(2);
+        assert_eq!(report.migrated, vec![(5, Location::Cpu)]);
+        assert_eq!(report.invalidate, vec![(5, 1), (5, 3)], "dangling maps shot down");
+        assert_eq!(d.page(5).unwrap().remote_maps, 0);
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_gpu_is_deterministic_and_idempotent() {
+        let build = || {
+            let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+            for vpn in [12, 3, 99, 45, 7] {
+                d.resolve_fault(vpn, 1, false);
+                d.resolve_fault(vpn, 2, false);
+            }
+            d
+        };
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.evict_gpu(1), b.evict_gpu(1), "sorted processing order");
+        assert_eq!(a.state_digest(), b.state_digest());
+        let second = a.evict_gpu(1);
+        assert!(second.is_empty(), "second eviction finds nothing");
+    }
+
+    #[test]
+    fn resident_vpns_on_lists_home_and_replicas_sorted() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(20, 0, false);
+        d.resolve_fault(4, 1, false);
+        d.resolve_fault(4, 0, false); // replica on 0
+        d.resolve_fault(9, 2, false);
+        assert_eq!(d.resident_vpns_on(0), vec![4, 20]);
+        assert_eq!(d.resident_vpns_on(1), vec![4]);
+        assert_eq!(d.resident_vpns_on(3), Vec::<u64>::new());
     }
 
     #[test]

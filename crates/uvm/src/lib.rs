@@ -19,5 +19,8 @@
 pub mod directory;
 pub mod driver;
 
-pub use directory::{DirectoryStats, FaultAction, FaultOutcome, MigrationPolicy, PageDirectory, PageState};
+pub use directory::{
+    DirectoryStats, EvictionReport, FaultAction, FaultOutcome, MigrationPolicy, PageDirectory,
+    PageState,
+};
 pub use driver::{DriverBatch, DriverConfig, UvmDriver};

@@ -7,10 +7,12 @@ use std::collections::{HashMap, HashSet};
 
 use transfw_sim::cuckoo::CuckooFilter;
 use transfw_sim::mgpu::metrics::SharingProfile;
+use transfw_sim::mgpu::{System, SystemConfig};
 use transfw_sim::ptw::{Location, PageTable, Pte};
-use transfw_sim::sim_core::{EventQueue, SimRng};
+use transfw_sim::sim_core::{ComponentEvent, EventQueue, FaultPlan, SimRng};
 use transfw_sim::tlb::{Mshr, MshrOutcome, Tlb};
 use transfw_sim::uvm::{MigrationPolicy, PageDirectory};
+use transfw_sim::workloads::{self, Pattern};
 
 const CASES: u64 = 64;
 
@@ -199,6 +201,66 @@ fn mshr_waiter_conservation() {
             assert_eq!(mshr.complete(vpn), waiters);
         }
         assert!(mshr.is_empty());
+    }
+}
+
+/// Random GPU-offline schedules — any number of outages, any victims, any
+/// (possibly overlapping) windows — preserve retire-exactly-once and
+/// terminate, for a representative of each of the four access patterns.
+/// The post-run invariant auditor runs inside `System::run`, so a clean
+/// `Ok` here certifies the full protocol, not just the counters.
+#[test]
+fn random_gpu_offline_schedules_retire_exactly_once() {
+    // One app per access pattern (Table III): partition / adjacent /
+    // random / scatter-gather.
+    let reps = ["AES", "KM", "MT", "PR"];
+    for name in reps {
+        let spec = workloads::app(name).unwrap();
+        assert!(
+            matches!(
+                spec.pattern,
+                Pattern::Partition | Pattern::Adjacent | Pattern::Random | Pattern::ScatterGather
+            ),
+            "{name} has an unexpected pattern"
+        );
+    }
+    let patterns: HashSet<_> = reps
+        .iter()
+        .map(|n| format!("{:?}", workloads::app(n).unwrap().pattern))
+        .collect();
+    assert_eq!(patterns.len(), 4, "representatives must cover all patterns");
+
+    for case in 0..12u64 {
+        let mut rng = SimRng::new(0x0FF11E ^ case);
+        let name = reps[rng.gen_index(reps.len())];
+        let app = workloads::app(name).unwrap().scaled(0.04);
+        let outages = 1 + rng.gen_index(3);
+        let events: Vec<ComponentEvent> = (0..outages)
+            .map(|_| ComponentEvent::GpuOffline {
+                gpu: rng.gen_index(4),
+                at_cycle: 100 + rng.gen_range(8_000),
+                duration: 1 + rng.gen_range(6_000),
+            })
+            .collect();
+        let mut cfg = SystemConfig::with_transfw();
+        cfg.seed = case;
+        cfg.faults = FaultPlan::components(events.clone());
+        // Belt and braces: a schedule that wedges the protocol should fail
+        // with a typed error, not hang the test suite.
+        cfg.watchdog.max_cycles = Some(5_000_000);
+        let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
+            panic!("case {case} ({name}, {events:?}) failed: {e}");
+        });
+        assert_eq!(
+            m.resilience.requests_retired, m.translation_requests,
+            "case {case} ({name}, {events:?}): retire-exactly-once violated"
+        );
+        assert_eq!(
+            m.mem_instructions,
+            (app.ctas * app.accesses_per_cta) as u64,
+            "case {case} ({name}): lost instructions"
+        );
+        assert!(m.recovery.gpu_offline_events as usize >= 1);
     }
 }
 
