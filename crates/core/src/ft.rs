@@ -126,6 +126,22 @@ impl Ft {
         self.filter.overflow_count()
     }
 
+    /// Rewrites the owner set of one page in a single transactional step:
+    /// stale owner keys are removed first, then the new owners inserted, so
+    /// a concurrent-looking lookup sequence can never observe the union of
+    /// old and new fingerprints growing without bound. This is the FT half
+    /// of an `OwnershipTransaction` (migration: `remove` = old owner ∪
+    /// invalidated mappings, `add` = new owner; collapse: `remove` = every
+    /// stale replica key).
+    pub fn rewrite_owners(&mut self, vpn: u64, remove: &[GpuId], add: &[GpuId]) {
+        for &g in remove {
+            self.owner_removed(vpn, g);
+        }
+        for &g in add {
+            self.owner_added(vpn, g);
+        }
+    }
+
     /// Probes (without counting the probe in the lookup statistics) whether
     /// `gpu` is currently named as a candidate owner of `vpn` — used by the
     /// recovery protocol to invalidate only the entries actually keyed to a
@@ -230,6 +246,28 @@ mod tests {
     #[should_panic(expected = "gpu_count")]
     fn zero_gpus_panics() {
         let _ = Ft::new(&TransFwConfig::default(), 0);
+    }
+
+    #[test]
+    fn rewrite_owners_applies_migration_in_one_step() {
+        let mut f = ft();
+        f.page_migrated(0x40, None, 0);
+        f.owner_added(0x40, 1);
+        f.owner_added(0x40, 3);
+        // Collapse to GPU 2: all three stale keys go, the writer's appears.
+        f.rewrite_owners(0x40, &[0, 1, 3], &[2]);
+        assert_eq!(f.lookup(0x40), vec![2]);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn rewrite_owners_with_empty_sides_is_noop() {
+        let mut f = ft();
+        f.page_migrated(0x50, None, 1);
+        let len = f.len();
+        f.rewrite_owners(0x50, &[], &[]);
+        assert_eq!(f.len(), len);
+        assert!(f.names_owner(0x50, 1));
     }
 
     #[test]

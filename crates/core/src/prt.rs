@@ -110,6 +110,21 @@ impl Prt {
         self.filter.overflow_count()
     }
 
+    /// Applies one ownership transaction's worth of membership changes
+    /// atomically with respect to the simulation (no lookup can observe a
+    /// half-applied migration): departures first — so a VPN moving between
+    /// 8-page groups never transiently doubles its fingerprint — then
+    /// arrivals. Used by the migration engine and the recovery protocol's
+    /// PRT rebuild.
+    pub fn apply(&mut self, departed: &[u64], arrived: &[u64]) {
+        for &vpn in departed {
+            self.page_departed(vpn);
+        }
+        for &vpn in arrived {
+            self.page_arrived(vpn);
+        }
+    }
+
     /// Drops every fingerprint while preserving the lookup/hit counters —
     /// the bulk flush a GPU performs when it is taken offline and its local
     /// memory is evicted wholesale. The table is rebuilt from the page
@@ -216,6 +231,37 @@ mod tests {
         assert_ne!(p.state_digest(), digest_before);
         p.page_arrived(16);
         assert!(p.may_be_local(16), "table usable after clear");
+    }
+
+    #[test]
+    fn apply_batch_matches_individual_updates() {
+        let mut batched = prt();
+        let mut stepwise = prt();
+        for vpn in [0u64, 8, 16, 24] {
+            stepwise.page_arrived(vpn);
+        }
+        batched.apply(&[], &[0, 8, 16, 24]);
+        for vpn in [0u64, 8, 16, 24] {
+            assert!(batched.may_be_local(vpn));
+        }
+        assert_eq!(batched.len(), stepwise.len());
+        // A migration: two pages leave, one arrives, in one transaction.
+        batched.apply(&[0, 16], &[32]);
+        assert!(!batched.may_be_local(0));
+        assert!(!batched.may_be_local(16));
+        assert!(batched.may_be_local(32));
+        assert!(batched.may_be_local(8), "untouched page survives");
+    }
+
+    #[test]
+    fn apply_departures_before_arrivals() {
+        let mut p = prt();
+        p.page_arrived(40);
+        // Same VPN on both sides: depart-then-arrive must leave exactly one
+        // fingerprint, not zero (arrive-then-depart would remove it).
+        p.apply(&[40], &[40]);
+        assert!(p.may_be_local(40));
+        assert_eq!(p.len(), 1);
     }
 
     #[test]

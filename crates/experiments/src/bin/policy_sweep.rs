@@ -1,0 +1,131 @@
+//! Policy-sweep driver: the 4×4 matrix of placement policies × access
+//! patterns the placement-policy engine is evaluated on.
+//!
+//! Policies: first-touch (the legacy default), delayed migration
+//! (threshold 4), read duplication, and tree prefetch (radius 3). Patterns:
+//! AES (partitioned — policies should be near-inert), KM (hot shared
+//! centroids), PR (random graph chasing) and PhaseShift (the hot GPU moves
+//! mid-run — the adversarial input for migration).
+//!
+//! Every run executes under the invariant auditor inside `System::run`, and
+//! each cell additionally enforces retire-exactly-once. Per-cell migration,
+//! replication and prefetch counters plus the mean translation latency are
+//! written to `BENCH_POLICY_SWEEP.json`, with the full `run_json` metrics
+//! object embedded per cell.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin policy_sweep [SCALE] [SEEDS]
+//! ```
+
+use experiments::runner::{parallel_map, run_json};
+use mgpu::workload::Workload;
+use mgpu::{RunMetrics, System, SystemConfig};
+use uvm::PolicyKind;
+use workloads::phase_shift;
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::FirstTouch,
+        PolicyKind::DelayedMigration { threshold: 4 },
+        PolicyKind::ReadDuplicate,
+        PolicyKind::PrefetchNeighborhood { radius: 3 },
+    ]
+}
+
+fn pattern(name: &str, scale: f64) -> Box<dyn Workload> {
+    if name == "PhaseShift" {
+        Box::new(phase_shift().scaled(scale))
+    } else {
+        Box::new(
+            workloads::app(name)
+                .unwrap_or_else(|| panic!("unknown app {name}"))
+                .scaled(scale),
+        )
+    }
+}
+
+/// One sweep cell: the headline placement counters and latency next to the
+/// full metrics object.
+fn cell_json(policy: PolicyKind, seed: u64, m: &RunMetrics) -> String {
+    let mean_translation_latency = if m.translation_requests == 0 {
+        0.0
+    } else {
+        m.breakdown.total() as f64 / m.translation_requests as f64
+    };
+    format!(
+        concat!(
+            "{{\"policy\":\"{}\",\"app\":\"{}\",\"seed\":{},",
+            "\"migrations\":{},\"replications\":{},\"collapses\":{},",
+            "\"prefetched_pages\":{},\"remote_maps\":{},\"promotions\":{},",
+            "\"mean_translation_latency\":{:.3},",
+            "\"mean_migration_latency\":{:.3},",
+            "\"total_cycles\":{},\"metrics\":{}}}"
+        ),
+        policy.name(),
+        m.app,
+        seed,
+        m.directory.migrations,
+        m.directory.replications,
+        m.placement.collapses,
+        m.placement.prefetched_pages,
+        m.directory.remote_maps,
+        m.directory.promotions,
+        mean_translation_latency,
+        m.placement.migration_latency.mean(),
+        m.total_cycles,
+        run_json(m, seed),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let t0 = std::time::Instant::now();
+
+    let mut cells = Vec::new();
+    for policy in policies() {
+        for app_name in ["AES", "KM", "PR", "PhaseShift"] {
+            for seed in 1..=seeds.max(1) {
+                cells.push((policy, app_name, seed));
+            }
+        }
+    }
+    let total = cells.len();
+
+    let rows: Vec<String> = parallel_map(cells, |(policy, app_name, seed)| {
+        let app = pattern(app_name, scale);
+        let mut cfg = SystemConfig::with_transfw();
+        cfg.seed = seed;
+        cfg.placement = Some(policy);
+        let m = System::new(cfg).run(app.as_ref()).unwrap_or_else(|e| {
+            panic!(
+                "policy sweep: {}/{app_name} seed {seed} failed: {e}",
+                policy.name()
+            );
+        });
+        assert_eq!(
+            m.resilience.requests_retired, m.translation_requests,
+            "{}/{app_name} seed {seed}: must retire every request exactly once",
+            policy.name()
+        );
+        eprintln!(
+            "[policy-sweep] {:>21}/{app_name:<10} seed {seed}: {} cycles, \
+             migrations={} replications={} collapses={} prefetched={}",
+            policy.name(),
+            m.total_cycles,
+            m.directory.migrations,
+            m.directory.replications,
+            m.placement.collapses,
+            m.placement.prefetched_pages,
+        );
+        cell_json(policy, seed, &m)
+    });
+
+    let json = format!("[{}]", rows.join(","));
+    std::fs::write("BENCH_POLICY_SWEEP.json", &json).expect("write BENCH_POLICY_SWEEP.json");
+    eprintln!(
+        "[policy-sweep] {total} cells clean in {:.1?} (scale {scale}, {seeds} seed(s)) -> BENCH_POLICY_SWEEP.json",
+        t0.elapsed()
+    );
+}

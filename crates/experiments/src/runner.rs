@@ -70,12 +70,18 @@ pub fn average_cycles(
     (cycles / opts.seeds.len() as f64, first.expect("ran"))
 }
 
-/// Serializes one run's robustness-relevant metrics as a JSON object
-/// (hand-rolled: the workspace deliberately has no serialization
-/// dependency). This is what the bench harness embeds in `BENCH_*.json`
-/// so the robustness trajectory — watchdog activity from the resilience
-/// layer plus the component-failure recovery counters — is captured next
-/// to the timing numbers, not just printed and lost.
+/// Serializes one run's complete metrics as a JSON object (hand-rolled:
+/// the workspace deliberately has no serialization dependency). This is
+/// what the bench harness embeds in `BENCH_*.json`: the timing numbers,
+/// translation counters, Trans-FW datapath and placement-policy counters,
+/// and the robustness trajectory (watchdog activity plus component-failure
+/// recovery counters) are captured next to each other, not printed and
+/// lost.
+///
+/// Every field of [`RunMetrics`] and its nested statistics structs is
+/// destructured exhaustively (no `..`), so adding a counter without
+/// serializing it here is a compile error rather than a silently thinner
+/// JSON file.
 ///
 /// # Examples
 ///
@@ -86,19 +92,145 @@ pub fn average_cycles(
 /// let json = experiments::run_json(&m, 7);
 /// assert!(json.contains("\"app\":\"MT\""));
 /// assert!(json.contains("\"remote_timeouts\":0"));
-/// assert!(json.contains("\"ownership_migrations\":0"));
+/// assert!(json.contains("\"prefetched_pages\":0"));
 /// ```
 pub fn run_json(m: &RunMetrics, seed: u64) -> String {
-    let r = &m.resilience;
-    let c = &m.recovery;
+    let RunMetrics {
+        app,
+        total_cycles,
+        mem_instructions,
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        translation_requests,
+        local_faults,
+        host_tlb_hits,
+        host_tlb_misses,
+        host_walks,
+        gmmu_walk_accesses,
+        host_walk_accesses,
+        breakdown,
+        gmmu_pwc,
+        host_pwc,
+        sharing,
+        transfw,
+        remote_probe,
+        directory,
+        placement,
+        driver_batches,
+        host_queue_peak,
+        resilience,
+        recovery,
+    } = m;
+    let mgpu::LatencyBreakdown {
+        gmmu_queue,
+        gmmu_walk,
+        host_queue,
+        host_walk,
+        migration,
+        network,
+    } = breakdown;
+    let mgpu::metrics::TransFwStats {
+        gmmu_bypassed,
+        prt_false_positives,
+        forwarded,
+        remote_supplied,
+        remote_failed,
+        cancelled_host_walks,
+        replicated_walks,
+    } = transfw;
+    let mgpu::metrics::RemoteProbeStats {
+        faults: probe_faults,
+        hits: probe_hits,
+        lower_hits: probe_lower_hits,
+    } = remote_probe;
+    let uvm::DirectoryStats {
+        migrations,
+        replications,
+        write_invalidations,
+        remote_maps,
+        promotions,
+        prefetches,
+    } = directory;
+    let mgpu::PlacementStats {
+        transactions,
+        prefetched_pages,
+        prefetch_skipped_pending,
+        collapses,
+        migration_latency,
+    } = placement;
+    let mgpu::ResilienceStats {
+        remote_timeouts,
+        retries,
+        fallback_walks,
+        duplicates_suppressed,
+        requests_retired,
+        faults_injected,
+    } = resilience;
+    let sim_core::InjectStats {
+        messages_dropped,
+        messages_delayed,
+        messages_duplicated,
+        walker_stalls,
+        table_updates_dropped,
+        host_burst_walks,
+    } = faults_injected;
+    let mgpu::RecoveryStats {
+        gpu_offline_events,
+        gpu_rejoins,
+        link_partition_events,
+        host_failover_events,
+        ft_invalidations,
+        prt_rebuilds,
+        ownership_migrations,
+        reissued_walks,
+        deferred_events,
+        rerouted_messages,
+        checkpoints_taken,
+        restores_performed,
+    } = recovery;
+    // SharingProfile and PwCacheStats keep private/derived state; their
+    // published summaries go in instead of raw internals.
+    let (shared_reads, shared_writes) = sharing.shared_rw();
+    let pwc_json = |p: &ptw::PwCacheStats| {
+        let hits: Vec<String> = p.hits_at.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"hits_at\":[{}],\"misses\":{},\"lookups\":{}}}",
+            hits.join(","),
+            p.misses,
+            p.lookups
+        )
+    };
     format!(
         concat!(
             "{{\"app\":\"{}\",\"seed\":{},\"total_cycles\":{},",
-            "\"mem_instructions\":{},\"translation_requests\":{},",
-            "\"local_faults\":{},\"host_walks\":{},",
+            "\"mem_instructions\":{},\"l1_hits\":{},\"l1_misses\":{},",
+            "\"l2_hits\":{},\"l2_misses\":{},\"translation_requests\":{},",
+            "\"local_faults\":{},\"host_tlb_hits\":{},\"host_tlb_misses\":{},",
+            "\"host_walks\":{},\"gmmu_walk_accesses\":{},\"host_walk_accesses\":{},",
+            "\"breakdown\":{{\"gmmu_queue\":{},\"gmmu_walk\":{},\"host_queue\":{},",
+            "\"host_walk\":{},\"migration\":{},\"network\":{}}},",
+            "\"gmmu_pwc\":{},\"host_pwc\":{},",
+            "\"sharing\":{{\"pages\":{},\"shared_reads\":{},\"shared_writes\":{}}},",
+            "\"transfw\":{{\"gmmu_bypassed\":{},\"prt_false_positives\":{},",
+            "\"forwarded\":{},\"remote_supplied\":{},\"remote_failed\":{},",
+            "\"cancelled_host_walks\":{},\"replicated_walks\":{}}},",
+            "\"remote_probe\":{{\"faults\":{},\"hits\":{},\"lower_hits\":{}}},",
+            "\"directory\":{{\"migrations\":{},\"replications\":{},",
+            "\"write_invalidations\":{},\"remote_maps\":{},\"promotions\":{},",
+            "\"prefetches\":{}}},",
+            "\"placement\":{{\"transactions\":{},\"prefetched_pages\":{},",
+            "\"prefetch_skipped_pending\":{},\"collapses\":{},",
+            "\"migration_latency\":{{\"count\":{},\"total\":{},\"max\":{},",
+            "\"mean\":{:.3}}}}},",
+            "\"driver_batches\":{},\"host_queue_peak\":{},",
             "\"resilience\":{{\"remote_timeouts\":{},\"retries\":{},",
             "\"fallback_walks\":{},\"duplicates_suppressed\":{},",
-            "\"requests_retired\":{}}},",
+            "\"requests_retired\":{},",
+            "\"faults_injected\":{{\"messages_dropped\":{},\"messages_delayed\":{},",
+            "\"messages_duplicated\":{},\"walker_stalls\":{},",
+            "\"table_updates_dropped\":{},\"host_burst_walks\":{}}}}},",
             "\"recovery\":{{\"gpu_offline_events\":{},\"gpu_rejoins\":{},",
             "\"link_partition_events\":{},\"host_failover_events\":{},",
             "\"ft_invalidations\":{},\"prt_rebuilds\":{},",
@@ -106,30 +238,81 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
             "\"deferred_events\":{},\"rerouted_messages\":{},",
             "\"checkpoints_taken\":{},\"restores_performed\":{}}}}}"
         ),
-        json_escape(&m.app),
+        json_escape(app),
         seed,
-        m.total_cycles,
-        m.mem_instructions,
-        m.translation_requests,
-        m.local_faults,
-        m.host_walks,
-        r.remote_timeouts,
-        r.retries,
-        r.fallback_walks,
-        r.duplicates_suppressed,
-        r.requests_retired,
-        c.gpu_offline_events,
-        c.gpu_rejoins,
-        c.link_partition_events,
-        c.host_failover_events,
-        c.ft_invalidations,
-        c.prt_rebuilds,
-        c.ownership_migrations,
-        c.reissued_walks,
-        c.deferred_events,
-        c.rerouted_messages,
-        c.checkpoints_taken,
-        c.restores_performed,
+        total_cycles,
+        mem_instructions,
+        l1_hits,
+        l1_misses,
+        l2_hits,
+        l2_misses,
+        translation_requests,
+        local_faults,
+        host_tlb_hits,
+        host_tlb_misses,
+        host_walks,
+        gmmu_walk_accesses,
+        host_walk_accesses,
+        gmmu_queue,
+        gmmu_walk,
+        host_queue,
+        host_walk,
+        migration,
+        network,
+        pwc_json(gmmu_pwc),
+        pwc_json(host_pwc),
+        sharing.page_count(),
+        shared_reads,
+        shared_writes,
+        gmmu_bypassed,
+        prt_false_positives,
+        forwarded,
+        remote_supplied,
+        remote_failed,
+        cancelled_host_walks,
+        replicated_walks,
+        probe_faults,
+        probe_hits,
+        probe_lower_hits,
+        migrations,
+        replications,
+        write_invalidations,
+        remote_maps,
+        promotions,
+        prefetches,
+        transactions,
+        prefetched_pages,
+        prefetch_skipped_pending,
+        collapses,
+        migration_latency.count(),
+        migration_latency.total(),
+        migration_latency.max(),
+        migration_latency.mean(),
+        driver_batches,
+        host_queue_peak,
+        remote_timeouts,
+        retries,
+        fallback_walks,
+        duplicates_suppressed,
+        requests_retired,
+        messages_dropped,
+        messages_delayed,
+        messages_duplicated,
+        walker_stalls,
+        table_updates_dropped,
+        host_burst_walks,
+        gpu_offline_events,
+        gpu_rejoins,
+        link_partition_events,
+        host_failover_events,
+        ft_invalidations,
+        prt_rebuilds,
+        ownership_migrations,
+        reissued_walks,
+        deferred_events,
+        rerouted_messages,
+        checkpoints_taken,
+        restores_performed,
     )
 }
 
@@ -243,6 +426,113 @@ mod tests {
         // Balanced braces: a cheap well-formedness check without a parser.
         let open = json.matches('{').count();
         assert_eq!(open, json.matches('}').count());
+    }
+
+    /// Satellite guard: every scalar counter reachable from `RunMetrics`
+    /// must appear as a key in `run_json`'s output. The destructuring in
+    /// `run_json` already makes a *forgotten struct field* a compile error;
+    /// this test additionally catches a field that was destructured but
+    /// never formatted (bound then dropped), which the compiler only
+    /// reports as an unused-variable lint.
+    #[test]
+    fn run_json_serializes_every_metrics_field() {
+        let m = RunMetrics {
+            app: "guard".into(),
+            ..Default::default()
+        };
+        let json = run_json(&m, 1);
+        for key in [
+            // top level
+            "app",
+            "seed",
+            "total_cycles",
+            "mem_instructions",
+            "l1_hits",
+            "l1_misses",
+            "l2_hits",
+            "l2_misses",
+            "translation_requests",
+            "local_faults",
+            "host_tlb_hits",
+            "host_tlb_misses",
+            "host_walks",
+            "gmmu_walk_accesses",
+            "host_walk_accesses",
+            "driver_batches",
+            "host_queue_peak",
+            // breakdown
+            "gmmu_queue",
+            "gmmu_walk",
+            "host_queue",
+            "host_walk",
+            "migration",
+            "network",
+            // pw-caches and sharing summary
+            "gmmu_pwc",
+            "host_pwc",
+            "hits_at",
+            "lookups",
+            "pages",
+            "shared_reads",
+            "shared_writes",
+            // transfw
+            "gmmu_bypassed",
+            "prt_false_positives",
+            "forwarded",
+            "remote_supplied",
+            "remote_failed",
+            "cancelled_host_walks",
+            "replicated_walks",
+            // remote probe
+            "lower_hits",
+            // directory
+            "migrations",
+            "replications",
+            "write_invalidations",
+            "remote_maps",
+            "promotions",
+            "prefetches",
+            // placement
+            "transactions",
+            "prefetched_pages",
+            "prefetch_skipped_pending",
+            "collapses",
+            "migration_latency",
+            // resilience + injected faults
+            "remote_timeouts",
+            "retries",
+            "fallback_walks",
+            "duplicates_suppressed",
+            "requests_retired",
+            "messages_dropped",
+            "messages_delayed",
+            "messages_duplicated",
+            "walker_stalls",
+            "table_updates_dropped",
+            "host_burst_walks",
+            // recovery
+            "gpu_offline_events",
+            "gpu_rejoins",
+            "link_partition_events",
+            "host_failover_events",
+            "ft_invalidations",
+            "prt_rebuilds",
+            "ownership_migrations",
+            "reissued_walks",
+            "deferred_events",
+            "rerouted_messages",
+            "checkpoints_taken",
+            "restores_performed",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}: {json}");
+        }
+        let open = json.matches('{').count();
+        assert_eq!(open, json.matches('}').count(), "unbalanced braces");
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "unbalanced brackets"
+        );
     }
 
     #[test]

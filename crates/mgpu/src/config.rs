@@ -170,6 +170,12 @@ pub struct SystemConfig {
     pub driver_per_gpu_poll: sim_core::Cycle,
     /// Page placement policy.
     pub policy: uvm::MigrationPolicy,
+    /// Placement-policy engine override. `None` (the default) derives the
+    /// engine from the legacy `policy` selector, keeping old configurations
+    /// bit-identical; `Some(kind)` selects one of the four
+    /// [`uvm::PolicyKind`] policies directly (the only way to reach
+    /// `DelayedMigration` and `PrefetchNeighborhood` with their knobs).
+    pub placement: Option<uvm::PolicyKind>,
     /// Trans-FW (None = baseline).
     pub transfw: Option<TransFwKnobs>,
     /// ASAP PW-cache prefetching in GMMU and host MMU (§V-H); the value is
@@ -225,6 +231,7 @@ impl Default for SystemConfig {
             driver: uvm::DriverConfig::default(),
             driver_per_gpu_poll: 600,
             policy: uvm::MigrationPolicy::OnTouch,
+            placement: None,
             transfw: None,
             asap: None,
             ideal: IdealKnobs::default(),
@@ -314,6 +321,13 @@ impl SystemConfig {
     /// translation-granule VPN under the configured page size.
     pub fn translation_vpn(&self, vpn_4k: u64) -> u64 {
         vpn_4k >> (self.page_size_bits - 12)
+    }
+
+    /// The placement-policy kind the directory will run: the explicit
+    /// `placement` override when set, else the engine equivalent of the
+    /// legacy `policy` selector.
+    pub fn placement_kind(&self) -> uvm::PolicyKind {
+        self.placement.unwrap_or_else(|| self.policy.into())
     }
 }
 
@@ -425,6 +439,10 @@ impl SystemConfigBuilder {
     setter!(
         /// Placement policy.
         policy: uvm::MigrationPolicy
+    );
+    setter!(
+        /// Placement-policy engine override (None derives from `policy`).
+        placement: Option<uvm::PolicyKind>
     );
     setter!(
         /// Trans-FW knobs.
@@ -543,6 +561,25 @@ mod tests {
         assert!(!c.faults.is_active());
         assert!(c.watchdog.enabled);
         assert!(c.watchdog.max_cycles.is_none());
+    }
+
+    #[test]
+    fn placement_defaults_to_legacy_policy_equivalent() {
+        let c = SystemConfig::default();
+        assert!(c.placement.is_none());
+        assert_eq!(c.placement_kind(), uvm::PolicyKind::FirstTouch);
+        let c = SystemConfig::builder()
+            .policy(uvm::MigrationPolicy::ReadReplication)
+            .build();
+        assert_eq!(c.placement_kind(), uvm::PolicyKind::ReadDuplicate);
+        let c = SystemConfig::builder()
+            .placement(Some(uvm::PolicyKind::PrefetchNeighborhood { radius: 3 }))
+            .build();
+        assert_eq!(
+            c.placement_kind(),
+            uvm::PolicyKind::PrefetchNeighborhood { radius: 3 },
+            "explicit override wins over the legacy selector"
+        );
     }
 
     #[test]

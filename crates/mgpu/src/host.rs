@@ -3,7 +3,7 @@
 
 use ptw::Location;
 use sim_core::{Cycle, SimError};
-use uvm::FaultAction;
+use uvm::TxnKind;
 
 use crate::request::ReqId;
 use crate::system::{Event, System, TransEntry};
@@ -161,69 +161,24 @@ impl System {
             return;
         }
         let is_write = self.reqs[req].is_write;
-        let outcome = self.dir.resolve_fault(vpn, g, is_write);
+        // The directory commits the policy decision and hands back the
+        // ownership transaction; the memory-system mirror (shootdowns, host
+        // view, PRT/FT) is applied atomically in `apply_ownership_txn`.
+        let txn = self
+            .dir
+            .begin_fault_txn(vpn, g, is_write)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.apply_ownership_txn(&txn);
+        self.reqs[req].resolved_loc = Some(txn.resolved_location());
 
-        for v in &outcome.invalidations {
-            self.unmap_on_gpu(*v, vpn);
-            // FT maintenance: the old *home* is moved by `page_migrated`
-            // below; only invalidated read replicas (replication policy)
-            // were separately registered as owners. Remote-map holders were
-            // never in the FT -- a spurious delete would clobber another
-            // page's fingerprint (the tables are masked multisets).
-            if self.cfg.policy == uvm::MigrationPolicy::ReadReplication
-                && Some(*v) != outcome.source.gpu()
-                && self.host.ft.is_some()
-                && !self.injector.drop_table_update()
-            {
-                if let Some(ft) = self.host.ft.as_mut() {
-                    ft.owner_removed(vpn, *v);
-                }
-            }
-        }
-
-        let (resolved_loc, transfer) = match outcome.action {
-            FaultAction::Migrate | FaultAction::Replicate => (Location::Gpu(g), true),
-            FaultAction::RemoteMap => (outcome.source, false),
-            FaultAction::AlreadyResident => (Location::Gpu(g), false),
-        };
-        self.reqs[req].resolved_loc = Some(resolved_loc);
-
-        // Keep the host's centralised view and FT in sync. The stale host
-        // TLB entry is shot down and NOT refilled — this is exactly why the
-        // paper finds that enlarging the host TLB does not help (§V-B).
-        if outcome.action == FaultAction::Migrate {
-            self.host.tlb.invalidate(vpn);
-            if let Some(pte) = self.host.pt.translate_mut(vpn) {
-                pte.loc = Location::Gpu(g);
-            }
-            if self.host.ft.is_some() && !self.injector.drop_table_update() {
-                if let Some(ft) = self.host.ft.as_mut() {
-                    ft.page_migrated(vpn, outcome.source.gpu(), g);
-                }
-            }
-        } else if outcome.action == FaultAction::Replicate
-            && self.host.ft.is_some()
-            && !self.injector.drop_table_update()
-        {
-            if let Some(ft) = self.host.ft.as_mut() {
-                ft.owner_added(vpn, g);
-            }
-        }
-
-        let done_at = if transfer && !self.cfg.ideal.zero_migration_latency {
-            let bytes = self.cfg.page_bytes();
-            match outcome.source {
-                Location::Cpu => self.fabric.send_cpu_to_gpu(g as usize, now, bytes),
-                Location::Gpu(s) if s != g => {
-                    self.fabric
-                        .send_gpu_to_gpu(s as usize, g as usize, now, bytes)
-                }
-                Location::Gpu(_) => now,
-            }
-        } else {
-            now
-        };
+        let done_at = self.txn_transfer_done(&txn, now);
         self.reqs[req].lat.migration += done_at - now;
+        self.record_migration(&txn, now, done_at);
+        if txn.kind == TxnKind::Migrate {
+            // The prefetch policy pulls the neighborhood in alongside the
+            // demand migration (no-op for non-prefetching policies).
+            self.apply_prefetches(vpn, g, txn.source, now);
+        }
         self.events.push(done_at, Event::FaultResolved { req });
     }
 

@@ -46,6 +46,7 @@ pub mod config;
 pub mod gmmu;
 pub mod host;
 pub mod metrics;
+pub mod placement;
 pub mod recovery;
 pub mod request;
 pub mod system;
@@ -58,7 +59,9 @@ pub use config::{
     FarFaultMode, IdealKnobs, PwcKind, SystemConfig, SystemConfigBuilder, TransFwKnobs,
     WatchdogConfig,
 };
-pub use metrics::{LatencyBreakdown, RecoveryStats, ResilienceStats, RunMetrics, SharingProfile};
+pub use metrics::{
+    LatencyBreakdown, PlacementStats, RecoveryStats, ResilienceStats, RunMetrics, SharingProfile,
+};
 pub use recovery::{run_with_restore, RestoreOutcome};
 pub use sim_core::{CheckpointLog, ComponentEvent, EpochCheckpoint, FaultPlan, SimError};
 pub use system::System;

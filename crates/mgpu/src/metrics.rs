@@ -191,6 +191,28 @@ impl RemoteProbeStats {
     }
 }
 
+/// Policy-engine counters: what the placement-policy engine's ownership
+/// transactions did during the run, beyond the per-decision tallies in
+/// [`DirectoryStats`]. All-zero when every fault is already-resident (or
+/// the run has no far faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Ownership transactions applied to the memory system (every far-fault
+    /// resolution, collapse, promotion and prefetch flows through one).
+    pub transactions: u64,
+    /// Cold pages pulled in by the prefetch policy alongside migrations.
+    pub prefetched_pages: u64,
+    /// Prefetch candidates skipped because the destination GPU already had
+    /// a local mapping or a pending PRT entry for the VPN (double-inserting
+    /// the multiset filter would corrupt later departures).
+    pub prefetch_skipped_pending: u64,
+    /// Write-collapses of replicated pages back to a single owner.
+    pub collapses: u64,
+    /// Critical-path latency of data-moving transactions (migration,
+    /// replication, collapse), over every such transaction.
+    pub migration_latency: sim_core::stats::LatencyAccumulator,
+}
+
 /// Resilience counters: what the protocol watchdogs and the fault injector
 /// did during the run. All-zero on a fault-free run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -290,6 +312,9 @@ pub struct RunMetrics {
     pub remote_probe: RemoteProbeStats,
     /// Placement statistics (migrations, replications, …).
     pub directory: DirectoryStats,
+    /// Policy-engine transaction counters (prefetches, collapses, migration
+    /// latency).
+    pub placement: PlacementStats,
     /// Software-driver batches processed (driver mode only).
     pub driver_batches: u64,
     /// Peak host PW-queue occupancy.

@@ -1,0 +1,163 @@
+//! The memory-system half of an [`OwnershipTransaction`]: every decision
+//! the placement-policy engine makes is mirrored here into the per-GPU page
+//! tables, TLBs, PW-caches and PRTs, the host's centralised table and TLB,
+//! and the Forwarding Table — the same invalidation plumbing the recovery
+//! protocol uses, so the post-run invariant auditor certifies that no stale
+//! short-circuit (PRT entry, FT owner key, cached translation) survives a
+//! migration.
+//!
+//! Table updates that cross the fabric (PRT/FT maintenance) stay subject to
+//! the fault injector's `drop_table_update` perturbation, exactly as the
+//! pre-engine fault path was; the authoritative host PT/TLB updates never
+//! are. The gate order reproduces the legacy draw sequence bit-for-bit, so
+//! a `FirstTouch` run under any fault plan replays identically to the
+//! pre-engine simulator.
+
+use ptw::{GpuId, Location};
+use sim_core::{Cycle, MigrationEvent, MigrationKind};
+use uvm::{OwnershipTransaction, TxnKind};
+
+use crate::system::System;
+
+impl System {
+    /// Mirrors one ownership transaction into the memory system. The
+    /// directory has already committed the authoritative state change; this
+    /// applies the directive half: shootdowns on every listed GPU, the host
+    /// view, and the Trans-FW tables.
+    pub(crate) fn apply_ownership_txn(&mut self, txn: &OwnershipTransaction) {
+        self.metrics.placement.transactions += 1;
+        let vpn = txn.vpn;
+        for &v in &txn.invalidate {
+            self.unmap_on_gpu(v, vpn);
+            // FT maintenance: the old *home* key is rewritten by the
+            // migration step below; `ft_remove` lists the stale replica
+            // keys (write collapse) that were separately registered as
+            // owners. Remote-map holders were never in the FT — a spurious
+            // delete would clobber another page's fingerprint (the tables
+            // are masked multisets).
+            if txn.ft_remove.contains(&v)
+                && self.host.ft.is_some()
+                && !self.injector.drop_table_update()
+            {
+                if let Some(ft) = self.host.ft.as_mut() {
+                    ft.owner_removed(vpn, v);
+                }
+            }
+        }
+        match txn.kind {
+            TxnKind::Migrate | TxnKind::Collapse | TxnKind::Prefetch => {
+                // The page's home moved. The stale host TLB entry is shot
+                // down and NOT refilled — this is exactly why the paper
+                // finds that enlarging the host TLB does not help (§V-B).
+                self.host.tlb.invalidate(vpn);
+                if let Some(pte) = self.host.pt.translate_mut(vpn) {
+                    pte.loc = Location::Gpu(txn.dest);
+                }
+                if self.host.ft.is_some() && !self.injector.drop_table_update() {
+                    if let Some(ft) = self.host.ft.as_mut() {
+                        ft.page_migrated(vpn, txn.source.gpu(), txn.dest);
+                    }
+                }
+                if txn.kind == TxnKind::Collapse {
+                    self.metrics.placement.collapses += 1;
+                }
+            }
+            TxnKind::Replicate => {
+                if self.host.ft.is_some() && !self.injector.drop_table_update() {
+                    if let Some(ft) = self.host.ft.as_mut() {
+                        ft.owner_added(vpn, txn.dest);
+                    }
+                }
+            }
+            TxnKind::RemoteMap | TxnKind::AlreadyResident => {}
+        }
+    }
+
+    /// Schedules the data movement of a transaction on the fabric and
+    /// returns its completion time. Non-moving transactions (remote map,
+    /// already resident) and the zero-migration-latency idealisation
+    /// complete immediately.
+    pub(crate) fn txn_transfer_done(&mut self, txn: &OwnershipTransaction, now: Cycle) -> Cycle {
+        if !txn.moves_data() || self.cfg.ideal.zero_migration_latency {
+            return now;
+        }
+        let bytes = self.cfg.page_bytes();
+        let g = txn.dest;
+        match txn.source {
+            Location::Cpu => self.fabric.send_cpu_to_gpu(g as usize, now, bytes),
+            Location::Gpu(s) if s != g => {
+                self.fabric.send_gpu_to_gpu(s as usize, g as usize, now, bytes)
+            }
+            Location::Gpu(_) => now, // the data is already local
+        }
+    }
+
+    /// Records a completed movement in the migration log.
+    pub(crate) fn record_migration(
+        &mut self,
+        txn: &OwnershipTransaction,
+        issued: Cycle,
+        completed: Cycle,
+    ) {
+        let kind = match txn.kind {
+            TxnKind::Migrate => MigrationKind::FaultMigrate,
+            TxnKind::Collapse => MigrationKind::Collapse,
+            TxnKind::Replicate => MigrationKind::Replicate,
+            TxnKind::Prefetch => MigrationKind::Prefetch,
+            TxnKind::RemoteMap | TxnKind::AlreadyResident => return,
+        };
+        self.migration_log.record(MigrationEvent {
+            vpn: txn.vpn,
+            src: txn.source.gpu(),
+            dst: txn.dest,
+            issued,
+            completed,
+            kind,
+        });
+    }
+
+    /// After a demand migration whose data came `from` lands on `gpu`,
+    /// pulls the policy's prefetch neighborhood of `vpn` in alongside it.
+    /// Only pages the directory deems untouched (cold, or idle on the
+    /// migration source) move; a VPN outside the workload footprint, already
+    /// mapped on the destination, or still pending in the destination's PRT
+    /// (an in-flight arrival — double-inserting the multiset filter would
+    /// corrupt the later departure) is skipped. Prefetch transfers occupy
+    /// fabric bandwidth off the critical path.
+    pub(crate) fn apply_prefetches(&mut self, vpn: u64, gpu: GpuId, from: Location, now: Cycle) {
+        let neighborhood = self.dir.prefetch_neighborhood(vpn);
+        if neighborhood.is_empty() {
+            return;
+        }
+        // Snapshot the pending state of the whole neighborhood up front:
+        // the PRT is a group-granular multiset, so this batch's own
+        // insertions must not make later candidates look pending.
+        let pending: Vec<bool> = neighborhood
+            .iter()
+            .map(|&v| {
+                self.gpus[gpu as usize].pt.translate(v).is_some()
+                    || self.gpus[gpu as usize]
+                        .prt
+                        .as_mut()
+                        .is_some_and(|prt| prt.may_be_local(v))
+            })
+            .collect();
+        for (i, v) in neighborhood.into_iter().enumerate() {
+            if self.host.pt.translate(v).is_none() {
+                continue; // outside the workload footprint
+            }
+            if pending[i] {
+                self.metrics.placement.prefetch_skipped_pending += 1;
+                continue;
+            }
+            let Some(txn) = self.dir.prefetch_page(v, gpu, from) else {
+                continue; // touched, shared, or homed off the source
+            };
+            self.apply_ownership_txn(&txn);
+            self.map_on_gpu(gpu, v, Location::Gpu(gpu));
+            let done = self.txn_transfer_done(&txn, now);
+            self.record_migration(&txn, now, done);
+            self.metrics.placement.prefetched_pages += 1;
+        }
+    }
+}

@@ -203,9 +203,11 @@ impl System {
                 pte.loc = new_home;
             }
             if let Some(ft) = self.host.ft.as_mut() {
+                // One transactional rewrite per page: the victim's key goes,
+                // the promoted survivor's (if any) appears.
                 match new_home {
-                    Location::Gpu(n) => ft.page_migrated(vpn, Some(g), n),
-                    Location::Cpu => ft.owner_removed(vpn, g),
+                    Location::Gpu(n) => ft.rewrite_owners(vpn, &[g], &[n]),
+                    Location::Cpu => ft.rewrite_owners(vpn, &[g], &[]),
                 }
                 self.metrics.recovery.ft_invalidations += 1;
             }
@@ -254,9 +256,7 @@ impl System {
         // re-issued and deferred walks migrate them back in).
         let resident = self.dir.resident_vpns_on(g);
         if let Some(prt) = self.gpus[gi].prt.as_mut() {
-            for &vpn in &resident {
-                prt.page_arrived(vpn);
-            }
+            prt.apply(&[], &resident);
             self.metrics.recovery.prt_rebuilds += 1;
         }
         self.events.push(self.now, Event::GmmuDispatch { gpu: g });

@@ -165,6 +165,8 @@ pub struct System {
     /// bookkeeping as drained, so the two self-re-arming watchdogs cannot
     /// keep each other alive forever.
     pub(crate) bookkeeping_pending: usize,
+    /// Page movements (demand, background, prefetch) recorded by this run.
+    pub(crate) migration_log: sim_core::MigrationLog,
     /// Epoch checkpoints recorded by this run.
     pub(crate) checkpoint_log: CheckpointLog,
     /// Optional external mirror of the checkpoint log: survives a run that
@@ -241,7 +243,7 @@ impl System {
                 cfg.peer_link_latency,
                 cfg.link_bytes_per_cycle,
             ),
-            dir: PageDirectory::new(cfg.gpus, cfg.policy),
+            dir: PageDirectory::with_policy(cfg.gpus, cfg.placement_kind()),
             driver: UvmDriver::new(uvm::DriverConfig {
                 batch_overhead: cfg.driver.batch_overhead
                     + cfg.driver_per_gpu_poll * cfg.gpus as sim_core::Cycle,
@@ -260,6 +262,7 @@ impl System {
             offline_count: 0,
             host_failover_until: None,
             bookkeeping_pending: 0,
+            migration_log: sim_core::MigrationLog::new(),
             checkpoint_log: CheckpointLog::new(),
             checkpoint_sink: None,
             now: 0,
@@ -884,13 +887,26 @@ impl System {
         for v in &outcome.invalidations {
             self.unmap_on_gpu(*v, vpn);
         }
+        let now = self.now;
+        let mut done = now;
         if let Location::Gpu(src) = outcome.source {
             if src != to {
-                let now = self.now;
-                self.fabric
-                    .send_gpu_to_gpu(src as usize, to as usize, now, self.cfg.page_bytes());
+                done = self.fabric.send_gpu_to_gpu(
+                    src as usize,
+                    to as usize,
+                    now,
+                    self.cfg.page_bytes(),
+                );
             }
         }
+        self.migration_log.record(sim_core::MigrationEvent {
+            vpn,
+            src: outcome.source.gpu(),
+            dst: to,
+            issued: now,
+            completed: done,
+            kind: sim_core::MigrationKind::Background,
+        });
         self.map_on_gpu(to, vpn, Location::Gpu(to));
         self.host.tlb.invalidate(vpn);
         if let Some(pte) = self.host.pt.translate_mut(vpn) {
@@ -1068,6 +1084,7 @@ impl System {
         self.metrics.host_tlb_misses = self.host.tlb.misses();
         self.metrics.host_queue_peak = self.host.queue.peak();
         self.metrics.directory = self.dir.stats();
+        self.metrics.placement.migration_latency = self.migration_log.latency();
         self.metrics.driver_batches = self.driver.batch_count();
         for req in self.reqs.iter() {
             self.metrics.breakdown.gmmu_queue += req.lat.gmmu_queue;

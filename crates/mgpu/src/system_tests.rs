@@ -297,6 +297,139 @@ fn config_accessor_reflects_input() {
 }
 
 #[test]
+fn migration_racing_inflight_forwarded_walk_retires_once() {
+    // Trans-FW with an eager forward threshold and a single host walker:
+    // every CTA faults on a distinct remote page at once, the PW-queue
+    // backs up, and later arrivals are forwarded to the very GPUs the host
+    // is simultaneously migrating pages away from. Stale remote supplies
+    // must be suppressed by the idempotence guards and every request must
+    // still retire exactly once (the post-run auditor also verifies no
+    // stale short-circuit state survives).
+    #[derive(Debug)]
+    struct Interleaved;
+    impl Workload for Interleaved {
+        fn name(&self) -> &str {
+            "race"
+        }
+        fn footprint_pages(&self) -> u64 {
+            8
+        }
+        fn cta_count(&self) -> usize {
+            4
+        }
+        fn make_stream(&self, cta: usize, _seed: u64) -> Box<dyn AccessStream> {
+            // CTAs 0-1 run on GPU 0 and sweep GPU 1's pages (0..4) from
+            // staggered offsets so both wavefronts fault concurrently on
+            // distinct pages; CTAs 2-3 mirror that against GPU 0's pages.
+            let base: u64 = if cta < 2 { 0 } else { 4 };
+            let offset = (cta % 2) as u64 * 2;
+            let accesses: Vec<Access> = (0..12)
+                .map(|i| Access::write(base + (offset + i) % 4, 2))
+                .collect();
+            Box::new(accesses.into_iter())
+        }
+        fn initial_owner(&self, vpn: u64, _gpus: u16) -> Option<u16> {
+            Some(if vpn < 4 { 1 } else { 0 })
+        }
+        fn data_cache_hit_rate(&self) -> f64 {
+            0.0
+        }
+    }
+    let mut knobs = TransFwKnobs::full();
+    knobs.config.forward_threshold = 0.0; // forward whenever anything queues
+    let mut cfg = SystemConfig {
+        transfw: Some(knobs),
+        ..tiny_cfg()
+    };
+    cfg.host_walkers = 1; // serialise host walks so the PW-queue backs up
+    let m = System::new(cfg).run(&Interleaved).unwrap();
+    assert!(m.transfw.forwarded >= 1, "race never materialised");
+    assert!(m.directory.migrations >= 1, "contended writes must migrate");
+    assert_eq!(m.resilience.requests_retired, m.translation_requests);
+    assert_eq!(m.mem_instructions, 48);
+}
+
+#[test]
+fn replicate_then_write_collapse_end_to_end() {
+    // Under ReadDuplicate GPUs 0 and 1 read page 0 (one becomes home, the
+    // other a replica); GPU 2 — which has no local mapping, so its write
+    // actually far-faults — then collapses the page back to a single owner.
+    // The collapse transaction must leave the directory, host PT and PRT/FT
+    // coherent — the post-run auditor checks all of it.
+    #[derive(Debug)]
+    struct RwSplit;
+    impl Workload for RwSplit {
+        fn name(&self) -> &str {
+            "rwsplit"
+        }
+        fn footprint_pages(&self) -> u64 {
+            1
+        }
+        fn cta_count(&self) -> usize {
+            3
+        }
+        fn make_stream(&self, cta: usize, _seed: u64) -> Box<dyn AccessStream> {
+            // CTA 2 writes long after the readers established replicas.
+            Box::new(std::iter::once(if cta == 2 {
+                Access::write(0, 20_000)
+            } else {
+                Access::read(0, 2)
+            }))
+        }
+        fn data_cache_hit_rate(&self) -> f64 {
+            0.0
+        }
+    }
+    let cfg = SystemConfig {
+        placement: Some(uvm::PolicyKind::ReadDuplicate),
+        transfw: Some(TransFwKnobs::full()),
+        ..SystemConfig::builder()
+            .gpus(3)
+            .cus_per_gpu(1)
+            .wavefronts_per_cu(1)
+            .build()
+    };
+    let m = System::new(cfg).run(&RwSplit).unwrap();
+    assert!(m.directory.replications >= 1, "reads must replicate");
+    assert!(m.placement.collapses >= 1, "a write must collapse the replica set");
+    assert!(m.directory.write_invalidations >= 1);
+    assert_eq!(m.resilience.requests_retired, m.translation_requests);
+}
+
+#[test]
+fn prefetch_skips_vpns_already_pending_in_the_prt() {
+    // Radius-3 prefetch: GPU 0 demand-faults on page 8 (neighborhood
+    // 9..=15). Page 9 is already resident on GPU 0, so with a PRT present
+    // its whole 8-page group looks pending (`may_be_local` is group
+    // granular) and every candidate must be skipped rather than
+    // double-inserted into the multiset filter.
+    let mut owners = vec![Some(1u16); 16];
+    owners[9] = Some(0);
+    let w = Scripted::new(16, 1, vec![Access::read(8, 5)]).with_owners(owners.clone());
+    let cfg = SystemConfig {
+        placement: Some(uvm::PolicyKind::PrefetchNeighborhood { radius: 3 }),
+        transfw: Some(TransFwKnobs::full()),
+        ..tiny_cfg()
+    };
+    let m = System::new(cfg).run(&w).unwrap();
+    assert_eq!(m.directory.migrations, 1, "the demand page migrates");
+    assert_eq!(m.placement.prefetched_pages, 0, "whole group is pending");
+    assert_eq!(m.placement.prefetch_skipped_pending, 7, "9..=15 all skipped");
+
+    // Without a PRT only the page-table check gates: page 9 (mapped on the
+    // destination) is skipped, the untouched source-homed 10..=15 move.
+    let w = Scripted::new(16, 1, vec![Access::read(8, 5)]).with_owners(owners);
+    let cfg = SystemConfig {
+        placement: Some(uvm::PolicyKind::PrefetchNeighborhood { radius: 3 }),
+        ..tiny_cfg()
+    };
+    let m = System::new(cfg).run(&w).unwrap();
+    assert_eq!(m.placement.prefetched_pages, 6, "10..=15 travel along");
+    assert_eq!(m.placement.prefetch_skipped_pending, 1, "only page 9 pending");
+    assert_eq!(m.directory.prefetches, 6);
+}
+
+#[test]
 fn gpu_offline_mid_run_recovers_on_scripted_workload() {
     // GPU 1 dies at cycle 200 with walks in flight and pages resident,
     // rejoins at 1200: the run must complete with every request retired

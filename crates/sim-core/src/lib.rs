@@ -29,6 +29,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod fault;
+pub mod migration;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -36,6 +37,7 @@ pub mod stats;
 pub use checkpoint::{CheckpointLog, EpochCheckpoint, StateDigest};
 pub use error::SimError;
 pub use fault::{ComponentEvent, FaultInjector, FaultPlan, InjectStats, MessageFate};
+pub use migration::{MigrationEvent, MigrationKind, MigrationLog};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

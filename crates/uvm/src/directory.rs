@@ -5,7 +5,13 @@ use std::collections::HashMap;
 use ptw::{GpuId, Location};
 use sim_core::SimError;
 
+use crate::policy::{OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TxnKind};
+
 /// Page-placement policy (§V-D/E evaluate the last two).
+///
+/// This is the legacy selector kept for configuration back-compat; it maps
+/// 1:1 onto the [`PolicyKind`] engine (see `crate::policy`), which adds
+/// prefetching and fault-count-delayed migration on top.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MigrationPolicy {
     /// First touch migrates the page into the faulting GPU (default).
@@ -32,15 +38,20 @@ pub struct PageState {
     pub remote_maps: u64,
     /// Per-GPU remote-access counters (remote-mapping policy only).
     pub access_counts: Vec<u32>,
+    /// Per-GPU far-fault counters (the policy engine's heat signal; reset
+    /// when the page migrates or the GPU is evicted).
+    pub fault_counts: Vec<u32>,
 }
 
 impl PageState {
-    fn new(gpu_count: u16) -> Self {
+    /// A never-touched page: homed on the CPU with zeroed counters.
+    pub fn cold(gpu_count: u16) -> Self {
         Self {
             home: Location::Cpu,
             replicas: 0,
             remote_maps: 0,
             access_counts: vec![0; gpu_count as usize],
+            fault_counts: vec![0; gpu_count as usize],
         }
     }
 
@@ -127,10 +138,16 @@ pub struct DirectoryStats {
     pub remote_maps: u64,
     /// Remote-mapped pages promoted to migrations by the access counter.
     pub promotions: u64,
+    /// Cold pages pulled in by the prefetch policy alongside a migration.
+    pub prefetches: u64,
 }
 
 /// The centralised page table the UVM driver / host MMU consults: it always
 /// knows where every page's valid copies live (§II-A).
+///
+/// Placement decisions are delegated to a [`PlacementPolicy`] built from the
+/// configured [`PolicyKind`]; every ownership change is reported as an
+/// [`OwnershipTransaction`] the memory system mirrors atomically.
 ///
 /// # Examples
 ///
@@ -143,33 +160,64 @@ pub struct DirectoryStats {
 /// assert_eq!(out.source, Location::Cpu); // first touch fetches from host
 /// assert_eq!(dir.home(42), Location::Gpu(1));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PageDirectory {
     gpu_count: u16,
-    policy: MigrationPolicy,
+    kind: PolicyKind,
+    engine: Box<dyn PlacementPolicy>,
     pages: HashMap<u64, PageState>,
     stats: DirectoryStats,
 }
 
+impl Clone for PageDirectory {
+    fn clone(&self) -> Self {
+        // Policies are stateless (all state lives in `PageState`), so a
+        // rebuilt box is a faithful clone.
+        Self {
+            gpu_count: self.gpu_count,
+            kind: self.kind,
+            engine: self.kind.build(),
+            pages: self.pages.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
 impl PageDirectory {
-    /// Creates a directory for a system of `gpu_count` GPUs.
+    /// Creates a directory for a system of `gpu_count` GPUs under a legacy
+    /// policy selector.
     ///
     /// # Panics
     ///
     /// Panics if `gpu_count` is zero or exceeds 64.
     pub fn new(gpu_count: u16, policy: MigrationPolicy) -> Self {
+        Self::with_policy(gpu_count, policy.into())
+    }
+
+    /// Creates a directory driven by the given placement-policy kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu_count` is zero or exceeds 64.
+    pub fn with_policy(gpu_count: u16, kind: PolicyKind) -> Self {
         assert!((1..=64).contains(&gpu_count), "gpu_count must be 1..=64");
         Self {
             gpu_count,
-            policy,
+            kind,
+            engine: kind.build(),
             pages: HashMap::new(),
             stats: DirectoryStats::default(),
         }
     }
 
-    /// The configured policy.
+    /// The configured policy, in the legacy selector's terms.
     pub fn policy(&self) -> MigrationPolicy {
-        self.policy
+        self.kind.into()
+    }
+
+    /// The configured placement-policy kind.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.kind
     }
 
     /// Placement statistics so far.
@@ -196,7 +244,7 @@ impl PageDirectory {
     /// without counting a migration.
     pub fn place(&mut self, vpn: u64, loc: Location) {
         let gpu_count = self.gpu_count;
-        let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::cold(gpu_count));
         page.home = loc;
     }
 
@@ -204,7 +252,7 @@ impl PageDirectory {
     /// remote supply), so a later migration invalidates it.
     pub fn add_remote_map(&mut self, vpn: u64, gpu: GpuId) {
         let gpu_count = self.gpu_count;
-        let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::cold(gpu_count));
         page.remote_maps |= 1 << gpu;
     }
 
@@ -237,6 +285,22 @@ impl PageDirectory {
         gpu: GpuId,
         is_write: bool,
     ) -> Result<FaultOutcome, SimError> {
+        self.begin_fault_txn(vpn, gpu, is_write).map(|t| t.outcome())
+    }
+
+    /// Resolves a far fault and returns the full [`OwnershipTransaction`]
+    /// the memory system must mirror (directory state is already updated —
+    /// the transaction is the directive half of the atomic change).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Protocol`] when `gpu >= gpu_count`.
+    pub fn begin_fault_txn(
+        &mut self,
+        vpn: u64,
+        gpu: GpuId,
+        is_write: bool,
+    ) -> Result<OwnershipTransaction, SimError> {
         if gpu >= self.gpu_count {
             return Err(SimError::Protocol {
                 cycle: 0,
@@ -246,123 +310,194 @@ impl PageDirectory {
                 ),
             });
         }
-        let policy = self.policy;
-        let stats = &mut self.stats;
-        let page = {
-            let gpu_count = self.gpu_count;
-            self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count))
-        };
+        let gpu_count = self.gpu_count;
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::cold(gpu_count));
 
         if page.resident_on(gpu) && !(is_write && page.replicas != 0) {
-            return Ok(FaultOutcome {
-                action: FaultAction::AlreadyResident,
+            return Ok(OwnershipTransaction {
+                vpn,
+                kind: TxnKind::AlreadyResident,
                 source: Location::Gpu(gpu),
-                invalidations: Vec::new(),
+                dest: gpu,
+                invalidate: Vec::new(),
+                ft_remove: Vec::new(),
             });
         }
 
-        Ok(match policy {
-            MigrationPolicy::OnTouch => {
+        // A genuine far fault: bump the heat counter before consulting the
+        // policy, so a threshold of N migrates on the Nth fault.
+        if let Some(c) = page.fault_counts.get_mut(gpu as usize) {
+            *c += 1;
+        }
+        let decision = self.engine.on_fault(page, gpu, is_write);
+        let stats = &mut self.stats;
+
+        Ok(match decision {
+            PolicyDecision::Migrate => {
                 let source = page.home;
-                let mut invalidations: Vec<GpuId> = source.gpu().into_iter().collect();
-                for g in 0..self.gpu_count {
+                let mut invalidate: Vec<GpuId> = source.gpu().into_iter().collect();
+                for g in 0..gpu_count {
                     if g != gpu && page.remote_maps & (1 << g) != 0 && Some(g) != source.gpu() {
-                        invalidations.push(g);
+                        invalidate.push(g);
                     }
                 }
                 page.remote_maps &= 1 << gpu;
                 page.home = Location::Gpu(gpu);
+                page.fault_counts.fill(0);
+                page.access_counts.fill(0);
                 stats.migrations += 1;
-                FaultOutcome {
-                    action: FaultAction::Migrate,
+                OwnershipTransaction {
+                    vpn,
+                    kind: TxnKind::Migrate,
                     source,
-                    invalidations,
+                    dest: gpu,
+                    invalidate,
+                    ft_remove: Vec::new(),
                 }
             }
-            MigrationPolicy::ReadReplication => {
-                if is_write {
-                    // Write to a (possibly replicated) page: invalidate every
-                    // other copy, the writer becomes the exclusive owner.
-                    let source = if page.resident_on(gpu) {
-                        Location::Gpu(gpu)
-                    } else {
-                        page.home
-                    };
-                    let mut invalidations: Vec<GpuId> = Vec::new();
-                    if let Some(h) = page.home.gpu() {
-                        if h != gpu {
-                            invalidations.push(h);
-                        }
-                    }
-                    for g in 0..self.gpu_count {
-                        if g != gpu && page.replicas & (1 << g) != 0 {
-                            invalidations.push(g);
-                        }
-                    }
-                    stats.write_invalidations += invalidations.len() as u64;
-                    if source != Location::Gpu(gpu) {
-                        stats.migrations += 1;
-                    }
-                    page.home = Location::Gpu(gpu);
-                    page.replicas = 0;
-                    FaultOutcome {
-                        action: FaultAction::Migrate,
-                        source,
-                        invalidations,
-                    }
-                } else if page.home == Location::Cpu && page.replicas == 0 {
-                    // First touch: plain migration from the host.
-                    page.home = Location::Gpu(gpu);
-                    stats.migrations += 1;
-                    FaultOutcome {
-                        action: FaultAction::Migrate,
-                        source: Location::Cpu,
-                        invalidations: Vec::new(),
-                    }
+            PolicyDecision::Collapse => {
+                // Write to a (possibly replicated) page: invalidate every
+                // other copy, the writer becomes the exclusive owner.
+                let source = if page.resident_on(gpu) {
+                    Location::Gpu(gpu)
                 } else {
-                    // Read of a page resident elsewhere: replicate.
-                    let source = page.home;
-                    page.replicas |= 1 << gpu;
-                    stats.replications += 1;
-                    FaultOutcome {
-                        action: FaultAction::Replicate,
-                        source,
-                        invalidations: Vec::new(),
+                    page.home
+                };
+                let mut invalidate: Vec<GpuId> = Vec::new();
+                if let Some(h) = page.home.gpu() {
+                    if h != gpu {
+                        invalidate.push(h);
                     }
                 }
-            }
-            MigrationPolicy::RemoteMapping { .. } => {
-                if page.home == Location::Cpu {
-                    page.home = Location::Gpu(gpu);
+                for g in 0..gpu_count {
+                    if g != gpu && page.replicas & (1 << g) != 0 {
+                        invalidate.push(g);
+                    }
+                }
+                stats.write_invalidations += invalidate.len() as u64;
+                if source != Location::Gpu(gpu) {
                     stats.migrations += 1;
-                    FaultOutcome {
-                        action: FaultAction::Migrate,
-                        source: Location::Cpu,
-                        invalidations: Vec::new(),
-                    }
-                } else {
-                    let source = page.home;
-                    page.remote_maps |= 1 << gpu;
-                    stats.remote_maps += 1;
-                    FaultOutcome {
-                        action: FaultAction::RemoteMap,
-                        source,
-                        invalidations: Vec::new(),
-                    }
+                }
+                page.home = Location::Gpu(gpu);
+                page.replicas = 0;
+                page.fault_counts.fill(0);
+                page.access_counts.fill(0);
+                // The invalidated copies (minus the data source, whose FT
+                // key the migration itself rewrites) still have forwarding
+                // entries naming them as owners.
+                let ft_remove = invalidate
+                    .iter()
+                    .copied()
+                    .filter(|&v| Some(v) != source.gpu())
+                    .collect();
+                OwnershipTransaction {
+                    vpn,
+                    kind: TxnKind::Collapse,
+                    source,
+                    dest: gpu,
+                    invalidate,
+                    ft_remove,
+                }
+            }
+            PolicyDecision::Replicate => {
+                let source = page.home;
+                page.replicas |= 1 << gpu;
+                stats.replications += 1;
+                OwnershipTransaction {
+                    vpn,
+                    kind: TxnKind::Replicate,
+                    source,
+                    dest: gpu,
+                    invalidate: Vec::new(),
+                    ft_remove: Vec::new(),
+                }
+            }
+            PolicyDecision::RemoteMap => {
+                let source = page.home;
+                page.remote_maps |= 1 << gpu;
+                stats.remote_maps += 1;
+                OwnershipTransaction {
+                    vpn,
+                    kind: TxnKind::RemoteMap,
+                    source,
+                    dest: gpu,
+                    invalidate: Vec::new(),
+                    ft_remove: Vec::new(),
                 }
             }
         })
+    }
+
+    /// Prefetches a page into `gpu` alongside a demand migration whose data
+    /// came `from` some location: eligible pages are *untouched* (no fault
+    /// or access history — a page anyone has been using is someone else's
+    /// working set) with no replicas or remote mappings, and homed either on
+    /// the CPU (cold) or on `from` itself (the tree-prefetch case: the
+    /// neighborhood travels with the page that just migrated away from
+    /// there).
+    ///
+    /// Returns the transaction to mirror, or `None` when the page is not
+    /// eligible (already on `gpu`, touched, shared, homed elsewhere, or
+    /// `gpu` out of range).
+    pub fn prefetch_page(
+        &mut self,
+        vpn: u64,
+        gpu: GpuId,
+        from: Location,
+    ) -> Option<OwnershipTransaction> {
+        if gpu >= self.gpu_count {
+            return None;
+        }
+        let gpu_count = self.gpu_count;
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::cold(gpu_count));
+        if page.home == Location::Gpu(gpu) || page.replicas != 0 || page.remote_maps != 0 {
+            return None;
+        }
+        if page.home != Location::Cpu && page.home != from {
+            return None;
+        }
+        if page.fault_counts.iter().any(|&c| c != 0)
+            || page.access_counts.iter().any(|&c| c != 0)
+        {
+            return None;
+        }
+        let source = page.home;
+        page.home = Location::Gpu(gpu);
+        self.stats.prefetches += 1;
+        Some(OwnershipTransaction {
+            vpn,
+            kind: TxnKind::Prefetch,
+            source,
+            dest: gpu,
+            invalidate: source.gpu().into_iter().collect(),
+            ft_remove: Vec::new(),
+        })
+    }
+
+    /// VPNs the configured policy wants prefetched around `vpn` (ascending;
+    /// empty for non-prefetching policies).
+    pub fn prefetch_neighborhood(&self, vpn: u64) -> Vec<u64> {
+        self.engine.prefetch_neighborhood(vpn)
     }
 
     /// Records one access through a remote mapping; when the access counter
     /// crosses the policy threshold the page is promoted to a migration and
     /// the returned outcome lists the mappings to invalidate.
     ///
-    /// Returns `None` while the page stays put, or under other policies.
+    /// Returns `None` while the page stays put, or under policies that do
+    /// not count remote accesses.
     pub fn record_remote_access(&mut self, vpn: u64, gpu: GpuId) -> Option<FaultOutcome> {
-        let MigrationPolicy::RemoteMapping { migrate_threshold } = self.policy else {
-            return None;
-        };
+        self.record_remote_access_txn(vpn, gpu).map(|t| t.outcome())
+    }
+
+    /// Transactional variant of
+    /// [`record_remote_access`](Self::record_remote_access).
+    pub fn record_remote_access_txn(
+        &mut self,
+        vpn: u64,
+        gpu: GpuId,
+    ) -> Option<OwnershipTransaction> {
+        let migrate_threshold = self.engine.remote_access_threshold()?;
         // An out-of-range GPU (corrupted descriptor) has no counter slot and
         // can never be promoted; ignore it rather than index out of bounds.
         if gpu >= self.gpu_count {
@@ -370,7 +505,7 @@ impl PageDirectory {
         }
         let stats = &mut self.stats;
         let gpu_count = self.gpu_count;
-        let page = self.pages.entry(vpn).or_insert_with(|| PageState::new(gpu_count));
+        let page = self.pages.entry(vpn).or_insert_with(|| PageState::cold(gpu_count));
         if page.home == Location::Gpu(gpu) {
             return None;
         }
@@ -381,31 +516,36 @@ impl PageDirectory {
         }
         // Promote: migrate the page, invalidate every other mapping.
         let source = page.home;
-        let mut invalidations: Vec<GpuId> = Vec::new();
+        let mut invalidate: Vec<GpuId> = Vec::new();
         if let Some(h) = source.gpu() {
-            invalidations.push(h);
+            invalidate.push(h);
         }
         for g in 0..gpu_count {
             if g != gpu && page.remote_maps & (1 << g) != 0 && Some(g) != source.gpu() {
-                invalidations.push(g);
+                invalidate.push(g);
             }
         }
         page.home = Location::Gpu(gpu);
         page.remote_maps = 0;
         page.access_counts.fill(0);
+        page.fault_counts.fill(0);
         stats.promotions += 1;
         stats.migrations += 1;
-        Some(FaultOutcome {
-            action: FaultAction::Migrate,
+        Some(OwnershipTransaction {
+            vpn,
+            kind: TxnKind::Migrate,
             source,
-            invalidations,
+            dest: gpu,
+            invalidate,
+            ft_remove: Vec::new(),
         })
     }
 
     /// Evicts every trace of `gpu` from the directory: pages homed there are
     /// re-owned (the lowest surviving replica holder is promoted, else the
     /// home falls back to the CPU backing copy), its replica and remote-map
-    /// bits are cleared everywhere, and its access counters reset. Remote
+    /// bits are cleared everywhere, and its access *and* fault counters
+    /// reset — a rejoined GPU must not inherit pre-failure heat. Remote
     /// mappings on *other* GPUs that pointed at the evicted GPU's memory are
     /// reported for shootdown.
     ///
@@ -433,6 +573,9 @@ impl PageDirectory {
                 report.dropped_remote_maps.push(vpn);
             }
             if let Some(c) = page.access_counts.get_mut(gpu as usize) {
+                *c = 0;
+            }
+            if let Some(c) = page.fault_counts.get_mut(gpu as usize) {
                 *c = 0;
             }
             if page.home == Location::Gpu(gpu) {
@@ -499,7 +642,7 @@ impl PageDirectory {
     ///
     /// Returns [`SimError::InvariantViolation`] listing every inconsistent
     /// page: out-of-range home, replica/remote-map bits beyond `gpu_count`,
-    /// the home GPU listed as its own replica, or a malformed access-counter
+    /// the home GPU listed as its own replica, or a malformed counter
     /// vector.
     pub fn audit(&self) -> Result<(), SimError> {
         let mut violations = Vec::new();
@@ -533,6 +676,13 @@ impl PageDirectory {
                 violations.push(format!(
                     "page {vpn}: {} access counters for {} GPUs",
                     page.access_counts.len(),
+                    self.gpu_count
+                ));
+            }
+            if page.fault_counts.len() != self.gpu_count as usize {
+                violations.push(format!(
+                    "page {vpn}: {} fault counters for {} GPUs",
+                    page.fault_counts.len(),
                     self.gpu_count
                 ));
             }
@@ -659,6 +809,7 @@ mod tests {
         let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
         d.resolve_fault(5, 0, false);
         assert!(d.record_remote_access(5, 1).is_none());
+        assert!(d.page(5).unwrap().access_counts.iter().all(|&c| c == 0));
     }
 
     #[test]
@@ -807,5 +958,152 @@ mod tests {
         d.pages.get_mut(&5).unwrap().replicas = 1 << 0;
         let err = d.audit().unwrap_err();
         assert!(err.to_string().contains("listed as replica"));
+    }
+
+    // ----- policy-engine behaviour -------------------------------------
+
+    #[test]
+    fn legacy_constructor_reports_equivalent_kinds() {
+        let d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        assert_eq!(d.policy_kind(), PolicyKind::ReadDuplicate);
+        assert_eq!(d.policy(), MigrationPolicy::ReadReplication);
+        let d = PageDirectory::with_policy(4, PolicyKind::PrefetchNeighborhood { radius: 2 });
+        assert_eq!(d.policy(), MigrationPolicy::OnTouch, "closest legacy view");
+    }
+
+    #[test]
+    fn delayed_migration_migrates_on_nth_fault() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::DelayedMigration { threshold: 2 });
+        d.resolve_fault(5, 0, false); // cold: migrate to 0
+        let t = d.begin_fault_txn(5, 1, false).unwrap();
+        assert_eq!(t.kind, TxnKind::RemoteMap, "first far fault maps in place");
+        // The remote map created a PTE; a second *fault* means it was lost
+        // (e.g. shot down) — the second fault crosses the threshold.
+        let t = d.begin_fault_txn(5, 1, false).unwrap();
+        assert_eq!(t.kind, TxnKind::Migrate);
+        assert_eq!(t.source, Location::Gpu(0));
+        assert_eq!(d.home(5), Location::Gpu(1));
+        assert_eq!(d.page(5).unwrap().fault_counts, vec![0; 4], "heat reset on migrate");
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn replicate_then_write_collapse_txn_lists_every_stale_copy() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::ReadDuplicate);
+        d.resolve_fault(5, 0, false); // home on 0
+        d.resolve_fault(5, 1, false); // replica on 1
+        d.resolve_fault(5, 2, false); // replica on 2
+        let t = d.begin_fault_txn(5, 2, true).unwrap(); // holder 2 writes
+        assert_eq!(t.kind, TxnKind::Collapse);
+        assert_eq!(t.source, Location::Gpu(2), "writer already holds the data");
+        assert_eq!(t.invalidate, vec![0, 1]);
+        assert_eq!(t.ft_remove, vec![0, 1], "both stale FT owner keys go");
+        assert_eq!(t.resolved_location(), Location::Gpu(2));
+        assert_eq!(d.page(5).unwrap().replicas, 0);
+        assert_eq!(d.home(5), Location::Gpu(2));
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn collapse_from_remote_writer_keeps_source_out_of_ft_remove() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::ReadDuplicate);
+        d.resolve_fault(5, 0, false); // home on 0
+        d.resolve_fault(5, 1, false); // replica on 1
+        let t = d.begin_fault_txn(5, 3, true).unwrap(); // outsider writes
+        assert_eq!(t.kind, TxnKind::Collapse);
+        assert_eq!(t.source, Location::Gpu(0));
+        assert_eq!(t.invalidate, vec![0, 1]);
+        assert_eq!(t.ft_remove, vec![1], "source's FT key moves with the data");
+    }
+
+    #[test]
+    fn prefetch_page_takes_only_untouched_pages() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::PrefetchNeighborhood { radius: 2 });
+        let t = d.prefetch_page(8, 1, Location::Cpu).expect("cold page is eligible");
+        assert_eq!(t.kind, TxnKind::Prefetch);
+        assert_eq!((t.source, t.dest), (Location::Cpu, 1));
+        assert!(t.invalidate.is_empty(), "nothing to shoot down for a cold page");
+        assert_eq!(d.home(8), Location::Gpu(1));
+        assert_eq!(d.stats().prefetches, 1);
+        assert!(
+            d.prefetch_page(8, 2, Location::Cpu).is_none(),
+            "already placed off the claimed source"
+        );
+        d.resolve_fault(9, 0, false);
+        assert!(
+            d.prefetch_page(9, 1, Location::Cpu).is_none(),
+            "a page with fault history is someone's working set"
+        );
+        assert_eq!(d.stats().prefetches, 1);
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn prefetch_page_follows_the_migration_source() {
+        // Warm placement: page 9 homed on GPU 0 untouched. A migration that
+        // pulled its neighbor from GPU 0 to GPU 1 drags it along, and the
+        // transaction lists the shootdown on the old owner.
+        let mut d = PageDirectory::with_policy(4, PolicyKind::PrefetchNeighborhood { radius: 2 });
+        d.place(9, Location::Gpu(0));
+        let t = d
+            .prefetch_page(9, 1, Location::Gpu(0))
+            .expect("untouched page homed on the source is eligible");
+        assert_eq!((t.source, t.dest), (Location::Gpu(0), 1));
+        assert_eq!(t.invalidate, vec![0], "old owner's mapping is shot down");
+        assert_eq!(d.home(9), Location::Gpu(1));
+        // Homed on a *different* GPU: not dragged.
+        d.place(20, Location::Gpu(2));
+        assert!(d.prefetch_page(20, 1, Location::Gpu(0)).is_none());
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn prefetch_neighborhood_comes_from_the_policy() {
+        let d = PageDirectory::with_policy(4, PolicyKind::PrefetchNeighborhood { radius: 2 });
+        assert_eq!(d.prefetch_neighborhood(5), vec![4, 6, 7]);
+        let d = PageDirectory::with_policy(4, PolicyKind::FirstTouch);
+        assert!(d.prefetch_neighborhood(5).is_empty());
+    }
+
+    #[test]
+    fn evict_gpu_clears_fault_heat_for_the_evicted_gpu_only() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::DelayedMigration { threshold: 9 });
+        d.resolve_fault(5, 0, false); // home on 0
+        d.resolve_fault(5, 1, false); // remote map, fault_counts[1] = 1
+        d.resolve_fault(5, 2, false); // remote map, fault_counts[2] = 1
+        assert_eq!(d.page(5).unwrap().fault_counts, vec![0, 1, 1, 0]);
+        d.evict_gpu(1);
+        assert_eq!(
+            d.page(5).unwrap().fault_counts,
+            vec![0, 0, 1, 0],
+            "rejoined GPU must not inherit pre-failure heat"
+        );
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn cloned_directory_keeps_policy_behaviour() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::DelayedMigration { threshold: 2 });
+        d.resolve_fault(5, 0, false);
+        d.resolve_fault(5, 1, false); // fault_counts[1] = 1
+        let mut c = d.clone();
+        assert_eq!(c.policy_kind(), d.policy_kind());
+        let t = c.begin_fault_txn(5, 1, false).unwrap();
+        assert_eq!(t.kind, TxnKind::Migrate, "clone kept the heat counters");
+    }
+
+    #[test]
+    fn first_touch_txn_matches_legacy_outcome_shape() {
+        let mut d = PageDirectory::with_policy(4, PolicyKind::FirstTouch);
+        d.resolve_fault(10, 0, false);
+        let t = d.begin_fault_txn(10, 1, false).unwrap();
+        assert_eq!(t.kind, TxnKind::Migrate);
+        assert_eq!(t.source, Location::Gpu(0));
+        assert_eq!(t.invalidate, vec![0]);
+        assert!(t.ft_remove.is_empty(), "first touch never touches FT owner keys");
+        assert!(t.moves_data() && t.moves_home());
+        let again = d.begin_fault_txn(10, 1, true).unwrap();
+        assert_eq!(again.kind, TxnKind::AlreadyResident);
+        assert!(!again.moves_data());
     }
 }

@@ -15,12 +15,20 @@
 //! It also models the **software UVM-driver far-fault path** (§II-B): a
 //! fault buffer drained in 256-fault batches by driver threads, the
 //! scalability bottleneck that Fig. 2 quantifies.
+//!
+//! Placement decisions live in the pluggable [`policy`] engine: a
+//! [`PlacementPolicy`] trait with four shipped policies (first-touch,
+//! delayed migration, read duplication, neighborhood prefetch), every
+//! ownership change expressed as an [`OwnershipTransaction`] that the
+//! memory system mirrors atomically into page tables, TLBs, PRTs and FTs.
 
 pub mod directory;
 pub mod driver;
+pub mod policy;
 
 pub use directory::{
     DirectoryStats, EvictionReport, FaultAction, FaultOutcome, MigrationPolicy, PageDirectory,
     PageState,
 };
 pub use driver::{DriverBatch, DriverConfig, UvmDriver};
+pub use policy::{OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TxnKind};

@@ -1,0 +1,458 @@
+//! Pluggable page-placement policies and the ownership transaction their
+//! decisions are carried out through.
+//!
+//! The directory used to hard-wire the three §V-D/E policies into one match
+//! statement; everything the memory system had to mirror (page-table
+//! rewrites, TLB shootdowns, PRT/FT maintenance) was reconstructed ad hoc at
+//! each call site. This module splits that into:
+//!
+//! * [`PolicyKind`] — a cheap, copyable policy selector carried in configs;
+//! * [`PlacementPolicy`] — the decision trait: given the current
+//!   [`PageState`] and the faulting GPU, pick a [`PolicyDecision`];
+//! * [`OwnershipTransaction`] — the *single* record every ownership change
+//!   flows through. The directory mutates its authoritative state and emits
+//!   one transaction naming the data source, destination, the GPUs whose
+//!   PTE/TLB/PRT entries must be shot down, and the FT keys to rewrite. The
+//!   memory system applies it atomically (within one simulated event), so
+//!   the post-run invariant auditor can check that no stale short-circuit
+//!   path survives a migration.
+//!
+//! Four policies ship:
+//!
+//! | kind | far fault behaviour |
+//! |------|---------------------|
+//! | [`PolicyKind::FirstTouch`] | always migrate into the faulting GPU |
+//! | [`PolicyKind::DelayedMigration`] | map remotely; migrate after `threshold` far faults (NVIDIA-UVM style) |
+//! | [`PolicyKind::ReadDuplicate`] | replicate read-shared pages; a write collapses every copy back to one owner |
+//! | [`PolicyKind::PrefetchNeighborhood`] | migrate, plus tree-style prefetch of the surrounding aligned VPN block |
+
+use ptw::{GpuId, Location};
+
+use crate::directory::{FaultAction, FaultOutcome, MigrationPolicy, PageState};
+
+/// Which placement policy drives the directory.
+///
+/// `Copy` so configs can embed it; [`build`](Self::build) turns it into the
+/// boxed implementation the directory consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// First touch migrates the page into the faulting GPU (the default;
+    /// today's behaviour).
+    #[default]
+    FirstTouch,
+    /// Map remotely and migrate only after `threshold` remote far faults
+    /// from the same GPU, plus access-counter promotion (§V-E).
+    DelayedMigration {
+        /// Far faults from one GPU before the page migrates to it.
+        threshold: u32,
+    },
+    /// Read faults replicate; a write collapses all copies back to a single
+    /// owner (ESI coherence, §V-D).
+    ReadDuplicate,
+    /// First-touch migration plus prefetch of the aligned `2^radius`-page
+    /// block around the faulting VPN.
+    PrefetchNeighborhood {
+        /// log2 of the prefetch block size in pages.
+        radius: u32,
+    },
+}
+
+impl PolicyKind {
+    /// Short stable name for reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::FirstTouch => "first-touch",
+            PolicyKind::DelayedMigration { .. } => "delayed-migration",
+            PolicyKind::ReadDuplicate => "read-duplicate",
+            PolicyKind::PrefetchNeighborhood { .. } => "prefetch-neighborhood",
+        }
+    }
+
+    /// Builds the boxed policy implementation.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            PolicyKind::FirstTouch => Box::new(FirstTouch),
+            PolicyKind::DelayedMigration { threshold } => {
+                Box::new(DelayedMigration { threshold })
+            }
+            PolicyKind::ReadDuplicate => Box::new(ReadDuplicate),
+            PolicyKind::PrefetchNeighborhood { radius } => {
+                Box::new(PrefetchNeighborhood { radius })
+            }
+        }
+    }
+}
+
+impl From<MigrationPolicy> for PolicyKind {
+    /// Every legacy [`MigrationPolicy`] maps onto the policy engine; the
+    /// mapped kind reproduces the legacy behaviour exactly (the engine is a
+    /// strict superset).
+    fn from(p: MigrationPolicy) -> Self {
+        match p {
+            MigrationPolicy::OnTouch => PolicyKind::FirstTouch,
+            MigrationPolicy::ReadReplication => PolicyKind::ReadDuplicate,
+            MigrationPolicy::RemoteMapping { migrate_threshold } => PolicyKind::DelayedMigration {
+                threshold: migrate_threshold,
+            },
+        }
+    }
+}
+
+impl From<PolicyKind> for MigrationPolicy {
+    /// Closest legacy policy, for the back-compat accessor.
+    fn from(k: PolicyKind) -> Self {
+        match k {
+            PolicyKind::FirstTouch | PolicyKind::PrefetchNeighborhood { .. } => {
+                MigrationPolicy::OnTouch
+            }
+            PolicyKind::DelayedMigration { threshold } => MigrationPolicy::RemoteMapping {
+                migrate_threshold: threshold,
+            },
+            PolicyKind::ReadDuplicate => MigrationPolicy::ReadReplication,
+        }
+    }
+}
+
+/// What a policy decided to do about one far fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyDecision {
+    /// Move the page into the faulting GPU.
+    Migrate,
+    /// Write-collapse: invalidate every other copy, the writer becomes the
+    /// exclusive owner (counted as write invalidations).
+    Collapse,
+    /// Create a read replica on the faulting GPU.
+    Replicate,
+    /// Map the page in place; no data moves.
+    RemoteMap,
+}
+
+/// A placement policy: pure decision logic over directory state.
+///
+/// Implementations are stateless — every counter they consult lives in the
+/// per-page [`PageState`], so cloning a directory (checkpointing) never
+/// loses policy state.
+pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
+    /// The selector this implementation was built from.
+    fn kind(&self) -> PolicyKind;
+
+    /// Decides how to resolve a far fault by `gpu` on a page currently in
+    /// state `page`. The directory has already filtered already-resident
+    /// faults and bumped `page.fault_counts[gpu]`.
+    fn on_fault(&self, page: &PageState, gpu: GpuId, is_write: bool) -> PolicyDecision;
+
+    /// Remote data accesses before a remote-mapped page is promoted to a
+    /// migration, or `None` when this policy does not count accesses.
+    /// Policies returning `None` never create directory entries on the
+    /// remote-access path.
+    fn remote_access_threshold(&self) -> Option<u32> {
+        None
+    }
+
+    /// VPNs to prefetch alongside a migration of `vpn` (empty for policies
+    /// that do not prefetch). Candidates are returned in ascending order so
+    /// the simulator applies them deterministically.
+    fn prefetch_neighborhood(&self, _vpn: u64) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// Always migrate into the faulting GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct FirstTouch;
+
+impl PlacementPolicy for FirstTouch {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::FirstTouch
+    }
+
+    fn on_fault(&self, _page: &PageState, _gpu: GpuId, _is_write: bool) -> PolicyDecision {
+        PolicyDecision::Migrate
+    }
+}
+
+/// Remote-map first; migrate once a GPU has far-faulted `threshold` times on
+/// the page (and still promote hot remote mappings on data accesses).
+#[derive(Debug, Clone, Copy)]
+pub struct DelayedMigration {
+    /// Far faults from one GPU before the page migrates to it.
+    pub threshold: u32,
+}
+
+impl PlacementPolicy for DelayedMigration {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::DelayedMigration {
+            threshold: self.threshold,
+        }
+    }
+
+    fn on_fault(&self, page: &PageState, gpu: GpuId, _is_write: bool) -> PolicyDecision {
+        if page.home == Location::Cpu {
+            // Cold pages have no remote owner to borrow from.
+            PolicyDecision::Migrate
+        } else if page
+            .fault_counts
+            .get(gpu as usize)
+            .is_some_and(|&c| c >= self.threshold)
+        {
+            PolicyDecision::Migrate
+        } else {
+            PolicyDecision::RemoteMap
+        }
+    }
+
+    fn remote_access_threshold(&self) -> Option<u32> {
+        Some(self.threshold)
+    }
+}
+
+/// Replicate read-shared pages; writes collapse back to a single owner.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadDuplicate;
+
+impl PlacementPolicy for ReadDuplicate {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::ReadDuplicate
+    }
+
+    fn on_fault(&self, page: &PageState, _gpu: GpuId, is_write: bool) -> PolicyDecision {
+        if is_write {
+            PolicyDecision::Collapse
+        } else if page.home == Location::Cpu && page.replicas == 0 {
+            // First touch: plain migration from the host.
+            PolicyDecision::Migrate
+        } else {
+            PolicyDecision::Replicate
+        }
+    }
+}
+
+/// First-touch migration plus prefetch of the aligned block around the
+/// faulting VPN (the tree-climbing heuristic of the NVIDIA UVM driver,
+/// restricted to one level).
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchNeighborhood {
+    /// log2 of the prefetch block size in pages.
+    pub radius: u32,
+}
+
+impl PlacementPolicy for PrefetchNeighborhood {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::PrefetchNeighborhood {
+            radius: self.radius,
+        }
+    }
+
+    fn on_fault(&self, _page: &PageState, _gpu: GpuId, _is_write: bool) -> PolicyDecision {
+        PolicyDecision::Migrate
+    }
+
+    fn prefetch_neighborhood(&self, vpn: u64) -> Vec<u64> {
+        let span = 1u64 << self.radius.min(16);
+        let base = vpn & !(span - 1);
+        (base..base + span).filter(|&v| v != vpn).collect()
+    }
+}
+
+/// The kind of ownership change a transaction carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnKind {
+    /// Page moves into `dest`; the old copy and stale mappings die.
+    Migrate,
+    /// Write-collapse of a replicated page into exclusive ownership.
+    Collapse,
+    /// A read replica appears on `dest`.
+    Replicate,
+    /// A remote mapping appears on `dest`; no data moves.
+    RemoteMap,
+    /// A policy-initiated prefetch moved a cold page into `dest`.
+    Prefetch,
+    /// The page was already resident (e.g. a racing fault resolved it).
+    AlreadyResident,
+}
+
+/// One atomic ownership change, as decided by the directory.
+///
+/// The directory's authoritative state is already updated when a
+/// transaction is returned; the memory system must mirror it — unmap
+/// `invalidate` on those GPUs (PTE + TLB + PRT departure), rewrite the FT
+/// keys listed in `ft_remove`, move the home FT key for data-moving kinds,
+/// and map the page on `dest` when the transfer lands. Applying the whole
+/// record within one simulated event is what makes the change atomic from
+/// the protocol's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnershipTransaction {
+    /// The page changing ownership.
+    pub vpn: u64,
+    /// What kind of change this is.
+    pub kind: TxnKind,
+    /// Where the data is fetched from.
+    pub source: Location,
+    /// The GPU gaining a copy or mapping.
+    pub dest: GpuId,
+    /// GPUs whose PTE/TLB/PRT entries for this page must be shot down.
+    pub invalidate: Vec<GpuId>,
+    /// GPUs whose FT ownership key (`vpn ⊕ owner`) must be removed — the
+    /// invalidated replica holders the host forwarding table still names.
+    pub ft_remove: Vec<GpuId>,
+}
+
+impl OwnershipTransaction {
+    /// Whether page data crosses the interconnect.
+    pub fn moves_data(&self) -> bool {
+        matches!(
+            self.kind,
+            TxnKind::Migrate | TxnKind::Collapse | TxnKind::Replicate | TxnKind::Prefetch
+        )
+    }
+
+    /// Location the faulting GPU's page table should point at afterwards.
+    pub fn resolved_location(&self) -> Location {
+        match self.kind {
+            TxnKind::RemoteMap => self.source,
+            _ => Location::Gpu(self.dest),
+        }
+    }
+
+    /// Whether the home FT key moves to `dest` (data-moving exclusive
+    /// ownership changes; replicas only add a key).
+    pub fn moves_home(&self) -> bool {
+        matches!(
+            self.kind,
+            TxnKind::Migrate | TxnKind::Collapse | TxnKind::Prefetch
+        )
+    }
+
+    /// The legacy per-fault outcome view of this transaction.
+    pub fn outcome(&self) -> FaultOutcome {
+        FaultOutcome {
+            action: match self.kind {
+                TxnKind::Migrate | TxnKind::Collapse | TxnKind::Prefetch => FaultAction::Migrate,
+                TxnKind::Replicate => FaultAction::Replicate,
+                TxnKind::RemoteMap => FaultAction::RemoteMap,
+                TxnKind::AlreadyResident => FaultAction::AlreadyResident,
+            },
+            source: self.source,
+            invalidations: self.invalidate.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(gpus: u16) -> PageState {
+        PageState::cold(gpus)
+    }
+
+    #[test]
+    fn default_kind_is_first_touch() {
+        assert_eq!(PolicyKind::default(), PolicyKind::FirstTouch);
+        assert_eq!(PolicyKind::default().name(), "first-touch");
+    }
+
+    #[test]
+    fn legacy_policies_map_onto_the_engine() {
+        assert_eq!(
+            PolicyKind::from(MigrationPolicy::OnTouch),
+            PolicyKind::FirstTouch
+        );
+        assert_eq!(
+            PolicyKind::from(MigrationPolicy::ReadReplication),
+            PolicyKind::ReadDuplicate
+        );
+        assert!(matches!(
+            PolicyKind::from(MigrationPolicy::RemoteMapping { migrate_threshold: 5 }),
+            PolicyKind::DelayedMigration { .. }
+        ));
+        // And back: the accessor view stays faithful for the shared pairs.
+        assert_eq!(
+            MigrationPolicy::from(PolicyKind::ReadDuplicate),
+            MigrationPolicy::ReadReplication
+        );
+    }
+
+    #[test]
+    fn first_touch_always_migrates() {
+        let p = PolicyKind::FirstTouch.build();
+        let mut s = page(4);
+        assert_eq!(p.on_fault(&s, 1, false), PolicyDecision::Migrate);
+        s.home = Location::Gpu(2);
+        assert_eq!(p.on_fault(&s, 1, true), PolicyDecision::Migrate);
+        assert_eq!(p.remote_access_threshold(), None);
+        assert!(p.prefetch_neighborhood(40).is_empty());
+    }
+
+    #[test]
+    fn delayed_migration_maps_then_migrates_at_threshold() {
+        let p = PolicyKind::DelayedMigration { threshold: 3 }.build();
+        let mut s = page(4);
+        // Cold page: nothing to borrow, migrate.
+        assert_eq!(p.on_fault(&s, 1, false), PolicyDecision::Migrate);
+        s.home = Location::Gpu(0);
+        s.fault_counts[1] = 1;
+        assert_eq!(p.on_fault(&s, 1, false), PolicyDecision::RemoteMap);
+        s.fault_counts[1] = 3;
+        assert_eq!(p.on_fault(&s, 1, false), PolicyDecision::Migrate);
+        assert_eq!(p.remote_access_threshold(), Some(3));
+    }
+
+    #[test]
+    fn read_duplicate_replicates_reads_and_collapses_writes() {
+        let p = PolicyKind::ReadDuplicate.build();
+        let mut s = page(4);
+        assert_eq!(p.on_fault(&s, 1, false), PolicyDecision::Migrate, "first touch");
+        s.home = Location::Gpu(0);
+        assert_eq!(p.on_fault(&s, 1, false), PolicyDecision::Replicate);
+        assert_eq!(p.on_fault(&s, 1, true), PolicyDecision::Collapse);
+    }
+
+    #[test]
+    fn prefetch_neighborhood_is_an_aligned_block_minus_the_trigger() {
+        let p = PolicyKind::PrefetchNeighborhood { radius: 2 }.build();
+        assert_eq!(p.prefetch_neighborhood(5), vec![4, 6, 7]);
+        assert_eq!(p.prefetch_neighborhood(8), vec![9, 10, 11]);
+        let wide = PolicyKind::PrefetchNeighborhood { radius: 3 }.build();
+        assert_eq!(wide.prefetch_neighborhood(0), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn transaction_resolution_mapping() {
+        let mk = |kind| OwnershipTransaction {
+            vpn: 9,
+            kind,
+            source: Location::Gpu(2),
+            dest: 1,
+            invalidate: vec![2],
+            ft_remove: Vec::new(),
+        };
+        let m = mk(TxnKind::Migrate);
+        assert!(m.moves_data() && m.moves_home());
+        assert_eq!(m.resolved_location(), Location::Gpu(1));
+        assert_eq!(m.outcome().action, FaultAction::Migrate);
+
+        let r = mk(TxnKind::RemoteMap);
+        assert!(!r.moves_data() && !r.moves_home());
+        assert_eq!(r.resolved_location(), Location::Gpu(2), "points at the home");
+
+        let repl = mk(TxnKind::Replicate);
+        assert!(repl.moves_data() && !repl.moves_home());
+
+        let a = mk(TxnKind::AlreadyResident);
+        assert!(!a.moves_data());
+        assert_eq!(a.outcome().action, FaultAction::AlreadyResident);
+    }
+
+    #[test]
+    fn builds_report_their_kind() {
+        for kind in [
+            PolicyKind::FirstTouch,
+            PolicyKind::DelayedMigration { threshold: 4 },
+            PolicyKind::ReadDuplicate,
+            PolicyKind::PrefetchNeighborhood { radius: 3 },
+        ] {
+            assert_eq!(kind.build().kind(), kind);
+        }
+    }
+}

@@ -28,9 +28,11 @@
 //! ```
 
 pub mod ml;
+pub mod phase;
 pub mod spec;
 
 pub use ml::{resnet18, vgg16, MlModel};
+pub use phase::{phase_shift, PhaseShift};
 pub use spec::{AppSpec, Pattern};
 
 /// All ten Table III applications with their default (paper-shaped) specs.

@@ -7,11 +7,11 @@ use std::collections::{HashMap, HashSet};
 
 use transfw_sim::cuckoo::CuckooFilter;
 use transfw_sim::mgpu::metrics::SharingProfile;
-use transfw_sim::mgpu::{System, SystemConfig};
+use transfw_sim::mgpu::{run_with_restore, System, SystemConfig};
 use transfw_sim::ptw::{Location, PageTable, Pte};
 use transfw_sim::sim_core::{ComponentEvent, EventQueue, FaultPlan, SimRng};
 use transfw_sim::tlb::{Mshr, MshrOutcome, Tlb};
-use transfw_sim::uvm::{MigrationPolicy, PageDirectory};
+use transfw_sim::uvm::{MigrationPolicy, PageDirectory, PolicyKind};
 use transfw_sim::workloads::{self, Pattern};
 
 const CASES: u64 = 64;
@@ -261,6 +261,67 @@ fn random_gpu_offline_schedules_retire_exactly_once() {
             "case {case} ({name}): lost instructions"
         );
         assert!(m.recovery.gpu_offline_events as usize >= 1);
+    }
+}
+
+/// Random placement policy × random fault schedule: the transactional
+/// ownership engine preserves retire-exactly-once under any combination,
+/// and a crash at a random cycle restores bit-identically under
+/// [`run_with_restore`] — page movement (migration, replication, prefetch)
+/// is exactly as deterministic as the fault path it rides on.
+#[test]
+fn random_policy_and_fault_schedules_replay_bit_identically() {
+    let reps = ["AES", "KM", "MT", "PR"];
+    for case in 0..10u64 {
+        let mut rng = SimRng::new(0x7011C7 ^ case);
+        let name = reps[rng.gen_index(reps.len())];
+        let app = workloads::app(name).unwrap().scaled(0.04);
+        let kind = match rng.gen_index(4) {
+            0 => PolicyKind::FirstTouch,
+            1 => PolicyKind::DelayedMigration {
+                threshold: 1 + rng.gen_range(6) as u32,
+            },
+            2 => PolicyKind::ReadDuplicate,
+            _ => PolicyKind::PrefetchNeighborhood {
+                radius: 1 + rng.gen_range(3) as u32,
+            },
+        };
+        let faults = if rng.chance(0.5) {
+            FaultPlan::components(vec![ComponentEvent::GpuOffline {
+                gpu: rng.gen_index(4),
+                at_cycle: 100 + rng.gen_range(6_000),
+                duration: 1 + rng.gen_range(4_000),
+            }])
+        } else {
+            FaultPlan::message_chaos(case, 0.02, 50 + rng.gen_range(300))
+        };
+        let mut cfg = SystemConfig::with_transfw();
+        cfg.seed = case;
+        cfg.placement = Some(kind);
+        cfg.faults = faults;
+        cfg.checkpoint_interval = Some(2_000);
+        cfg.watchdog.max_cycles = Some(10_000_000);
+
+        let baseline = System::new(cfg.clone())
+            .run(&app)
+            .unwrap_or_else(|e| panic!("case {case} ({name}, {kind:?}) failed: {e}"));
+        assert_eq!(
+            baseline.resilience.requests_retired, baseline.translation_requests,
+            "case {case} ({name}, {kind:?}): retire-exactly-once violated"
+        );
+
+        let crash_at = 1_000 + rng.gen_range(20_000);
+        let outcome = run_with_restore(&cfg, &app, crash_at)
+            .unwrap_or_else(|e| panic!("case {case} ({name}, {kind:?}) restore failed: {e}"));
+        let mut restored = outcome.metrics;
+        if outcome.restored {
+            assert_eq!(restored.recovery.restores_performed, 1);
+            restored.recovery.restores_performed = 0; // the only permitted delta
+        }
+        assert_eq!(
+            restored, baseline,
+            "case {case} ({name}, {kind:?}): restore diverged from uninterrupted run"
+        );
     }
 }
 
