@@ -55,7 +55,7 @@ impl Ft {
     #[inline]
     fn key(&self, vpn: u64, gpu: GpuId) -> u64 {
         // Concatenate the masked VPN with the owner GPU id.
-        ((vpn >> self.mask_bits) << 8) | gpu as u64
+        ((vpn >> self.mask_bits) << 8) | u64::from(gpu)
     }
 
     /// Updates ownership when a page migrates: the old fingerprint (if any)

@@ -7,7 +7,7 @@ use transfw::{ForwardPolicy, Ft, Prt, TransFwConfig};
 /// A reference model of page residency: page -> owner GPU.
 fn churn(rounds: usize, gpus: u16, pages: u64) -> (Vec<u16>, Prt, Ft) {
     let cfg = TransFwConfig::default();
-    let mut owners: Vec<u16> = (0..pages).map(|p| (p % gpus as u64) as u16).collect();
+    let mut owners: Vec<u16> = (0..pages).map(|p| (p % u64::from(gpus)) as u16).collect();
     let mut prts: Vec<Prt> = (0..gpus).map(|_| Prt::new(&cfg)).collect();
     let mut ft = Ft::new(&cfg, gpus);
     // Pages are spaced one per 8-page fingerprint group so the mask does
@@ -20,7 +20,7 @@ fn churn(rounds: usize, gpus: u16, pages: u64) -> (Vec<u16>, Prt, Ft) {
     for _ in 0..rounds {
         let p = rng.gen_range(pages);
         let old = owners[p as usize];
-        let new = rng.gen_range(gpus as u64) as u16;
+        let new = rng.gen_range(u64::from(gpus)) as u16;
         if new == old {
             continue;
         }

@@ -117,7 +117,7 @@ impl CuckooFilter {
 
     /// Total SRAM storage in bits (the §IV-E area model input).
     pub fn storage_bits(&self) -> u64 {
-        self.capacity() as u64 * self.fp_bits as u64
+        self.capacity() as u64 * u64::from(self.fp_bits)
     }
 
     /// How many insertions overflowed into the stash so far.
@@ -150,7 +150,7 @@ impl CuckooFilter {
     /// works without knowing which of the two indices a cell currently uses.
     #[inline]
     fn alt_index(&self, index: usize, fp: u16) -> usize {
-        let h = (metro_mix(fp as u64, SEED_ALT) % self.bucket_count as u64) as usize;
+        let h = (metro_mix(u64::from(fp), SEED_ALT) % self.bucket_count as u64) as usize;
         (h + self.bucket_count - index) % self.bucket_count
     }
 

@@ -68,7 +68,7 @@ mod tests {
                 total_flips += (a ^ b).count_ones();
             }
         }
-        let avg = total_flips as f64 / trials as f64;
+        let avg = f64::from(total_flips) / f64::from(trials);
         assert!((24.0..40.0).contains(&avg), "avalanche avg {avg}");
     }
 

@@ -81,6 +81,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
     let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    // simlint::allow(det-wallclock): harness progress timing, never fed into the sim
     let t0 = std::time::Instant::now();
 
     let mut cells = Vec::new();

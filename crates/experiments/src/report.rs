@@ -32,7 +32,7 @@ impl Report {
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Self {
             title: title.to_string(),
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }

@@ -43,7 +43,7 @@ fn bandwidth_bound_throughput() {
     }
     let cycles = last - 50; // subtract propagation
     let bytes = 1000 * 4096;
-    let achieved = bytes as f64 / cycles as f64;
+    let achieved = f64::from(bytes) / cycles as f64;
     assert!((achieved - 64.0).abs() < 1.0, "throughput {achieved} B/cy");
 }
 

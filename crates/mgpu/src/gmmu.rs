@@ -56,12 +56,12 @@ impl System {
             if let Some(asap) = g.asap.as_mut() {
                 accesses = asap.effective_accesses(accesses);
             }
-            let walk_cycles = accesses as Cycle * self.cfg.walk_level_latency + stall;
+            let walk_cycles = Cycle::from(accesses) * self.cfg.walk_level_latency + stall;
             // PW-cache refill range: entries for the levels this walk read.
             let start = resume.map_or(levels, |k| k - 1);
             let insert_lo = walk.reached_level.max(2);
             let insert_hi = start.min(levels);
-            self.metrics.gmmu_walk_accesses += walk.accesses as u64;
+            self.metrics.gmmu_walk_accesses += u64::from(walk.accesses);
             self.events.push(
                 now + walk_cycles,
                 Event::GmmuWalkDone {

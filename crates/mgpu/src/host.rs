@@ -101,10 +101,10 @@ impl System {
             if let Some(asap) = self.host.asap.as_mut() {
                 accesses = asap.effective_accesses(accesses);
             }
-            let walk_cycles = accesses as Cycle * self.cfg.walk_level_latency
+            let walk_cycles = Cycle::from(accesses) * self.cfg.walk_level_latency
                 + self.cfg.host_fault_overhead
                 + stall;
-            self.metrics.host_walk_accesses += walk.accesses as u64;
+            self.metrics.host_walk_accesses += u64::from(walk.accesses);
             let start = resume.map_or(levels, |k| k - 1);
             self.events.push(
                 now + walk_cycles,

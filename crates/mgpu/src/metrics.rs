@@ -1,7 +1,7 @@
 //! Run metrics: everything the paper's figures are computed from.
 
 use ptw::PwCacheStats;
-use std::collections::HashMap;
+use sim_core::det::DetMap;
 use uvm::DirectoryStats;
 
 /// The L2-TLB-miss latency components of Fig. 3/12, accumulated over all
@@ -82,7 +82,7 @@ impl LatencyBreakdown {
 /// page, and how many reads/writes each page received.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SharingProfile {
-    pages: HashMap<u64, PageTouch>,
+    pages: DetMap<u64, PageTouch>,
 }
 
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

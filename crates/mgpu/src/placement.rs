@@ -132,21 +132,24 @@ impl System {
         // Snapshot the pending state of the whole neighborhood up front:
         // the PRT is a group-granular multiset, so this batch's own
         // insertions must not make later candidates look pending.
+        let Some(gpu_state) = self.gpus.get_mut(gpu as usize) else {
+            return; // unknown GPU id: nothing to prefetch into
+        };
         let pending: Vec<bool> = neighborhood
             .iter()
             .map(|&v| {
-                self.gpus[gpu as usize].pt.translate(v).is_some()
-                    || self.gpus[gpu as usize]
+                gpu_state.pt.translate(v).is_some()
+                    || gpu_state
                         .prt
                         .as_mut()
                         .is_some_and(|prt| prt.may_be_local(v))
             })
             .collect();
-        for (i, v) in neighborhood.into_iter().enumerate() {
+        for (v, was_pending) in neighborhood.into_iter().zip(pending) {
             if self.host.pt.translate(v).is_none() {
                 continue; // outside the workload footprint
             }
-            if pending[i] {
+            if was_pending {
                 self.metrics.placement.prefetch_skipped_pending += 1;
                 continue;
             }

@@ -101,7 +101,24 @@ impl System {
             | Event::HostArrive { req }
             | Event::DriverSubmit { req }
             | Event::FaultResolved { req } => Some(self.reqs[*req].gpu),
-            _ => None,
+            // Walk completions are gated by the per-GPU generation counter
+            // instead; host-side, watchdog, recovery and checkpoint
+            // bookkeeping events have no offline GPU to defer for.
+            Event::GmmuWalkDone { .. }
+            | Event::HostDispatch
+            | Event::HostWalkDone { .. }
+            | Event::RemoteNotify { .. }
+            | Event::DriverCheck
+            | Event::DriverBatchDone
+            | Event::ReqDeadline { .. }
+            | Event::LivenessCheck
+            | Event::GpuOffline { .. }
+            | Event::GpuRejoin { .. }
+            | Event::LinkDown { .. }
+            | Event::LinkUp { .. }
+            | Event::HostFailoverStart { .. }
+            | Event::HostFailoverEnd
+            | Event::Checkpoint => None,
         };
         let Some(until) = target.and_then(|g| self.offline_until[g as usize]) else {
             return Some(ev); // no target, or the target is healthy
@@ -144,7 +161,25 @@ impl System {
                 }
                 None
             }
-            _ => Some(ev),
+            // Unreachable in practice: the target-selection match above
+            // returned `None` for these, so the let-else already passed
+            // them through. Listed (not wildcarded) so a new Event variant
+            // forces a routing decision here too.
+            Event::GmmuWalkDone { .. }
+            | Event::HostDispatch
+            | Event::HostWalkDone { .. }
+            | Event::RemoteNotify { .. }
+            | Event::DriverCheck
+            | Event::DriverBatchDone
+            | Event::ReqDeadline { .. }
+            | Event::LivenessCheck
+            | Event::GpuOffline { .. }
+            | Event::GpuRejoin { .. }
+            | Event::LinkDown { .. }
+            | Event::LinkUp { .. }
+            | Event::HostFailoverStart { .. }
+            | Event::HostFailoverEnd
+            | Event::Checkpoint => Some(ev),
         }
     }
 
@@ -308,7 +343,10 @@ impl System {
         };
         self.checkpoint_log.record(cp);
         if let Some(sink) = &self.checkpoint_sink {
-            sink.lock().expect("checkpoint sink poisoned").record(cp);
+            // A poisoned sink (a panic elsewhere while holding the lock)
+            // still holds structurally valid checkpoints: recover the guard
+            // instead of compounding the failure with a second panic.
+            sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record(cp);
         }
         self.metrics.recovery.checkpoints_taken += 1;
         if let Some(interval) = self.cfg.checkpoint_interval {
@@ -335,9 +373,9 @@ impl System {
         for req in self.reqs.iter() {
             d.mix(
                 req.vpn
-                    ^ ((req.completed as u64) << 63)
-                    ^ ((req.retire_count as u64) << 48)
-                    ^ ((req.gpu as u64) << 40),
+                    ^ (u64::from(req.completed) << 63)
+                    ^ (u64::from(req.retire_count) << 48)
+                    ^ (u64::from(req.gpu) << 40),
             );
         }
         for gpu in &self.gpus {
@@ -347,7 +385,7 @@ impl System {
                 .mix(gpu.queue.len() as u64)
                 .mix(gpu.walkers.busy() as u64)
                 .mix(gpu.pt.mapped_pages() as u64)
-                .mix(gpu.gen as u64);
+                .mix(u64::from(gpu.gen));
             if let Some(prt) = gpu.prt.as_ref() {
                 d.mix(prt.state_digest());
             }
@@ -363,6 +401,13 @@ impl System {
         d.mix(self.dir.state_digest());
         d.finish()
     }
+}
+
+/// Locks a shared checkpoint log, recovering from poisoning: the log's
+/// entries are plain `Copy` digests, so a panic elsewhere while the lock
+/// was held cannot have left them half-written.
+fn lock_log(log: &Arc<Mutex<CheckpointLog>>) -> std::sync::MutexGuard<'_, CheckpointLog> {
+    log.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Outcome of a crash-and-restore cycle (see [`run_with_restore`]).
@@ -413,7 +458,7 @@ pub fn run_with_restore(
         Ok(metrics) => {
             // Finished before the crash point: nothing to restore.
             return Ok(RestoreOutcome {
-                crashed_epochs: crashed.lock().expect("checkpoint sink poisoned").len(),
+                crashed_epochs: lock_log(&crashed).len(),
                 metrics,
                 restored: false,
             });
@@ -421,14 +466,14 @@ pub fn run_with_restore(
         Err(SimError::CycleCapExceeded { .. }) => {}
         Err(e) => return Err(e),
     }
-    let crashed_log = crashed.lock().expect("checkpoint sink poisoned").clone();
+    let crashed_log = lock_log(&crashed).clone();
 
     // Restore half: deterministic replay from cycle 0, verified epoch by
     // epoch against the crashed run's log.
     let restored = Arc::new(Mutex::new(CheckpointLog::new()));
     let sys = System::new(cfg.clone()).with_checkpoint_sink(restored.clone());
     let mut metrics = sys.run(workload)?;
-    let restored_log = restored.lock().expect("checkpoint sink poisoned").clone();
+    let restored_log = lock_log(&restored).clone();
     crashed_log.verify_prefix_of(&restored_log)?;
     metrics.recovery.restores_performed = 1;
     Ok(RestoreOutcome {

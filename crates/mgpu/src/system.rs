@@ -246,7 +246,7 @@ impl System {
             dir: PageDirectory::with_policy(cfg.gpus, cfg.placement_kind()),
             driver: UvmDriver::new(uvm::DriverConfig {
                 batch_overhead: cfg.driver.batch_overhead
-                    + cfg.driver_per_gpu_poll * cfg.gpus as sim_core::Cycle,
+                    + cfg.driver_per_gpu_poll * sim_core::Cycle::from(cfg.gpus),
                 ..cfg.driver
             }),
             driver_batch: Vec::new(),

@@ -56,9 +56,10 @@
 //! assert!(e.message.contains("missing compute"));
 //! ```
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::str::FromStr;
+
+use sim_core::det::DetMap;
 
 use crate::workload::{Access, AccessStream, Workload};
 
@@ -142,10 +143,10 @@ impl TraceWorkload {
                 "name" => name = v.to_string(),
                 "footprint" => {
                     footprint =
-                        Some(u64::from_str(v).map_err(|e| err(1, format!("footprint: {e}")))?)
+                        Some(u64::from_str(v).map_err(|e| err(1, format!("footprint: {e}")))?);
                 }
                 "ctas" => {
-                    ctas = Some(usize::from_str(v).map_err(|e| err(1, format!("ctas: {e}")))?)
+                    ctas = Some(usize::from_str(v).map_err(|e| err(1, format!("ctas: {e}")))?);
                 }
                 other => return Err(err(1, format!("unknown header field `{other}`"))),
             }
@@ -216,7 +217,7 @@ impl TraceWorkload {
     /// the GPU whose CTAs touch it most (ties to the lowest GPU).
     pub fn majority_placement(&self, gpus: u16) -> TracePlacement {
         let ctas = self.streams.len();
-        let mut counts: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut counts: DetMap<u64, Vec<u32>> = DetMap::new();
         for (cta, stream) in self.streams.iter().enumerate() {
             let gpu = cta * gpus as usize / ctas.max(1);
             for a in stream {
@@ -268,7 +269,7 @@ impl Workload for TraceWorkload {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TracePlacement {
     trace: TraceWorkload,
-    owners: HashMap<u64, u16>,
+    owners: DetMap<u64, u16>,
 }
 
 impl Workload for TracePlacement {
@@ -307,8 +308,8 @@ mod tests {
     }
 
     #[test]
-    fn parse_roundtrip() {
-        let t = TraceWorkload::parse(sample()).unwrap();
+    fn parse_roundtrip() -> Result<(), ParseTraceError> {
+        let t = TraceWorkload::parse(sample())?;
         assert_eq!(t.name(), "t");
         assert_eq!(t.footprint_pages(), 8);
         assert_eq!(t.cta_count(), 2);
@@ -316,27 +317,30 @@ mod tests {
         let mut s = t.make_stream(1, 0);
         assert_eq!(s.next_access(), Some(Access::read(7, 9)));
         assert_eq!(s.next_access(), None);
+        Ok(())
     }
 
     #[test]
-    fn record_then_parse_is_identity() {
-        let app = workloads_stub();
+    fn record_then_parse_is_identity() -> Result<(), ParseTraceError> {
+        let app = workloads_stub()?;
         let text = record(&app, 3);
-        let replay = TraceWorkload::parse(&text).unwrap();
+        let replay = TraceWorkload::parse(&text)?;
         assert_eq!(replay.cta_count(), app.cta_count());
         // Streams are byte-identical when re-recorded.
         assert_eq!(record(&replay, 0), text);
+        Ok(())
     }
 
-    fn workloads_stub() -> TraceWorkload {
-        TraceWorkload::parse(sample()).unwrap()
+    fn workloads_stub() -> Result<TraceWorkload, ParseTraceError> {
+        TraceWorkload::parse(sample())
     }
 
     #[test]
-    fn comments_and_blank_lines_are_skipped() {
+    fn comments_and_blank_lines_are_skipped() -> Result<(), ParseTraceError> {
         let text = "transfw-trace v1 name=t footprint=2 ctas=1\n\n# hi\n0 1 w 3\n";
-        let t = TraceWorkload::parse(text).unwrap();
+        let t = TraceWorkload::parse(text)?;
         assert_eq!(t.access_count(), 1);
+        Ok(())
     }
 
     #[test]
@@ -368,34 +372,37 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_cta_replays_empty_instead_of_panicking() {
-        let t = TraceWorkload::parse(sample()).unwrap();
+    fn out_of_range_cta_replays_empty_instead_of_panicking() -> Result<(), ParseTraceError> {
+        let t = TraceWorkload::parse(sample())?;
         let mut s = t.make_stream(99, 0);
         assert_eq!(s.next_access(), None);
+        Ok(())
     }
 
     #[test]
-    fn majority_placement_picks_heaviest_gpu() {
+    fn majority_placement_picks_heaviest_gpu() -> Result<(), ParseTraceError> {
         // CTA 0 -> GPU 0 touches page 0 twice; CTA 1 -> GPU 1 touches it once.
         let text = "transfw-trace v1 name=t footprint=2 ctas=2\n\
                     0 0 r 1\n0 0 r 1\n1 0 r 1\n1 1 r 1\n";
-        let t = TraceWorkload::parse(text).unwrap();
+        let t = TraceWorkload::parse(text)?;
         let placed = t.majority_placement(2);
         assert_eq!(placed.initial_owner(0, 2), Some(0));
         assert_eq!(placed.initial_owner(1, 2), Some(1));
+        Ok(())
     }
 
     #[test]
-    fn replayed_trace_drives_the_simulator() {
-        let t = TraceWorkload::parse(sample()).unwrap();
+    fn replayed_trace_drives_the_simulator() -> Result<(), Box<dyn std::error::Error>> {
+        let t = TraceWorkload::parse(sample())?;
         let placed = t.majority_placement(2);
         let cfg = SystemConfig::builder()
             .gpus(2)
             .cus_per_gpu(1)
             .wavefronts_per_cu(1)
             .build();
-        let m = System::new(cfg).run(&placed).unwrap();
+        let m = System::new(cfg).run(&placed)?;
         assert_eq!(m.mem_instructions, 3);
         assert!(m.total_cycles > 0);
+        Ok(())
     }
 }

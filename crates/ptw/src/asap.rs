@@ -66,10 +66,10 @@ impl Asap {
         if self.rng.chance(self.accuracy) {
             self.correct += 1;
             // The lower-level reads overlap with the first access.
-            self.extra_accesses += (serialized - 1) as u64;
+            self.extra_accesses += u64::from(serialized - 1);
             1
         } else {
-            self.extra_accesses += (serialized - 1) as u64;
+            self.extra_accesses += u64::from(serialized - 1);
             serialized
         }
     }

@@ -6,7 +6,7 @@
 //! prefix `vpn >> (9*(k-1))` and lets the walker resume at level `k-1`,
 //! costing `k-1` memory accesses instead of `L`.
 
-use std::collections::HashMap;
+use sim_core::det::{DetMap, DetSet};
 
 use crate::BITS_PER_LEVEL;
 
@@ -103,7 +103,7 @@ fn tag(vpn: u64, k: u32) -> u64 {
 #[derive(Debug, Clone)]
 struct LruArray {
     /// (level, prefix) -> last-use tick.
-    entries: HashMap<(u32, u64), u64>,
+    entries: DetMap<(u32, u64), u64>,
     capacity: usize,
     tick: u64,
 }
@@ -111,7 +111,7 @@ struct LruArray {
 impl LruArray {
     fn new(capacity: usize) -> Self {
         Self {
-            entries: HashMap::with_capacity(capacity + 1),
+            entries: DetMap::with_capacity(capacity + 1),
             capacity,
             tick: 0,
         }
@@ -140,7 +140,10 @@ impl LruArray {
             return;
         }
         if self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &t)| t) {
+            // Victim = oldest tick; ties (impossible today — every touch
+            // mints a fresh tick, but total order costs nothing) break to
+            // the smallest (level, prefix) key, never to iteration chance.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|&(&key, &t)| (t, key)) {
                 self.entries.remove(&victim);
             }
         }
@@ -353,7 +356,7 @@ impl PwCache for Stc {
 /// "room for improvement" study.
 #[derive(Debug, Clone)]
 pub struct InfinitePwc {
-    entries: std::collections::HashSet<(u32, u64)>,
+    entries: DetSet<(u32, u64)>,
     levels: u32,
     stats: PwCacheStats,
 }
@@ -362,7 +365,7 @@ impl InfinitePwc {
     /// Creates an empty infinite cache for a `levels`-level table.
     pub fn new(levels: u32) -> Self {
         Self {
-            entries: std::collections::HashSet::new(),
+            entries: DetSet::new(),
             levels,
             stats: PwCacheStats::new(levels),
         }

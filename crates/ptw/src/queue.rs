@@ -215,7 +215,7 @@ impl WalkerPool {
 /// assert_eq!(ptw::queue::walk_latency(5, 100), 500);
 /// ```
 pub fn walk_latency(accesses: u32, per_level: Cycle) -> Cycle {
-    accesses as Cycle * per_level
+    Cycle::from(accesses) * per_level
 }
 
 #[cfg(test)]

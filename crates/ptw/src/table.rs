@@ -1,6 +1,6 @@
 //! Radix page tables with walk-cost accounting.
 
-use std::collections::HashMap;
+use sim_core::det::DetMap;
 
 use crate::BITS_PER_LEVEL;
 
@@ -89,11 +89,11 @@ pub struct WalkResult {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     levels: u32,
-    leaves: HashMap<u64, Pte>,
+    leaves: DetMap<u64, Pte>,
     /// `nodes[l-1]` (for table level `l` in `1..=levels-1`) maps a table's
     /// identifying prefix (`vpn >> (9*l)`) to the number of leaves beneath
     /// it, so node removal is exact.
-    nodes: Vec<HashMap<u64, u32>>,
+    nodes: Vec<DetMap<u64, u32>>,
 }
 
 impl PageTable {
@@ -107,8 +107,8 @@ impl PageTable {
         assert!((2..=6).contains(&levels), "levels must be in 2..=6");
         Self {
             levels,
-            leaves: HashMap::new(),
-            nodes: (0..levels - 1).map(|_| HashMap::new()).collect(),
+            leaves: DetMap::new(),
+            nodes: (0..levels - 1).map(|_| DetMap::new()).collect(),
         }
     }
 

@@ -17,7 +17,7 @@ fn drive(pwc: &mut dyn PwCache, pt: &PageTable, vpns: &[u64]) -> u64 {
         assert!(pool.try_acquire());
         let resume = pwc.lookup(vpn);
         let walk = pt.walk(vpn, resume);
-        total += walk.accesses as u64;
+        total += u64::from(walk.accesses);
         let start = resume.map_or(pt.levels(), |k| k - 1);
         for k in walk.reached_level.max(2)..=start {
             pwc.insert(vpn, k);

@@ -215,7 +215,9 @@ impl FaultPlan {
                         "GPU {gpu} offline duration must be positive (it must rejoin)"
                     )));
                 }
-                _ => {}
+                ComponentEvent::GpuOffline { .. }
+                | ComponentEvent::LinkPartition { .. }
+                | ComponentEvent::HostMmuFailover { .. } => {}
             }
         }
         Ok(())
@@ -436,7 +438,7 @@ mod tests {
         let dropped = (0..n)
             .filter(|_| inj.message_fate() == MessageFate::Drop)
             .count();
-        let rate = dropped as f64 / n as f64;
+        let rate = dropped as f64 / f64::from(n);
         assert!((rate - 0.1).abs() < 0.01, "drop rate {rate}");
         assert_eq!(inj.stats().messages_dropped, dropped as u64);
     }

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod det;
 pub mod error;
 pub mod fault;
 pub mod migration;
@@ -35,6 +36,7 @@ pub mod rng;
 pub mod stats;
 
 pub use checkpoint::{CheckpointLog, EpochCheckpoint, StateDigest};
+pub use det::{DetMap, DetSet};
 pub use error::SimError;
 pub use fault::{ComponentEvent, FaultInjector, FaultPlan, InjectStats, MessageFate};
 pub use migration::{MigrationEvent, MigrationKind, MigrationLog};

@@ -70,13 +70,13 @@ impl SimRng {
         assert!(bound > 0, "gen_range bound must be positive");
         // Lemire's multiply-shift rejection method.
         let mut x = self.next_u64();
-        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut m = u128::from(x).wrapping_mul(u128::from(bound));
         let mut lo = m as u64;
         if lo < bound {
             let t = bound.wrapping_neg() % bound;
             while lo < t {
                 x = self.next_u64();
-                m = (x as u128).wrapping_mul(bound as u128);
+                m = u128::from(x).wrapping_mul(u128::from(bound));
                 lo = m as u64;
             }
         }
@@ -178,7 +178,7 @@ mod tests {
     fn gen_f64_roughly_uniform() {
         let mut r = SimRng::new(11);
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / f64::from(n);
         assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 

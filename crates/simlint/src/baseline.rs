@@ -1,0 +1,304 @@
+//! The baseline ratchet: known, justified violations checked into
+//! `simlint.baseline.toml`.
+//!
+//! The baseline is the one-way valve that lets simlint gate CI from day
+//! one without demanding a big-bang cleanup: every grandfathered finding
+//! is an `[[allow]]` entry carrying a written justification, new findings
+//! fail the build, and entries that stop matching are reported as stale so
+//! the file only ever shrinks.
+//!
+//! The file format is a small TOML subset (array-of-tables with string /
+//! integer values) parsed and rendered here — the workspace builds fully
+//! offline, so no toml crate.
+
+use crate::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One grandfathered finding: up to `count` violations of `lint` in
+/// `file` with grouping key `key` are tolerated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Lint name (e.g. `panic-freedom`).
+    pub lint: String,
+    /// Workspace-relative file the violations live in.
+    pub file: String,
+    /// The violations' grouping key (e.g. `index`).
+    pub key: String,
+    /// How many occurrences are tolerated.
+    pub count: usize,
+    /// Why this is acceptable — mandatory, so the ratchet never silences
+    /// anything without a recorded reason.
+    pub justification: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The grandfathered findings.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Result of diffing a run's violations against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Violations not covered by any entry (or exceeding an entry's
+    /// count) — these fail the run.
+    pub new: Vec<Violation>,
+    /// Entries whose (lint, file, key) matched nothing, or matched fewer
+    /// occurrences than `count` — the ratchet should be tightened.
+    pub stale: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the baseline file contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for anything outside
+    /// the supported subset, unknown keys, or entries missing a field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        let mut current: Option<BaselineEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    entries.push(finish(e, lineno)?);
+                }
+                current = Some(BaselineEntry {
+                    lint: String::new(),
+                    file: String::new(),
+                    key: String::new(),
+                    count: 0,
+                    justification: String::new(),
+                });
+                continue;
+            }
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value` or `[[allow]]`"));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!("line {lineno}: `{k}` outside an [[allow]] table"));
+            };
+            let k = k.trim();
+            let v = v.trim();
+            match k {
+                "lint" => entry.lint = unquote(v, lineno)?,
+                "file" => entry.file = unquote(v, lineno)?,
+                "key" => entry.key = unquote(v, lineno)?,
+                "justification" => entry.justification = unquote(v, lineno)?,
+                "count" => {
+                    entry.count = v
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: count must be an integer"))?;
+                }
+                other => return Err(format!("line {lineno}: unknown key `{other}`")),
+            }
+        }
+        if let Some(e) = current.take() {
+            entries.push(finish(e, text.lines().count())?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline back to its file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# simlint baseline — grandfathered findings, one [[allow]] per\n\
+             # (lint, file, key) group. New violations FAIL; entries here only\n\
+             # ever shrink. Every entry must carry a justification.\n",
+        );
+        for e in &self.entries {
+            let _ = write!(
+                out,
+                "\n[[allow]]\nlint = \"{}\"\nfile = \"{}\"\nkey = \"{}\"\ncount = {}\njustification = \"{}\"\n",
+                e.lint, e.file, e.key, e.count, e.justification
+            );
+        }
+        out
+    }
+
+    /// Builds a baseline that exactly covers `violations` (the
+    /// `--write-baseline` path). Justifications are stamped `TODO` so a
+    /// human must fill them in before the file passes review.
+    pub fn covering(violations: &[Violation]) -> Self {
+        let mut groups: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *groups
+                .entry((v.lint.name().to_string(), v.file.clone(), v.key.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            entries: groups
+                .into_iter()
+                .map(|((lint, file, key), count)| BaselineEntry {
+                    lint,
+                    file,
+                    key,
+                    count,
+                    justification: "TODO: justify or fix".to_string(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Diffs a run's violations against this baseline.
+    pub fn diff(&self, violations: &[Violation]) -> Diff {
+        let mut groups: BTreeMap<(String, String, String), Vec<&Violation>> = BTreeMap::new();
+        for v in violations {
+            groups
+                .entry((v.lint.name().to_string(), v.file.clone(), v.key.clone()))
+                .or_default()
+                .push(v);
+        }
+        let mut diff = Diff::default();
+        let mut matched: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for e in &self.entries {
+            matched.insert((e.lint.clone(), e.file.clone(), e.key.clone()), e.count);
+        }
+        for ((lint, file, key), vs) in &groups {
+            let allowed = matched
+                .get(&(lint.clone(), file.clone(), key.clone()))
+                .copied()
+                .unwrap_or(0);
+            if vs.len() > allowed {
+                diff.new
+                    .extend(vs[allowed..].iter().map(|v| (*v).clone()));
+            }
+        }
+        for e in &self.entries {
+            let seen = groups
+                .get(&(e.lint.clone(), e.file.clone(), e.key.clone()))
+                .map_or(0, Vec::len);
+            if seen < e.count {
+                diff.stale.push(e.clone());
+            }
+        }
+        diff
+    }
+}
+
+fn finish(e: BaselineEntry, lineno: usize) -> Result<BaselineEntry, String> {
+    if e.lint.is_empty() || e.file.is_empty() || e.key.is_empty() {
+        return Err(format!(
+            "entry ending near line {lineno}: lint, file and key are required"
+        ));
+    }
+    if e.count == 0 {
+        return Err(format!(
+            "entry ending near line {lineno}: count must be >= 1 (delete the entry instead)"
+        ));
+    }
+    if e.justification.trim().is_empty() {
+        return Err(format!(
+            "entry ending near line {lineno}: a justification is mandatory"
+        ));
+    }
+    Ok(e)
+}
+
+fn unquote(v: &str, lineno: usize) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("line {lineno}: expected a double-quoted string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lint;
+
+    fn v(lint: Lint, file: &str, key: &str, line: usize) -> Violation {
+        Violation {
+            lint,
+            file: file.to_string(),
+            line,
+            key: key.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let b = Baseline {
+            entries: vec![BaselineEntry {
+                lint: "panic-freedom".into(),
+                file: "crates/mgpu/src/system.rs".into(),
+                key: "index".into(),
+                count: 3,
+                justification: "arena ids are allocation-checked".into(),
+            }],
+        };
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let text = "[[allow]]\nlint = \"panic-freedom\"\nfile = \"f.rs\"\nkey = \"unwrap\"\ncount = 1\n";
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn diff_flags_excess_and_stale() {
+        let b = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    lint: "panic-freedom".into(),
+                    file: "a.rs".into(),
+                    key: "index".into(),
+                    count: 2,
+                    justification: "j".into(),
+                },
+                BaselineEntry {
+                    lint: "panic-freedom".into(),
+                    file: "gone.rs".into(),
+                    key: "unwrap".into(),
+                    count: 1,
+                    justification: "j".into(),
+                },
+            ],
+        };
+        let violations = vec![
+            v(Lint::PanicFreedom, "a.rs", "index", 10),
+            v(Lint::PanicFreedom, "a.rs", "index", 20),
+            v(Lint::PanicFreedom, "a.rs", "index", 30), // one over budget
+            v(Lint::DetCollections, "b.rs", "HashMap", 5), // uncovered
+        ];
+        let d = b.diff(&violations);
+        assert_eq!(d.new.len(), 2);
+        assert!(d.new.iter().any(|v| v.file == "b.rs"));
+        assert!(d.new.iter().any(|v| v.line == 30));
+        assert_eq!(d.stale.len(), 1);
+        assert_eq!(d.stale[0].file, "gone.rs");
+    }
+
+    #[test]
+    fn covering_groups_by_lint_file_key() {
+        let violations = vec![
+            v(Lint::PanicFreedom, "a.rs", "index", 10),
+            v(Lint::PanicFreedom, "a.rs", "index", 20),
+            v(Lint::PanicFreedom, "a.rs", "unwrap", 5),
+        ];
+        let b = Baseline::covering(&violations);
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].count, 2);
+        let d = b.diff(&violations);
+        assert!(d.new.is_empty() && d.stale.is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("# nothing grandfathered\n").unwrap();
+        assert!(b.entries.is_empty());
+        assert!(b.diff(&[]).new.is_empty());
+    }
+}

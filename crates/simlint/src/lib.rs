@@ -1,0 +1,356 @@
+//! `simlint` — the workspace determinism & protocol linter.
+//!
+//! The simulator's headline guarantees (golden bit-identity runs,
+//! checkpoint/restore replay, fault-plan-invariant placement) all rest on
+//! the code being deterministic and the protocol being handled
+//! exhaustively. This crate makes those invariants *statically checkable*:
+//! a token-level pass over every workspace crate enforces
+//!
+//! * **`det-collections`** — no `std::collections::HashMap`/`HashSet` in
+//!   sim-state crates; use `sim_core::det::{DetMap, DetSet}` (key-ordered,
+//!   identical iteration on every run) instead.
+//! * **`det-wallclock`** — no `Instant`/`SystemTime`/`thread_rng`/
+//!   `rand::random` anywhere outside the bench harness: simulation time is
+//!   [`Cycle`]s and randomness is the seeded `SimRng`, full stop.
+//! * **`panic-freedom`** — no `.unwrap()`/`.expect()`/direct indexing in
+//!   the event-loop hot paths (`mgpu::{system, recovery, placement,
+//!   host}`) outside `#[cfg(test)]`.
+//! * **`protocol-exhaustive`** — no wildcard `_ =>` arms in matches over
+//!   the protocol enums (`Event`, `MessageFate`, `ComponentEvent`,
+//!   `PolicyKind`), so a new variant is a compile error at every handler.
+//! * **`metrics-complete`** — every public `RunMetrics` field must appear
+//!   in the `run_json` serializer, so counters cannot silently vanish from
+//!   published results.
+//!
+//! Violations are diffed against a checked-in ratchet file
+//! (`simlint.baseline.toml`, entries carry written justifications; new
+//! violations fail) and can be waived inline with a
+//! `// simlint::allow(<lint>): why` comment on or directly above the
+//! offending line. See DESIGN.md, "Static analysis & determinism
+//! contract".
+//!
+//! [`Cycle`]: https://docs.rs/sim-core
+//!
+//! # Examples
+//!
+//! ```
+//! use simlint::{lint_file, Config, FileCtx};
+//!
+//! let cfg = Config::trans_fw();
+//! let ctx = FileCtx::new("crates/tlb/src/lib.rs");
+//! let v = lint_file(&ctx, "use std::collections::HashMap;", &cfg);
+//! assert_eq!(v.len(), 1);
+//! assert_eq!(v[0].lint.name(), "det-collections");
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub use baseline::{Baseline, BaselineEntry, Diff};
+pub use lints::{lint_file, lint_metrics};
+
+/// The lint classes simlint enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lint {
+    /// Raw `HashMap`/`HashSet` in a sim-state crate.
+    DetCollections,
+    /// Wall-clock or ambient randomness outside the bench harness.
+    DetWallclock,
+    /// `unwrap`/`expect`/indexing in an event-loop hot path.
+    PanicFreedom,
+    /// Wildcard arm in a match over a protocol enum.
+    ProtocolExhaustive,
+    /// A `RunMetrics` field missing from the `run_json` serializer.
+    MetricsComplete,
+}
+
+impl Lint {
+    /// The lint's stable name, as used in baselines and allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::DetCollections => "det-collections",
+            Lint::DetWallclock => "det-wallclock",
+            Lint::PanicFreedom => "panic-freedom",
+            Lint::ProtocolExhaustive => "protocol-exhaustive",
+            Lint::MetricsComplete => "metrics-complete",
+        }
+    }
+
+    /// Parses a lint name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "det-collections" => Lint::DetCollections,
+            "det-wallclock" => Lint::DetWallclock,
+            "panic-freedom" => Lint::PanicFreedom,
+            "protocol-exhaustive" => Lint::ProtocolExhaustive,
+            "metrics-complete" => Lint::MetricsComplete,
+            _ => return None,
+        })
+    }
+
+    /// Whether the lint guards determinism (the class the acceptance
+    /// criteria require a zero-entry baseline for).
+    pub fn is_determinism_class(self) -> bool {
+        matches!(self, Lint::DetCollections | Lint::DetWallclock)
+    }
+
+    /// Every lint, for `--list`-style output.
+    pub fn all() -> [Lint; 5] {
+        [
+            Lint::DetCollections,
+            Lint::DetWallclock,
+            Lint::PanicFreedom,
+            Lint::ProtocolExhaustive,
+            Lint::MetricsComplete,
+        ]
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable grouping key for baseline matching (e.g. `HashMap`,
+    /// `unwrap`, `index`, `wildcard-arm(Event)`) — deliberately *not* the
+    /// line number, so baselines survive unrelated edits.
+    pub key: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Per-file lint context: where the file sits in the workspace.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The crate directory prefix (`crates/ptw`), empty for root files.
+    pub crate_dir: String,
+    /// Whether the whole file is test code (an integration-test dir or a
+    /// `*_tests.rs` module included under `#[cfg(test)]`).
+    pub is_test_file: bool,
+}
+
+impl FileCtx {
+    /// Builds a context from a workspace-relative path.
+    pub fn new(rel_path: &str) -> Self {
+        let rel_path = rel_path.replace('\\', "/");
+        let crate_dir = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .map(|name| format!("crates/{name}"))
+            .unwrap_or_default();
+        let is_test_file = rel_path.split('/').any(|seg| seg == "tests")
+            || rel_path.ends_with("_tests.rs");
+        Self { rel_path, crate_dir, is_test_file }
+    }
+}
+
+/// What the linter enforces where. [`Config::trans_fw`] is this repo's
+/// contract; tests construct narrower ones.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate dirs whose non-test code models simulator state: raw hash
+    /// collections are forbidden here.
+    pub sim_state_crates: Vec<String>,
+    /// Crate dirs exempt from every lint (the bench harness).
+    pub exempt_crates: Vec<String>,
+    /// Hot-path files under the panic-freedom lint.
+    pub hot_path_files: Vec<String>,
+    /// Protocol enums whose matches must be exhaustive.
+    pub protocol_enums: Vec<String>,
+    /// `(file, struct)` holding the run metrics.
+    pub metrics_struct: (String, String),
+    /// `(file, fn)` serializing the run metrics.
+    pub metrics_serializer: (String, String),
+}
+
+impl Config {
+    /// The Trans-FW workspace contract.
+    pub fn trans_fw() -> Self {
+        let c = |s: &str| format!("crates/{s}");
+        Self {
+            sim_state_crates: ["core", "cuckoo", "tlb", "ptw", "uvm", "mgpu", "sim-core"]
+                .iter()
+                .map(|s| c(s))
+                .collect(),
+            exempt_crates: vec![c("bench")],
+            hot_path_files: ["system", "recovery", "placement", "host"]
+                .iter()
+                .map(|s| format!("crates/mgpu/src/{s}.rs"))
+                .collect(),
+            protocol_enums: ["Event", "MessageFate", "ComponentEvent", "PolicyKind"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            metrics_struct: (c("mgpu/src/metrics.rs"), "RunMetrics".into()),
+            metrics_serializer: (c("experiments/src/runner.rs"), "run_json".into()),
+        }
+    }
+}
+
+/// Outcome of a workspace run: every violation, already split by the
+/// inline-allow mechanism.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not waived inline (baseline diffing applies to these).
+    pub violations: Vec<Violation>,
+    /// Violations waived by a `simlint::allow` directive.
+    pub waived: Vec<Violation>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a message when the workspace cannot be read (missing root, or
+/// an unreadable metrics/serializer file).
+pub fn run_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let mut report = Report::default();
+    let files = workspace_rs_files(root, cfg)?;
+    for rel in &files {
+        let abs = root.join(rel);
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("read {}: {e}", abs.display()))?;
+        let ctx = FileCtx::new(rel);
+        report.files_scanned += 1;
+        for v in lints::lint_file_with_allows(&ctx, &src, cfg) {
+            match v {
+                lints::Outcome::Fires(v) => report.violations.push(v),
+                lints::Outcome::Waived(v) => report.waived.push(v),
+            }
+        }
+    }
+    // Workspace-level pass: metrics completeness.
+    let (metrics_file, _) = &cfg.metrics_struct;
+    let (ser_file, _) = &cfg.metrics_serializer;
+    let metrics_src = std::fs::read_to_string(root.join(metrics_file))
+        .map_err(|e| format!("read {metrics_file}: {e}"))?;
+    let ser_src = std::fs::read_to_string(root.join(ser_file))
+        .map_err(|e| format!("read {ser_file}: {e}"))?;
+    report
+        .violations
+        .extend(lint_metrics(&metrics_src, &ser_src, cfg));
+    // Deterministic output order, whatever the directory walk produced.
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.key).cmp(&(&b.file, b.line, b.lint, &b.key))
+    });
+    Ok(report)
+}
+
+/// Collects the workspace-relative paths of every `.rs` file the linter
+/// scans: `crates/*/{src,tests,examples,benches}` plus the repository-root
+/// `tests/` and `examples/` (mounted into the facade crate), skipping
+/// exempt crates and lint-test fixture dirs.
+pub fn workspace_rs_files(root: &Path, cfg: &Config) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let rel_crate = rel_to(root, &dir);
+        if cfg.exempt_crates.contains(&rel_crate) {
+            continue;
+        }
+        for sub in ["src", "tests", "examples", "benches"] {
+            collect_rs(root, &dir.join(sub), &mut out);
+        }
+    }
+    for top in ["tests", "examples"] {
+        collect_rs(root, &root.join(top), &mut out);
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // absent subdir: nothing to scan
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        if p.is_dir() {
+            // Fixture dirs hold deliberate violations for simlint's own
+            // tests; `target` never holds first-party sources.
+            if name != "fixtures" && name != "target" {
+                collect_rs(root, &p, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(rel_to(root, &p));
+        }
+    }
+}
+
+fn rel_to(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_ctx_classifies_paths() {
+        let c = FileCtx::new("crates/ptw/src/pwc.rs");
+        assert_eq!(c.crate_dir, "crates/ptw");
+        assert!(!c.is_test_file);
+        assert!(FileCtx::new("crates/cuckoo/tests/stress.rs").is_test_file);
+        assert!(FileCtx::new("tests/resilience.rs").is_test_file);
+        assert!(FileCtx::new("crates/mgpu/src/system_tests.rs").is_test_file);
+        assert_eq!(FileCtx::new("examples/quickstart.rs").crate_dir, "");
+    }
+
+    #[test]
+    fn lint_names_round_trip() {
+        for lint in Lint::all() {
+            assert_eq!(Lint::from_name(lint.name()), Some(lint));
+        }
+        assert_eq!(Lint::from_name("nope"), None);
+    }
+
+    #[test]
+    fn determinism_class_is_the_two_det_lints() {
+        assert!(Lint::DetCollections.is_determinism_class());
+        assert!(Lint::DetWallclock.is_determinism_class());
+        assert!(!Lint::PanicFreedom.is_determinism_class());
+        assert!(!Lint::ProtocolExhaustive.is_determinism_class());
+        assert!(!Lint::MetricsComplete.is_determinism_class());
+    }
+}

@@ -1,0 +1,151 @@
+//! `simlint` CLI: lint the workspace and diff against the baseline.
+//!
+//! ```text
+//! cargo run -p simlint                      # lint, diff against simlint.baseline.toml
+//! cargo run -p simlint -- --write-baseline  # regenerate the baseline (justifications = TODO)
+//! cargo run -p simlint -- --root /path --baseline other.toml
+//! ```
+//!
+//! Exit codes: 0 clean (all findings baselined/waived), 1 new violations
+//! (or a broken baseline file), 2 usage error.
+
+use simlint::{Baseline, Config, Lint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    write_baseline: bool,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut verbose = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(argv.next().ok_or("--root needs a path")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(argv.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "simlint — workspace determinism & protocol linter\n\n\
+                     USAGE: simlint [--root DIR] [--baseline FILE] [--write-baseline] [-v]\n\n\
+                     Lints:"
+                );
+                for lint in Lint::all() {
+                    println!("  {}", lint.name());
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    // Default root: walk up from CWD to the directory holding the
+    // workspace Cargo.toml, so `cargo run -p simlint` works from anywhere
+    // inside the repo.
+    if root.as_os_str() == "." {
+        let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+        loop {
+            if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+                root = dir;
+                break;
+            }
+            if !dir.pop() {
+                return Err("could not locate the workspace root (no Cargo.toml with crates/); pass --root".into());
+            }
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("simlint.baseline.toml"));
+    Ok(Args { root, baseline, write_baseline, verbose })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = Config::trans_fw();
+    let report = match simlint::run_workspace(&args.root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        let baseline = Baseline::covering(&report.violations);
+        if let Err(e) = std::fs::write(&args.baseline, baseline.render()) {
+            eprintln!("simlint: write {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "simlint: wrote {} entries to {} (fill in the TODO justifications)",
+            baseline.entries.len(),
+            args.baseline.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if args.baseline.is_file() {
+        match std::fs::read_to_string(&args.baseline)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Baseline::parse(&t))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("simlint: baseline {}: {e}", args.baseline.display());
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let diff = baseline.diff(&report.violations);
+    if args.verbose {
+        for v in &report.waived {
+            println!("waived: {v}");
+        }
+        for v in &report.violations {
+            if !diff.new.contains(v) {
+                println!("baselined: {v}");
+            }
+        }
+    }
+    for e in &diff.stale {
+        println!(
+            "stale baseline entry: {} {} {} (count {}) — tighten the ratchet",
+            e.lint, e.file, e.key, e.count
+        );
+    }
+    for v in &diff.new {
+        println!("error: {v}");
+    }
+    println!(
+        "simlint: {} files, {} findings ({} baselined, {} waived inline), {} new",
+        report.files_scanned,
+        report.violations.len() + report.waived.len(),
+        report.violations.len() - diff.new.len(),
+        report.waived.len(),
+        diff.new.len()
+    );
+    if diff.new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,19 @@
+//! Negative fixture: ordered collections and test-only hash use.
+use sim_core::det::{DetMap, DetSet};
+
+/// Deterministic state: key-ordered iteration.
+pub struct Good {
+    map: DetMap<u64, u32>,
+    set: DetSet<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    // Hash collections are fine in test-only code.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch() {
+        let _m: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: raw hash collections in sim-state code.
+use std::collections::{HashMap, HashSet};
+
+/// Nondeterministic state: iteration order varies per process.
+pub struct Bad {
+    map: HashMap<u64, u32>,
+    set: HashSet<u64>,
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: simulated time and seeded randomness only.
+pub fn good(now: Cycle, rng: &mut SimRng) -> (Cycle, u64) {
+    // A method named `random` on the seeded RNG is fine; only the
+    // ambient `rand::random` path form is nondeterministic.
+    let r = rng.random();
+    // Mentioning Instant in a comment or "Instant" in a string is fine.
+    let _s = "Instant::now";
+    (now + 1, r)
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: wall-clock time and ambient randomness.
+pub fn bad() -> (std::time::Instant, u8) {
+    let t = std::time::Instant::now();
+    let _ = std::time::SystemTime::now();
+    let r: u8 = rand::random();
+    let _rng = rand::thread_rng();
+    (t, r)
+}

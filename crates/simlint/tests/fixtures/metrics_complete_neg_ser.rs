@@ -1,0 +1,5 @@
+//! Negative fixture (serializer side): every field appears.
+pub fn run_json(m: &RunMetrics) -> String {
+    let RunMetrics { app, total_cycles, l1_hits } = m;
+    format!("{{\"app\":{app:?},\"total_cycles\":{total_cycles},\"l1_hits\":{l1_hits}}}")
+}

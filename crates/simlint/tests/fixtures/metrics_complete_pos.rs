@@ -1,0 +1,10 @@
+//! Positive fixture (metrics side): a struct whose serializer below
+//! drops a field. Paired with `metrics_complete_pos_ser.rs`.
+pub struct RunMetrics {
+    /// Application name.
+    pub app: String,
+    /// Total simulated cycles.
+    pub total_cycles: u64,
+    /// Dropped by the bad serializer.
+    pub l1_hits: u64,
+}

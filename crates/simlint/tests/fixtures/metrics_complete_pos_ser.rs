@@ -1,0 +1,4 @@
+//! Positive fixture (serializer side): forgets `l1_hits`.
+pub fn run_json(m: &RunMetrics) -> String {
+    format!("{{\"app\":{:?},\"total_cycles\":{}}}", m.app, m.total_cycles)
+}

@@ -1,0 +1,22 @@
+//! Negative fixture: the same operations, panic-free.
+pub fn good(reqs: &[u32], lock: &std::sync::Mutex<u32>, id: usize) -> u32 {
+    let first = reqs.get(id).copied().unwrap_or(0);
+    let guard = lock
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let val = maybe().unwrap_or_default();
+    // Slice patterns, arrays and macros are not index expressions.
+    let [_a, _b] = split();
+    let _v = vec![1, 2];
+    let _arr: [u8; 2] = make();
+    first + *guard + val
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_may_unwrap() {
+        let v = vec![1];
+        assert_eq!(v[0], v.first().copied().unwrap());
+    }
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: panics reachable from the event loop.
+pub fn bad(reqs: &[u32], lock: &std::sync::Mutex<u32>, id: usize) -> u32 {
+    let first = reqs[id];
+    let guard = lock.lock().unwrap();
+    let val = maybe().expect("always Some");
+    first + *guard + val
+}

@@ -1,0 +1,11 @@
+//! Negative fixture: exhaustive protocol match; wildcard over a
+//! non-protocol enum is fine.
+pub fn good(e: Event, k: TxnKind) -> u32 {
+    match e {
+        Event::GmmuWalkDone { req } => req,
+        Event::HostDispatch => match k {
+            TxnKind::Read => 0,
+            _ => 1,
+        },
+    }
+}

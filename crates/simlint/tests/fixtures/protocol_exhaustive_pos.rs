@@ -1,0 +1,8 @@
+//! Positive fixture: wildcard arm over a protocol enum.
+pub fn bad(e: Event) -> u32 {
+    match e {
+        Event::GmmuWalkDone { req } => req,
+        Event::HostDispatch => 0,
+        _ => 1,
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixture-driven integration tests: one positive (violating) and one
+//! negative (clean) snippet per lint class, plus the self-test that the
+//! real workspace matches the checked-in baseline.
+
+use simlint::{lint_file, lint_metrics, Baseline, Config, FileCtx, Lint};
+
+/// Lints a fixture as if it lived at `as_path` in the workspace.
+fn lint_fixture(src: &str, as_path: &str) -> Vec<simlint::Violation> {
+    lint_file(&FileCtx::new(as_path), src, &Config::trans_fw())
+}
+
+fn lints_of(vs: &[simlint::Violation]) -> Vec<Lint> {
+    vs.iter().map(|v| v.lint).collect()
+}
+
+#[test]
+fn det_collections_fixture_pair() {
+    let pos = lint_fixture(
+        include_str!("fixtures/det_collections_pos.rs"),
+        "crates/tlb/src/state.rs",
+    );
+    assert!(
+        pos.iter().all(|v| v.lint == Lint::DetCollections) && pos.len() >= 2,
+        "expected HashMap+HashSet findings, got {pos:?}"
+    );
+    let neg = lint_fixture(
+        include_str!("fixtures/det_collections_neg.rs"),
+        "crates/tlb/src/state.rs",
+    );
+    assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
+}
+
+#[test]
+fn det_wallclock_fixture_pair() {
+    let pos = lint_fixture(
+        include_str!("fixtures/det_wallclock_pos.rs"),
+        "crates/experiments/src/runner.rs",
+    );
+    let keys: Vec<&str> = pos.iter().map(|v| v.key.as_str()).collect();
+    assert!(pos.iter().all(|v| v.lint == Lint::DetWallclock));
+    for expect in ["Instant", "SystemTime", "rand::random", "thread_rng"] {
+        assert!(keys.contains(&expect), "missing {expect} in {keys:?}");
+    }
+    let neg = lint_fixture(
+        include_str!("fixtures/det_wallclock_neg.rs"),
+        "crates/experiments/src/runner.rs",
+    );
+    assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
+}
+
+#[test]
+fn panic_freedom_fixture_pair() {
+    let pos = lint_fixture(
+        include_str!("fixtures/panic_freedom_pos.rs"),
+        "crates/mgpu/src/system.rs",
+    );
+    let mut keys: Vec<&str> = pos.iter().map(|v| v.key.as_str()).collect();
+    keys.sort_unstable();
+    assert_eq!(keys, ["expect", "index", "unwrap"], "{pos:?}");
+    // The same snippet outside a hot-path file is not linted.
+    let elsewhere = lint_fixture(
+        include_str!("fixtures/panic_freedom_pos.rs"),
+        "crates/mgpu/src/policy.rs",
+    );
+    assert!(elsewhere.is_empty());
+    let neg = lint_fixture(
+        include_str!("fixtures/panic_freedom_neg.rs"),
+        "crates/mgpu/src/system.rs",
+    );
+    assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
+}
+
+#[test]
+fn protocol_exhaustive_fixture_pair() {
+    let pos = lint_fixture(
+        include_str!("fixtures/protocol_exhaustive_pos.rs"),
+        "crates/mgpu/src/policy.rs",
+    );
+    assert_eq!(lints_of(&pos), [Lint::ProtocolExhaustive], "{pos:?}");
+    assert_eq!(pos[0].key, "wildcard-arm(Event)");
+    let neg = lint_fixture(
+        include_str!("fixtures/protocol_exhaustive_neg.rs"),
+        "crates/mgpu/src/policy.rs",
+    );
+    assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
+}
+
+#[test]
+fn metrics_complete_fixture_pair() {
+    let cfg = Config::trans_fw();
+    let metrics = include_str!("fixtures/metrics_complete_pos.rs");
+    let pos = lint_metrics(
+        metrics,
+        include_str!("fixtures/metrics_complete_pos_ser.rs"),
+        &cfg,
+    );
+    assert_eq!(lints_of(&pos), [Lint::MetricsComplete], "{pos:?}");
+    assert_eq!(pos[0].key, "missing-field(l1_hits)");
+    let neg = lint_metrics(
+        metrics,
+        include_str!("fixtures/metrics_complete_neg_ser.rs"),
+        &cfg,
+    );
+    assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
+}
+
+/// The real workspace must lint clean against the checked-in baseline —
+/// the same check CI's static-analysis job runs, wired into `cargo test`
+/// so a violation can never land without also failing the test suite.
+#[test]
+fn workspace_matches_checked_in_baseline() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint has a workspace root two levels up")
+        .to_path_buf();
+    let cfg = Config::trans_fw();
+    let report = simlint::run_workspace(&root, &cfg).expect("workspace lints");
+    let baseline_text = std::fs::read_to_string(root.join("simlint.baseline.toml"))
+        .expect("simlint.baseline.toml is checked in");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+
+    // The ratchet: no finding outside the baseline.
+    let diff = baseline.diff(&report.violations);
+    assert!(
+        diff.new.is_empty(),
+        "new simlint violations (fix them or justify in simlint.baseline.toml):\n{}",
+        diff.new
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The ratchet only tightens: stale entries must be removed.
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries — shrink simlint.baseline.toml: {:?}",
+        diff.stale
+    );
+    // Policy: determinism-class lints are never grandfathered.
+    let det_entries: Vec<_> = baseline
+        .entries
+        .iter()
+        .filter(|e| {
+            Lint::from_name(&e.lint).is_some_and(Lint::is_determinism_class)
+        })
+        .collect();
+    assert!(
+        det_entries.is_empty(),
+        "determinism-class baseline entries are forbidden: {det_entries:?}"
+    );
+    // And every entry carries a real justification.
+    for e in &baseline.entries {
+        assert!(
+            !e.justification.trim().is_empty() && !e.justification.contains("TODO"),
+            "baseline entry without a real justification: {e:?}"
+        );
+    }
+}

@@ -1,8 +1,7 @@
 //! The driver's centralised view of page placement.
 
-use std::collections::HashMap;
-
 use ptw::{GpuId, Location};
+use sim_core::det::DetMap;
 use sim_core::SimError;
 
 use crate::policy::{OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TxnKind};
@@ -165,7 +164,7 @@ pub struct PageDirectory {
     gpu_count: u16,
     kind: PolicyKind,
     engine: Box<dyn PlacementPolicy>,
-    pages: HashMap<u64, PageState>,
+    pages: DetMap<u64, PageState>,
     stats: DirectoryStats,
 }
 
@@ -205,7 +204,7 @@ impl PageDirectory {
             gpu_count,
             kind,
             engine: kind.build(),
-            pages: HashMap::new(),
+            pages: DetMap::new(),
             stats: DirectoryStats::default(),
         }
     }
@@ -559,11 +558,10 @@ impl PageDirectory {
     pub fn evict_gpu(&mut self, gpu: GpuId) -> EvictionReport {
         assert!(gpu < self.gpu_count, "gpu {gpu} out of range");
         let mut report = EvictionReport::default();
-        let mut vpns: Vec<u64> = self.pages.keys().copied().collect();
-        vpns.sort_unstable();
         let bit = 1u64 << gpu;
-        for vpn in vpns {
-            let page = self.pages.get_mut(&vpn).expect("key just enumerated");
+        // DetMap iterates in ascending VPN order: the report lists pages in
+        // the same deterministic order on every run.
+        for (&vpn, page) in self.pages.iter_mut() {
             if page.replicas & bit != 0 {
                 page.replicas &= !bit;
                 report.dropped_replicas.push(vpn);
@@ -620,14 +618,13 @@ impl PageDirectory {
     /// A 64-bit order-independent-input digest of the directory contents
     /// (VPNs visited in sorted order), for epoch checkpoints.
     pub fn state_digest(&self) -> u64 {
-        let mut vpns: Vec<u64> = self.pages.keys().copied().collect();
-        vpns.sort_unstable();
         let mut digest = sim_core::checkpoint::StateDigest::new();
-        for vpn in vpns {
-            let page = &self.pages[&vpn];
+        // DetMap iterates in ascending VPN order, so the digest input order
+        // is already canonical.
+        for (&vpn, page) in &self.pages {
             let home = match page.home {
                 Location::Cpu => u64::MAX,
-                Location::Gpu(g) => g as u64,
+                Location::Gpu(g) => u64::from(g),
             };
             digest.mix(vpn).mix(home).mix(page.replicas).mix(page.remote_maps);
         }

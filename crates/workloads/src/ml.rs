@@ -109,7 +109,7 @@ impl Workload for MlModel {
     fn initial_owner(&self, vpn: u64, gpus: u16) -> Option<u16> {
         let shared = 2 * self.weight_total();
         if vpn < shared {
-            Some(((vpn / 8) % gpus as u64) as u16)
+            Some(((vpn / 8) % u64::from(gpus)) as u16)
         } else {
             let cta = ((vpn - shared) / self.act_per_cta()).min(self.ctas as u64 - 1) as usize;
             Some((cta * gpus as usize / self.ctas) as u16)

@@ -123,7 +123,7 @@ impl Workload for PhaseShift {
     fn initial_owner(&self, vpn: u64, gpus: u16) -> Option<u16> {
         let hot = self.hot_pages();
         if vpn < hot {
-            Some(((vpn / self.window_pages) % gpus as u64) as u16)
+            Some(((vpn / self.window_pages) % u64::from(gpus)) as u16)
         } else {
             let cta = ((vpn - hot) / self.private_pages.max(1)).min(self.ctas as u64 - 1);
             Some((cta as usize * gpus as usize / self.ctas) as u16)
@@ -167,7 +167,7 @@ impl PhaseStream {
         };
         self.run_vpn = vpn;
         self.run_write_p = write_p;
-        let max_run = (2 * s.run_len).max(1) as u64;
+        let max_run = u64::from((2 * s.run_len).max(1));
         self.run_left = (1 + self.rng.gen_range(max_run)) as u32;
     }
 }

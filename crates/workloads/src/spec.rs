@@ -122,7 +122,7 @@ impl Workload for AppSpec {
     fn initial_owner(&self, vpn: u64, gpus: u16) -> Option<u16> {
         let shared = self.shared_pages();
         if vpn < shared {
-            Some(((vpn / 8) % gpus as u64) as u16)
+            Some(((vpn / 8) % u64::from(gpus)) as u16)
         } else {
             let part = self.partition_pages();
             let cta = ((vpn - shared) / part).min(self.ctas as u64 - 1) as usize;
@@ -211,7 +211,7 @@ impl SpecStream {
         };
         self.run_vpn = vpn.min(s.footprint - 1);
         self.run_write_p = write_p;
-        let max_run = (2 * s.run_len).max(1) as u64;
+        let max_run = u64::from((2 * s.run_len).max(1));
         self.run_left = (1 + self.rng.gen_range(max_run)) as u32;
     }
 }

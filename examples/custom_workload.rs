@@ -73,7 +73,7 @@ impl Workload for Pipeline {
     }
 
     fn initial_owner(&self, vpn: u64, gpus: u16) -> Option<u16> {
-        Some((vpn % gpus as u64) as u16)
+        Some((vpn % u64::from(gpus)) as u16)
     }
 }
 
