@@ -8,8 +8,14 @@
 //! `BENCH_CHAOS_SOAK.json` (see `experiments::run_json`).
 //!
 //! ```sh
-//! cargo run --release -p experiments --bin chaos_soak [SCALE] [SEEDS]
+//! cargo run --release -p experiments --bin chaos_soak [SCALE] [SEEDS] [--sanitize]
 //! ```
+//!
+//! `--sanitize` additionally runs every cell under the shadow sanitizer
+//! (`SystemConfig::sanitize`): the model checker's safety invariants are
+//! probed at every ownership commit and retire, and any finding fails the
+//! run. The sanitizer is read-only, so metrics are bit-identical either
+//! way.
 
 use experiments::runner::{parallel_map, runs_json};
 use mgpu::{ComponentEvent, FaultPlan, RunMetrics, System, SystemConfig};
@@ -65,7 +71,9 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let sanitize = args.iter().any(|a| a == "--sanitize");
+    args.retain(|a| a != "--sanitize");
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
     let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
     // simlint::allow(det-wallclock): harness progress timing, never fed into the sim
@@ -89,6 +97,7 @@ fn main() {
         cfg.seed = seed;
         cfg.faults = plan;
         cfg.checkpoint_interval = Some(2_000);
+        cfg.sanitize = sanitize;
         let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
             panic!("chaos soak: {scenario}/{app_name} seed {seed} failed: {e}");
         });
@@ -116,7 +125,8 @@ fn main() {
     let json = runs_json(&runs);
     std::fs::write("BENCH_CHAOS_SOAK.json", &json).expect("write BENCH_CHAOS_SOAK.json");
     eprintln!(
-        "[chaos-soak] {total} cells clean in {:.1?} (scale {scale}, {seeds} seed(s)) -> BENCH_CHAOS_SOAK.json",
-        t0.elapsed()
+        "[chaos-soak] {total} cells clean in {:.1?} (scale {scale}, {seeds} seed(s){}) -> BENCH_CHAOS_SOAK.json",
+        t0.elapsed(),
+        if sanitize { ", sanitized" } else { "" },
     );
 }

@@ -195,6 +195,12 @@ pub struct SystemConfig {
     pub checkpoint_interval: Option<Cycle>,
     /// Protocol-watchdog and liveness knobs.
     pub watchdog: WatchdogConfig,
+    /// Shadow sanitizer: check the model-checker's safety invariants
+    /// (commit atomicity, retire-exactly-once, local-residency agreement)
+    /// at every ownership commit and retire of a full-scale run. The checks
+    /// are read-only and draw no randomness, so enabling them keeps runs
+    /// bit-identical; findings surface through the post-run auditor.
+    pub sanitize: bool,
     /// Deterministic simulation seed.
     pub seed: u64,
 }
@@ -239,6 +245,7 @@ impl Default for SystemConfig {
             faults: FaultPlan::none(),
             checkpoint_interval: None,
             watchdog: WatchdogConfig::default(),
+            sanitize: false,
             seed: 0xBEEF,
         }
     }
@@ -471,6 +478,10 @@ impl SystemConfigBuilder {
     setter!(
         /// Watchdog knobs.
         watchdog: WatchdogConfig
+    );
+    setter!(
+        /// Shadow-sanitizer invariant checking.
+        sanitize: bool
     );
     setter!(
         /// Simulation seed.

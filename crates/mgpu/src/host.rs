@@ -13,9 +13,11 @@ impl System {
     /// host TLB and the Forwarding Table are searched in parallel (§IV-D).
     pub(crate) fn host_arrive(&mut self, req: ReqId) {
         let now = self.now;
-        let vpn = self.reqs[req].vpn;
-        let g = self.reqs[req].gpu;
-        self.reqs[req].host_submit_time = now;
+        let Some(r) = self.reqs.get_mut(req) else {
+            return;
+        };
+        r.host_submit_time = now;
+        let (vpn, g) = (r.vpn, r.gpu);
 
         if self.host.tlb.lookup(vpn).is_some() {
             // Translation known: skip the PW-queue and PT-walk entirely and
@@ -33,7 +35,8 @@ impl System {
             if owners.is_empty() {
                 None
             } else {
-                Some(owners[self.rng.gen_index(owners.len())])
+                let pick = self.rng.gen_index(owners.len());
+                owners.get(pick).copied()
             }
         });
         if let Some(owner) = forward_to {
@@ -41,7 +44,9 @@ impl System {
                 .policy
                 .should_forward(occupancy, self.host.walkers.threads())
             {
-                self.reqs[req].forwarded = true;
+                if let Some(r) = self.reqs.get_mut(req) {
+                    r.forwarded = true;
+                }
                 self.metrics.transfw.forwarded += 1;
                 let arrival = self.cpu_control_arrival(now);
                 self.send_message(req, arrival, Event::RemoteWalkArrive { gpu: owner, req });
@@ -77,22 +82,25 @@ impl System {
             let Some((req, waited)) = self.host.queue.pop(now) else {
                 return Ok(());
             };
-            if self.reqs[req].cancelled {
+            let Some(r) = self.reqs.get_mut(req) else {
+                continue;
+            };
+            if r.cancelled {
                 continue;
             }
+            r.lat.host_queue += waited;
+            r.host_walk_started = true;
+            let vpn = r.vpn;
             if !self.host.walkers.try_acquire() {
                 return Err(SimError::Protocol {
                     cycle: now,
                     what: "host: free walker vanished during dispatch".into(),
                 });
             }
-            self.reqs[req].lat.host_queue += waited;
-            self.reqs[req].host_walk_started = true;
             self.metrics.host_walks += 1;
             // Injected slowdowns: DRAM-contention walker stalls and
             // host-MMU overload bursts.
             let stall = self.injector.walker_stall() + self.injector.host_burst_penalty(now);
-            let vpn = self.reqs[req].vpn;
             let levels = self.cfg.page_table_levels;
             let resume = self.host.pwc.lookup(vpn);
             let walk = self.host.pt.walk(vpn, resume);
@@ -130,15 +138,19 @@ impl System {
         let now = self.now;
         self.host.walkers.release();
         self.events.push(now, Event::HostDispatch);
-        let vpn = self.reqs[req].vpn;
+        let Some(r) = self.reqs.get_mut(req) else {
+            return;
+        };
+        r.lat.host_walk += walk_cycles;
+        let vpn = r.vpn;
+        let redundant = r.remote_supplied || r.completed;
         for k in insert_lo..=insert_hi.min(self.cfg.page_table_levels) {
             self.host.pwc.insert(vpn, k);
         }
         let home = self.dir.home(vpn);
         self.host.tlb.fill(vpn, TransEntry { ppn: vpn, loc: home });
-        self.reqs[req].lat.host_walk += walk_cycles;
 
-        if self.reqs[req].remote_supplied || self.reqs[req].completed {
+        if redundant {
             return; // counted as a replicated walk when the notify arrived
         }
         self.resolve_fault(req);
@@ -149,9 +161,11 @@ impl System {
     /// path (Fig. 3's "migrating page to local memory" component).
     pub(crate) fn resolve_fault(&mut self, req: ReqId) {
         let now = self.now;
-        let vpn = self.reqs[req].vpn;
-        let g = self.reqs[req].gpu;
-        if let Some(until) = self.offline_until[g as usize] {
+        let Some(r) = self.reqs.get(req) else {
+            return;
+        };
+        let (vpn, g, is_write) = (r.vpn, r.gpu, r.is_write);
+        if let Some(until) = self.offline_until.get(g as usize).copied().flatten() {
             // The requester is offline: resolving now would migrate the page
             // into a dead GPU. Park the request and re-resolve against fresh
             // placement state once it rejoins.
@@ -160,7 +174,6 @@ impl System {
             self.events.push(until, retry);
             return;
         }
-        let is_write = self.reqs[req].is_write;
         // The directory commits the policy decision and hands back the
         // ownership transaction; the memory-system mirror (shootdowns, host
         // view, PRT/FT) is applied atomically in `apply_ownership_txn`.
@@ -169,10 +182,12 @@ impl System {
             .begin_fault_txn(vpn, g, is_write)
             .unwrap_or_else(|e| panic!("{e}"));
         self.apply_ownership_txn(&txn);
-        self.reqs[req].resolved_loc = Some(txn.resolved_location());
 
         let done_at = self.txn_transfer_done(&txn, now);
-        self.reqs[req].lat.migration += done_at - now;
+        if let Some(r) = self.reqs.get_mut(req) {
+            r.resolved_loc = Some(txn.resolved_location());
+            r.lat.migration += done_at - now;
+        }
         self.record_migration(&txn, now, done_at);
         if txn.kind == TxnKind::Migrate {
             // The prefetch policy pulls the neighborhood in alongside the
@@ -186,15 +201,17 @@ impl System {
     /// PRT, and reply to the requesting GPU for replay.
     pub(crate) fn fault_resolved(&mut self, req: ReqId) -> Result<(), SimError> {
         let now = self.now;
-        if self.reqs[req].completed {
+        let Some(r) = self.reqs.get(req) else {
+            return Ok(());
+        };
+        let (completed, vpn, g, resolved) = (r.completed, r.vpn, r.gpu, r.resolved_loc);
+        if completed {
             // A remote supply raced ahead (or a retried resolution already
             // replied); drop the duplicate.
             self.note_duplicate();
             return Ok(());
         }
-        let vpn = self.reqs[req].vpn;
-        let g = self.reqs[req].gpu;
-        let Some(loc) = self.reqs[req].resolved_loc else {
+        let Some(loc) = resolved else {
             return Err(SimError::Protocol {
                 cycle: now,
                 what: format!("req {req} resolved with no location recorded"),
@@ -202,7 +219,9 @@ impl System {
         };
         self.map_on_gpu(g, vpn, loc);
         let arrival = self.cpu_control_arrival(now);
-        self.reqs[req].lat.network += arrival - now;
+        if let Some(r) = self.reqs.get_mut(req) {
+            r.lat.network += arrival - now;
+        }
         self.send_message(
             req,
             arrival,
@@ -216,18 +235,27 @@ impl System {
 
     /// The host's reply reached the requester: replay the translation.
     pub(crate) fn reply(&mut self, req: ReqId, entry: TransEntry) {
-        if self.reqs[req].completed {
+        let Some(r) = self.reqs.get(req) else {
+            return;
+        };
+        let (completed, g, vpn) = (r.completed, r.gpu, r.vpn);
+        if completed {
             self.note_duplicate();
             return;
         }
-        let g = self.reqs[req].gpu;
-        let vpn = self.reqs[req].vpn;
         self.retire(req);
         // Replay through the L2 pipeline costs one more L2 access.
-        self.reqs[req].lat.network += self.cfg.l2_tlb_latency;
+        let l2 = self.cfg.l2_tlb_latency;
+        if let Some(r) = self.reqs.get_mut(req) {
+            r.lat.network += l2;
+        }
         // A host-TLB-hit reply maps the page in place on the requester (the
         // fault path was skipped entirely), like a remote mapping.
-        if self.gpus[g as usize].pt.translate(vpn).is_none() {
+        let mapped = self
+            .gpus
+            .get(g as usize)
+            .is_some_and(|gpu| gpu.pt.translate(vpn).is_some());
+        if !mapped {
             self.map_on_gpu(g, vpn, entry.loc);
             if entry.loc != Location::Gpu(g) {
                 self.dir.add_remote_map(vpn, g);
@@ -242,9 +270,11 @@ impl System {
     /// driver also checks the (CPU-memory) FT and may forward immediately.
     pub(crate) fn driver_submit(&mut self, req: ReqId) {
         let now = self.now;
-        let vpn = self.reqs[req].vpn;
-        let g = self.reqs[req].gpu;
-        self.reqs[req].host_submit_time = now;
+        let Some(r) = self.reqs.get_mut(req) else {
+            return;
+        };
+        r.host_submit_time = now;
+        let (vpn, g) = (r.vpn, r.gpu);
 
         let backlog = self.driver.pending_len();
         let threads = self.driver.config().walk_threads;
@@ -253,12 +283,15 @@ impl System {
             if owners.is_empty() {
                 None
             } else {
-                Some(owners[self.rng.gen_index(owners.len())])
+                let pick = self.rng.gen_index(owners.len());
+                owners.get(pick).copied()
             }
         });
         if let Some(owner) = forward_to {
             if self.policy.should_forward(backlog, threads) || self.driver.is_busy() {
-                self.reqs[req].forwarded = true;
+                if let Some(r) = self.reqs.get_mut(req) {
+                    r.forwarded = true;
+                }
                 self.metrics.transfw.forwarded += 1;
                 let arrival = self.cpu_control_arrival(now);
                 self.send_message(req, arrival, Event::RemoteWalkArrive { gpu: owner, req });
@@ -279,7 +312,9 @@ impl System {
         }
         if let Some(batch) = self.driver.try_start_batch(now) {
             for &req in &batch.faults {
-                self.reqs[req].host_walk_started = true;
+                if let Some(r) = self.reqs.get_mut(req) {
+                    r.host_walk_started = true;
+                }
                 self.metrics.host_walks += 1;
             }
             self.driver_batch = batch.faults;
@@ -294,12 +329,15 @@ impl System {
         self.driver.finish_batch(now)?;
         let batch = std::mem::take(&mut self.driver_batch);
         for req in batch {
-            if self.reqs[req].cancelled || self.reqs[req].completed {
+            let Some(r) = self.reqs.get_mut(req) else {
+                continue;
+            };
+            if r.cancelled || r.completed {
                 continue;
             }
             // Queue + processing time attribution: waiting for the batch.
-            let waited = now.saturating_sub(self.reqs[req].host_submit_time);
-            self.reqs[req].lat.host_queue += waited;
+            let waited = now.saturating_sub(r.host_submit_time);
+            r.lat.host_queue += waited;
             self.resolve_fault(req);
         }
         self.events.push(now, Event::DriverCheck);

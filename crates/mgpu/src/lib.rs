@@ -47,8 +47,10 @@ pub mod gmmu;
 pub mod host;
 pub mod metrics;
 pub mod placement;
+pub mod protocol;
 pub mod recovery;
 pub mod request;
+pub mod sanitize;
 pub mod system;
 #[cfg(test)]
 mod system_tests;
@@ -62,6 +64,7 @@ pub use config::{
 pub use metrics::{
     LatencyBreakdown, PlacementStats, RecoveryStats, ResilienceStats, RunMetrics, SharingProfile,
 };
+pub use protocol::{ProtocolEvent, ProtocolNote, ProtocolTables};
 pub use recovery::{run_with_restore, RestoreOutcome};
 pub use sim_core::{CheckpointLog, ComponentEvent, EpochCheckpoint, FaultPlan, SimError};
 pub use system::System;

@@ -17,59 +17,18 @@ use ptw::{GpuId, Location};
 use sim_core::{Cycle, MigrationEvent, MigrationKind};
 use uvm::{OwnershipTransaction, TxnKind};
 
+use crate::protocol;
 use crate::system::System;
 
 impl System {
-    /// Mirrors one ownership transaction into the memory system. The
-    /// directory has already committed the authoritative state change; this
-    /// applies the directive half: shootdowns on every listed GPU, the host
-    /// view, and the Trans-FW tables.
+    /// Mirrors one ownership transaction into the memory system via the
+    /// shared transition layer ([`crate::protocol::commit_ownership`]); the
+    /// shadow sanitizer (`cfg.sanitize`) then certifies the commit's
+    /// atomicity on the spot.
     pub(crate) fn apply_ownership_txn(&mut self, txn: &OwnershipTransaction) {
-        self.metrics.placement.transactions += 1;
-        let vpn = txn.vpn;
-        for &v in &txn.invalidate {
-            self.unmap_on_gpu(v, vpn);
-            // FT maintenance: the old *home* key is rewritten by the
-            // migration step below; `ft_remove` lists the stale replica
-            // keys (write collapse) that were separately registered as
-            // owners. Remote-map holders were never in the FT — a spurious
-            // delete would clobber another page's fingerprint (the tables
-            // are masked multisets).
-            if txn.ft_remove.contains(&v)
-                && self.host.ft.is_some()
-                && !self.injector.drop_table_update()
-            {
-                if let Some(ft) = self.host.ft.as_mut() {
-                    ft.owner_removed(vpn, v);
-                }
-            }
-        }
-        match txn.kind {
-            TxnKind::Migrate | TxnKind::Collapse | TxnKind::Prefetch => {
-                // The page's home moved. The stale host TLB entry is shot
-                // down and NOT refilled — this is exactly why the paper
-                // finds that enlarging the host TLB does not help (§V-B).
-                self.host.tlb.invalidate(vpn);
-                if let Some(pte) = self.host.pt.translate_mut(vpn) {
-                    pte.loc = Location::Gpu(txn.dest);
-                }
-                if self.host.ft.is_some() && !self.injector.drop_table_update() {
-                    if let Some(ft) = self.host.ft.as_mut() {
-                        ft.page_migrated(vpn, txn.source.gpu(), txn.dest);
-                    }
-                }
-                if txn.kind == TxnKind::Collapse {
-                    self.metrics.placement.collapses += 1;
-                }
-            }
-            TxnKind::Replicate => {
-                if self.host.ft.is_some() && !self.injector.drop_table_update() {
-                    if let Some(ft) = self.host.ft.as_mut() {
-                        ft.owner_added(vpn, txn.dest);
-                    }
-                }
-            }
-            TxnKind::RemoteMap | TxnKind::AlreadyResident => {}
+        protocol::commit_ownership(self, txn);
+        if self.cfg.sanitize {
+            self.sanitize_commit(txn);
         }
     }
 

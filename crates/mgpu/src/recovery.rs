@@ -28,11 +28,11 @@
 
 use std::sync::{Arc, Mutex};
 
-use ptw::{Location, PageTable};
 use sim_core::{CheckpointLog, ComponentEvent, Cycle, EpochCheckpoint, SimError, StateDigest};
 
 use crate::config::FarFaultMode;
 use crate::metrics::RunMetrics;
+use crate::protocol;
 use crate::request::ReqId;
 use crate::system::{Event, GmmuJob, System};
 use crate::workload::Workload;
@@ -231,48 +231,12 @@ impl System {
         // stop forwarding to the dead GPU immediately (forwards already in
         // flight are refused by the interceptor).
         let report = self.dir.evict_gpu(g);
-        for &(vpn, new_home) in &report.migrated {
-            self.metrics.recovery.ownership_migrations += 1;
-            self.host.tlb.invalidate(vpn);
-            if let Some(pte) = self.host.pt.translate_mut(vpn) {
-                pte.loc = new_home;
-            }
-            if let Some(ft) = self.host.ft.as_mut() {
-                // One transactional rewrite per page: the victim's key goes,
-                // the promoted survivor's (if any) appears.
-                match new_home {
-                    Location::Gpu(n) => ft.rewrite_owners(vpn, &[g], &[n]),
-                    Location::Cpu => ft.rewrite_owners(vpn, &[g], &[]),
-                }
-                self.metrics.recovery.ft_invalidations += 1;
-            }
-        }
-        for &vpn in &report.dropped_replicas {
-            if let Some(ft) = self.host.ft.as_mut() {
-                ft.owner_removed(vpn, g);
-                self.metrics.recovery.ft_invalidations += 1;
-            }
-        }
-        // Survivors holding remote maps of pages that lived on the victim
-        // re-fault on next touch.
-        for &(vpn, holder) in &report.invalidate {
-            self.unmap_on_gpu(holder, vpn);
-        }
+        protocol::evict_tables(self, g, &report);
 
         // Flush the victim wholesale: device memory is gone. The MSHR is
         // deliberately kept — its coalesced waiters are woken by the
         // re-issued walks after rejoin.
-        let levels = self.cfg.page_table_levels;
-        let gpu = &mut self.gpus[gi];
-        gpu.pt = PageTable::new(levels);
-        gpu.pwc.flush();
-        gpu.l2.flush();
-        for cu in &mut gpu.cus {
-            cu.l1.flush();
-        }
-        if let Some(prt) = gpu.prt.as_mut() {
-            prt.clear();
-        }
+        protocol::offline_flush(self, g);
     }
 
     /// GPU `g` rejoins at the end of the window it went down for: rebuild
@@ -290,10 +254,7 @@ impl System {
         // (empty right after an eviction; pages repopulate it as the
         // re-issued and deferred walks migrate them back in).
         let resident = self.dir.resident_vpns_on(g);
-        if let Some(prt) = self.gpus[gi].prt.as_mut() {
-            prt.apply(&[], &resident);
-            self.metrics.recovery.prt_rebuilds += 1;
-        }
+        protocol::rejoin_prt(self, g, &resident);
         self.events.push(self.now, Event::GmmuDispatch { gpu: g });
     }
 

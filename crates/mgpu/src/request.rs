@@ -130,6 +130,19 @@ impl ReqArena {
         self.reqs.is_empty()
     }
 
+    /// The request with id `id`, or `None` for an id this arena never
+    /// minted. Preferred over indexing on the event-handler paths: a stale
+    /// id (a duplicated message surviving past the run) then degrades to a
+    /// discarded event instead of a panic.
+    pub fn get(&self, id: ReqId) -> Option<&Req> {
+        self.reqs.get(id)
+    }
+
+    /// Mutable access to the request with id `id`, if it exists.
+    pub fn get_mut(&mut self, id: ReqId) -> Option<&mut Req> {
+        self.reqs.get_mut(id)
+    }
+
     /// Iterates over all requests.
     pub fn iter(&self) -> impl Iterator<Item = &Req> {
         self.reqs.iter()

@@ -13,6 +13,7 @@ use uvm::{PageDirectory, UvmDriver};
 
 use crate::config::{FarFaultMode, PwcKind, SystemConfig};
 use crate::metrics::RunMetrics;
+use crate::protocol::{self, ProtocolNote, ProtocolTables};
 use crate::request::{ReqArena, ReqId, WfRef};
 use crate::workload::{Access, AccessStream, Workload};
 
@@ -172,6 +173,10 @@ pub struct System {
     /// Optional external mirror of the checkpoint log: survives a run that
     /// aborts mid-flight (the crash half of checkpoint/restore).
     pub(crate) checkpoint_sink: Option<Arc<Mutex<CheckpointLog>>>,
+    /// Shadow-sanitizer findings (`cfg.sanitize`): invariant violations
+    /// observed at ownership commits and retires, reported by the post-run
+    /// auditor. Capped so a systemic violation cannot balloon memory.
+    pub(crate) sanitizer_violations: Vec<String>,
 }
 
 impl System {
@@ -265,6 +270,7 @@ impl System {
             migration_log: sim_core::MigrationLog::new(),
             checkpoint_log: CheckpointLog::new(),
             checkpoint_sink: None,
+            sanitizer_violations: Vec::new(),
             now: 0,
             events: EventQueue::with_capacity(1 << 14),
             gpus,
@@ -645,9 +651,16 @@ impl System {
     /// Marks `req` retired: its waiters got a translation. The auditor
     /// checks every request retires exactly once.
     pub(crate) fn retire(&mut self, req: ReqId) {
-        self.reqs[req].completed = true;
-        self.reqs[req].retire_count += 1;
+        let Some(r) = self.reqs.get_mut(req) else {
+            debug_assert!(false, "retire of unknown request {req}");
+            return;
+        };
+        r.completed = true;
+        r.retire_count += 1;
         self.metrics.resilience.requests_retired += 1;
+        if self.cfg.sanitize {
+            self.sanitize_retire(req);
+        }
     }
 
     /// Counts a protocol message discarded by an idempotence guard. Only
@@ -907,55 +920,21 @@ impl System {
             completed: done,
             kind: sim_core::MigrationKind::Background,
         });
-        self.map_on_gpu(to, vpn, Location::Gpu(to));
-        self.host.tlb.invalidate(vpn);
-        if let Some(pte) = self.host.pt.translate_mut(vpn) {
-            pte.loc = Location::Gpu(to);
-        }
-        // FT maintenance is lossy under a stale-entry fault plan; the
-        // authoritative host PT/TLB updates above never are.
-        if self.host.ft.is_some() && !self.injector.drop_table_update() {
-            if let Some(ft) = self.host.ft.as_mut() {
-                ft.page_migrated(vpn, outcome.source.gpu(), to);
-            }
-        }
+        protocol::map_page(self, to, vpn, Location::Gpu(to));
+        protocol::migrate_home(self, vpn, outcome.source.gpu(), to);
     }
 
     /// Destroys GPU `g`'s local mapping of `vpn`: page table, PW-cache
-    /// levels backing it, L1/L2 TLB shootdowns and PRT update.
+    /// levels backing it, L1/L2 TLB shootdowns and PRT update
+    /// (shared transition, see [`crate::protocol`]).
     pub(crate) fn unmap_on_gpu(&mut self, g: GpuId, vpn: u64) {
-        let drop_update =
-            self.gpus[g as usize].prt.is_some() && self.injector.drop_table_update();
-        let gpu = &mut self.gpus[g as usize];
-        if let Some((_, emptied)) = gpu.pt.remove(vpn) {
-            for k in emptied {
-                if k <= self.cfg.page_table_levels {
-                    gpu.pwc.invalidate(vpn, k);
-                }
-            }
-        }
-        gpu.l2.invalidate(vpn);
-        for cu in &mut gpu.cus {
-            cu.l1.invalidate(vpn);
-        }
-        if let Some(prt) = gpu.prt.as_mut() {
-            if !drop_update {
-                prt.page_departed(vpn);
-            }
-        }
+        protocol::unmap_page(self, g, vpn);
     }
 
-    /// Creates GPU `g`'s local mapping of `vpn` pointing at `loc`.
+    /// Creates GPU `g`'s local mapping of `vpn` pointing at `loc`
+    /// (shared transition, see [`crate::protocol`]).
     pub(crate) fn map_on_gpu(&mut self, g: GpuId, vpn: u64, loc: Location) {
-        let drop_update =
-            self.gpus[g as usize].prt.is_some() && self.injector.drop_table_update();
-        let gpu = &mut self.gpus[g as usize];
-        gpu.pt.insert(vpn, Pte::new(vpn, loc));
-        if let Some(prt) = gpu.prt.as_mut() {
-            if !drop_update {
-                prt.page_arrived(vpn);
-            }
-        }
+        protocol::map_page(self, g, vpn, loc);
     }
 
     /// Delivers a finished translation to the requesting GPU: fills the L2
@@ -1034,6 +1013,10 @@ impl System {
             violations.push(e.to_string());
         }
 
+        // Shadow-sanitizer findings (`cfg.sanitize`): per-event invariant
+        // violations recorded at ownership commits and retires.
+        violations.append(&mut self.sanitizer_violations);
+
         // PRT: no false negatives beyond the rare fingerprint-collision
         // deletes the paper's design accepts. A plan that deliberately
         // corrupts the filters (stale entries, pollution) voids this check
@@ -1099,5 +1082,133 @@ impl System {
         // messages rerouted at the protocol layer.
         self.metrics.recovery.rerouted_messages += self.fabric.rerouted_count();
         Ok(self.metrics)
+    }
+}
+
+/// The simulator's hardware state, viewed through the shared protocol
+/// transition layer: every table mutation the transitions in
+/// [`crate::protocol`] perform lands on the real structures (page tables
+/// with PW-cache invalidation, TLB hierarchies, cuckoo PRT/FT), the lossy
+/// gate draws from the fault injector, and metric notes land on
+/// [`RunMetrics`].
+impl ProtocolTables for System {
+    fn pt_insert(&mut self, gpu: GpuId, vpn: u64, loc: Location) {
+        if let Some(g) = self.gpus.get_mut(gpu as usize) {
+            g.pt.insert(vpn, Pte::new(vpn, loc));
+        }
+    }
+
+    fn pt_remove(&mut self, gpu: GpuId, vpn: u64) {
+        let levels = self.cfg.page_table_levels;
+        if let Some(g) = self.gpus.get_mut(gpu as usize) {
+            if let Some((_, emptied)) = g.pt.remove(vpn) {
+                for k in emptied {
+                    if k <= levels {
+                        g.pwc.invalidate(vpn, k);
+                    }
+                }
+            }
+        }
+    }
+
+    fn tlb_shootdown(&mut self, gpu: GpuId, vpn: u64) {
+        if let Some(g) = self.gpus.get_mut(gpu as usize) {
+            g.l2.invalidate(vpn);
+            for cu in &mut g.cus {
+                cu.l1.invalidate(vpn);
+            }
+        }
+    }
+
+    fn local_flush(&mut self, gpu: GpuId) {
+        let levels = self.cfg.page_table_levels;
+        if let Some(g) = self.gpus.get_mut(gpu as usize) {
+            g.pt = PageTable::new(levels);
+            g.pwc.flush();
+            g.l2.flush();
+            for cu in &mut g.cus {
+                cu.l1.flush();
+            }
+        }
+    }
+
+    fn has_prt(&self, gpu: GpuId) -> bool {
+        self.gpus.get(gpu as usize).is_some_and(|g| g.prt.is_some())
+    }
+
+    fn prt_arrived(&mut self, gpu: GpuId, vpn: u64) {
+        if let Some(prt) = self.gpus.get_mut(gpu as usize).and_then(|g| g.prt.as_mut()) {
+            prt.page_arrived(vpn);
+        }
+    }
+
+    fn prt_departed(&mut self, gpu: GpuId, vpn: u64) {
+        if let Some(prt) = self.gpus.get_mut(gpu as usize).and_then(|g| g.prt.as_mut()) {
+            prt.page_departed(vpn);
+        }
+    }
+
+    fn prt_flush(&mut self, gpu: GpuId) {
+        if let Some(prt) = self.gpus.get_mut(gpu as usize).and_then(|g| g.prt.as_mut()) {
+            prt.clear();
+        }
+    }
+
+    fn prt_rebuild(&mut self, gpu: GpuId, resident: &[u64]) {
+        if let Some(prt) = self.gpus.get_mut(gpu as usize).and_then(|g| g.prt.as_mut()) {
+            prt.apply(&[], resident);
+        }
+    }
+
+    fn has_ft(&self) -> bool {
+        self.host.ft.is_some()
+    }
+
+    fn ft_owner_added(&mut self, vpn: u64, gpu: GpuId) {
+        if let Some(ft) = self.host.ft.as_mut() {
+            ft.owner_added(vpn, gpu);
+        }
+    }
+
+    fn ft_owner_removed(&mut self, vpn: u64, gpu: GpuId) {
+        if let Some(ft) = self.host.ft.as_mut() {
+            ft.owner_removed(vpn, gpu);
+        }
+    }
+
+    fn ft_page_migrated(&mut self, vpn: u64, old: Option<GpuId>, new: GpuId) {
+        if let Some(ft) = self.host.ft.as_mut() {
+            ft.page_migrated(vpn, old, new);
+        }
+    }
+
+    fn ft_rewrite_owners(&mut self, vpn: u64, remove: &[GpuId], add: &[GpuId]) {
+        if let Some(ft) = self.host.ft.as_mut() {
+            ft.rewrite_owners(vpn, remove, add);
+        }
+    }
+
+    fn host_tlb_invalidate(&mut self, vpn: u64) {
+        self.host.tlb.invalidate(vpn);
+    }
+
+    fn host_pt_set_loc(&mut self, vpn: u64, loc: Location) {
+        if let Some(pte) = self.host.pt.translate_mut(vpn) {
+            pte.loc = loc;
+        }
+    }
+
+    fn drop_table_update(&mut self) -> bool {
+        self.injector.drop_table_update()
+    }
+
+    fn note(&mut self, note: ProtocolNote) {
+        match note {
+            ProtocolNote::TxnCommitted => self.metrics.placement.transactions += 1,
+            ProtocolNote::Collapse => self.metrics.placement.collapses += 1,
+            ProtocolNote::OwnershipMigration => self.metrics.recovery.ownership_migrations += 1,
+            ProtocolNote::FtInvalidation => self.metrics.recovery.ft_invalidations += 1,
+            ProtocolNote::PrtRebuild => self.metrics.recovery.prt_rebuilds += 1,
+        }
     }
 }

@@ -430,6 +430,29 @@ fn prefetch_skips_vpns_already_pending_in_the_prt() {
 }
 
 #[test]
+fn sanitized_run_is_bit_identical_and_clean() {
+    // The shadow sanitizer is read-only: a contended ping-pong workload
+    // (repeated cross-GPU write migrations, full Trans-FW tables engaged)
+    // must produce *identical* metrics with and without `sanitize`, and the
+    // sanitized run must finish clean — no false findings from the auditor.
+    let accesses: Vec<Access> = (0..12).map(|i| Access::write(i % 4, 10)).collect();
+    let workload = || Scripted::new(4, 4, accesses.clone()).with_owners(vec![Some(1); 4]);
+    let cfg = || SystemConfig {
+        transfw: Some(TransFwKnobs::full()),
+        ..tiny_cfg()
+    };
+    let plain = System::new(cfg()).run(&workload()).unwrap();
+    let sanitized = System::new(SystemConfig {
+        sanitize: true,
+        ..cfg()
+    })
+    .run(&workload())
+    .unwrap();
+    assert_eq!(plain, sanitized, "sanitizer perturbed the run");
+    assert!(plain.directory.migrations > 1, "workload was not contended");
+}
+
+#[test]
 fn gpu_offline_mid_run_recovers_on_scripted_workload() {
     // GPU 1 dies at cycle 200 with walks in flight and pages resident,
     // rejoins at 1200: the run must complete with every request retired

@@ -60,6 +60,17 @@ impl StateDigest {
         self
     }
 
+    /// Folds a string (length-delimited, byte-exact) into the digest.
+    pub fn mix_str(&mut self, s: &str) -> &mut Self {
+        self.mix(s.len() as u64);
+        for chunk in s.as_bytes().chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+        self
+    }
+
     /// Finalizes the digest, binding in the word count so that prefixes of
     /// a longer input do not collide with the full input.
     pub fn finish(&self) -> u64 {

@@ -27,6 +27,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod counterexample;
 pub mod det;
 pub mod error;
 pub mod fault;
@@ -36,6 +37,7 @@ pub mod rng;
 pub mod stats;
 
 pub use checkpoint::{CheckpointLog, EpochCheckpoint, StateDigest};
+pub use counterexample::Counterexample;
 pub use det::{DetMap, DetSet};
 pub use error::SimError;
 pub use fault::{ComponentEvent, FaultInjector, FaultPlan, InjectStats, MessageFate};

@@ -1,0 +1,171 @@
+//! CLI for the exhaustive protocol model checker.
+//!
+//! With no arguments, verifies the standard small-scope certificate: the
+//! 2-GPU / 3-VPN / 2-in-flight configuration under all four placement
+//! policies, plus a component-failure configuration (GPU0 may be evicted
+//! and rejoin at any interleaving point). Exits non-zero on a violation
+//! or an exhausted budget, printing the minimized counterexample.
+
+use std::time::Instant; // simlint::allow(det-wallclock): harness timing only
+
+use mgpu::protocol::model::{ModelConfig, ProtocolState};
+use simcheck::{check, CheckConfig, CheckOutcome};
+use uvm::PolicyKind;
+
+fn policy_by_name(name: &str) -> Option<PolicyKind> {
+    match name {
+        "first-touch" => Some(PolicyKind::FirstTouch),
+        "delayed-migration" => Some(PolicyKind::DelayedMigration { threshold: 2 }),
+        "read-duplicate" => Some(PolicyKind::ReadDuplicate),
+        "prefetch" => Some(PolicyKind::PrefetchNeighborhood { radius: 1 }),
+        // simlint::allow(protocol-exhaustive): scrutinee is a CLI string
+        _ => None,
+    }
+}
+
+fn policy_name(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::FirstTouch => "first-touch",
+        PolicyKind::DelayedMigration { .. } => "delayed-migration",
+        PolicyKind::ReadDuplicate => "read-duplicate",
+        PolicyKind::PrefetchNeighborhood { .. } => "prefetch",
+    }
+}
+
+struct Args {
+    gpus: u16,
+    vpns: u64,
+    inflight: usize,
+    policy: Option<PolicyKind>,
+    budget: usize,
+    failure: Option<u16>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        gpus: 2,
+        vpns: 3,
+        inflight: 2,
+        policy: None,
+        budget: CheckConfig::default().max_states,
+        failure: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--gpus" => args.gpus = val("--gpus")?.parse().map_err(|e| format!("--gpus: {e}"))?,
+            "--vpns" => args.vpns = val("--vpns")?.parse().map_err(|e| format!("--vpns: {e}"))?,
+            "--inflight" => {
+                args.inflight = val("--inflight")?.parse().map_err(|e| format!("--inflight: {e}"))?;
+            }
+            "--policy" => {
+                let name = val("--policy")?;
+                args.policy =
+                    Some(policy_by_name(&name).ok_or_else(|| format!("unknown policy {name:?}"))?);
+            }
+            "--budget" => {
+                args.budget = val("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?;
+            }
+            "--failure" => {
+                args.failure =
+                    Some(val("--failure")?.parse().map_err(|e| format!("--failure: {e}"))?);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: simcheck [--gpus N] [--vpns N] [--inflight N] \
+                     [--policy first-touch|delayed-migration|read-duplicate|prefetch] \
+                     [--budget STATES] [--failure GPU]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs one configuration and reports; returns whether it verified.
+fn run_one(label: &str, cfg: &ModelConfig, check_cfg: &CheckConfig) -> bool {
+    // simlint::allow(det-wallclock): harness timing only
+    let start = Instant::now();
+    let outcome = check(&ProtocolState::new(cfg), check_cfg);
+    let ms = start.elapsed().as_millis();
+    let s = outcome.stats();
+    match &outcome {
+        CheckOutcome::Verified(_) => {
+            println!(
+                "VERIFIED  {label}: {} states, {} terminal, {} deduped, {} POR-skipped, depth {}, {ms} ms",
+                s.states_explored, s.terminal_states, s.states_deduped, s.por_skipped, s.max_depth
+            );
+            true
+        }
+        CheckOutcome::Violation {
+            invariant,
+            counterexample,
+            trace,
+            ..
+        } => {
+            println!("VIOLATION {label}: {invariant}");
+            println!(
+                "  found after {} states ({} full steps, minimized to {}):",
+                s.states_explored,
+                trace.len(),
+                counterexample.steps.len()
+            );
+            for step in &counterexample.steps {
+                println!("    {step}");
+            }
+            false
+        }
+        CheckOutcome::BudgetExhausted(_) => {
+            println!(
+                "BUDGET    {label}: gave up after {} states (budget {}), depth {}",
+                s.states_explored, check_cfg.max_states, s.max_depth
+            );
+            false
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simcheck: {e}");
+            std::process::exit(2);
+        }
+    };
+    let check_cfg = CheckConfig {
+        max_states: args.budget,
+        ..CheckConfig::default()
+    };
+    let mut ok = true;
+    if let Some(policy) = args.policy {
+        let mut cfg = ModelConfig::small(args.gpus, args.vpns, args.inflight, policy);
+        if let Some(g) = args.failure {
+            cfg = cfg.with_failure(g);
+        }
+        ok &= run_one(policy_name(policy), &cfg, &check_cfg);
+    } else {
+        // The standard certificate: all four policies, then the failure
+        // dimension (one in-flight request per GPU keeps it tractable).
+        for policy in [
+            PolicyKind::FirstTouch,
+            PolicyKind::DelayedMigration { threshold: 2 },
+            PolicyKind::ReadDuplicate,
+            PolicyKind::PrefetchNeighborhood { radius: 1 },
+        ] {
+            let cfg = ModelConfig::small(args.gpus, args.vpns, args.inflight, policy);
+            ok &= run_one(policy_name(policy), &cfg, &check_cfg);
+        }
+        let failure = ModelConfig::small(args.gpus, args.vpns, 1, PolicyKind::FirstTouch)
+            .with_failure(args.failure.unwrap_or(0));
+        ok &= run_one("first-touch+failure", &failure, &check_cfg);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,10 @@
 //! * **`protocol-exhaustive`** — no wildcard `_ =>` arms in matches over
 //!   the protocol enums (`Event`, `MessageFate`, `ComponentEvent`,
 //!   `PolicyKind`), so a new variant is a compile error at every handler.
+//! * **`protocol-transition`** — no `match` over `ProtocolEvent` outside
+//!   `crates/mgpu/src/protocol`: transition semantics live in exactly one
+//!   module, the one the simulator *and* the `simcheck` model checker both
+//!   execute, so they can never drift apart.
 //! * **`metrics-complete`** — every public `RunMetrics` field must appear
 //!   in the `run_json` serializer, so counters cannot silently vanish from
 //!   published results.
@@ -64,6 +68,8 @@ pub enum Lint {
     PanicFreedom,
     /// Wildcard arm in a match over a protocol enum.
     ProtocolExhaustive,
+    /// A match over `ProtocolEvent` outside the shared transition module.
+    ProtocolTransition,
     /// A `RunMetrics` field missing from the `run_json` serializer.
     MetricsComplete,
 }
@@ -76,6 +82,7 @@ impl Lint {
             Lint::DetWallclock => "det-wallclock",
             Lint::PanicFreedom => "panic-freedom",
             Lint::ProtocolExhaustive => "protocol-exhaustive",
+            Lint::ProtocolTransition => "protocol-transition",
             Lint::MetricsComplete => "metrics-complete",
         }
     }
@@ -87,6 +94,7 @@ impl Lint {
             "det-wallclock" => Lint::DetWallclock,
             "panic-freedom" => Lint::PanicFreedom,
             "protocol-exhaustive" => Lint::ProtocolExhaustive,
+            "protocol-transition" => Lint::ProtocolTransition,
             "metrics-complete" => Lint::MetricsComplete,
             _ => return None,
         })
@@ -99,12 +107,13 @@ impl Lint {
     }
 
     /// Every lint, for `--list`-style output.
-    pub fn all() -> [Lint; 5] {
+    pub fn all() -> [Lint; 6] {
         [
             Lint::DetCollections,
             Lint::DetWallclock,
             Lint::PanicFreedom,
             Lint::ProtocolExhaustive,
+            Lint::ProtocolTransition,
             Lint::MetricsComplete,
         ]
     }
@@ -183,6 +192,12 @@ pub struct Config {
     pub hot_path_files: Vec<String>,
     /// Protocol enums whose matches must be exhaustive.
     pub protocol_enums: Vec<String>,
+    /// The shared-transition event enum: matching over it is confined to
+    /// [`Config::transition_home`].
+    pub transition_enum: String,
+    /// Path prefix where `transition_enum` matches are allowed — the one
+    /// module the simulator and the model checker both execute.
+    pub transition_home: String,
     /// `(file, struct)` holding the run metrics.
     pub metrics_struct: (String, String),
     /// `(file, fn)` serializing the run metrics.
@@ -207,6 +222,8 @@ impl Config {
                 .iter()
                 .map(|s| (*s).to_string())
                 .collect(),
+            transition_enum: "ProtocolEvent".into(),
+            transition_home: c("mgpu/src/protocol"),
             metrics_struct: (c("mgpu/src/metrics.rs"), "RunMetrics".into()),
             metrics_serializer: (c("experiments/src/runner.rs"), "run_json".into()),
         }

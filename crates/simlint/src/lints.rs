@@ -1,4 +1,4 @@
-//! The five lint passes, operating on [`crate::lexer`] token streams.
+//! The six lint passes, operating on [`crate::lexer`] token streams.
 //!
 //! Each pass is a pure function from tokens to [`Violation`]s; the inline
 //! `simlint::allow` waiver mechanism is applied uniformly on top by
@@ -41,6 +41,7 @@ pub fn lint_file_with_allows(ctx: &FileCtx, src: &str, cfg: &Config) -> Vec<Outc
     det_wallclock(ctx, &lexed, cfg, &mut violations);
     panic_freedom(ctx, &lexed, &regions, cfg, &mut violations);
     protocol_exhaustive(ctx, &lexed, &regions, cfg, &mut violations);
+    protocol_transition(ctx, &lexed, &regions, cfg, &mut violations);
     violations
         .into_iter()
         .map(|v| {
@@ -265,6 +266,55 @@ fn protocol_exhaustive(
                     ),
                 });
             }
+        }
+    }
+}
+
+/// `protocol-transition`: a `match` whose scrutinee or arms name
+/// `ProtocolEvent`, outside `crates/mgpu/src/protocol`. Transition
+/// semantics must live in the one module the simulator and the `simcheck`
+/// model checker both execute; a handler elsewhere would let the two drift
+/// apart, and the checker would silently verify something the simulator no
+/// longer does.
+fn protocol_transition(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    test_regions: &[(usize, usize)],
+    cfg: &Config,
+    out: &mut Vec<Violation>,
+) {
+    if ctx.rel_path.starts_with(&cfg.transition_home) || ctx.is_test_file {
+        return;
+    }
+    let toks = &lexed.tokens;
+    let bodies = match_bodies(toks);
+    for &(kw, body_start, body_end) in &bodies {
+        if lexer::in_regions(test_regions, toks[kw].line) {
+            continue;
+        }
+        // Exclude nested match bodies: they are their own entries.
+        let nested: Vec<(usize, usize)> = bodies
+            .iter()
+            .filter(|&&(_, s, e)| s > body_start && e <= body_end)
+            .map(|&(_, s, e)| (s, e))
+            .collect();
+        let names_enum = (kw + 1..body_end).any(|i| {
+            let direct = !nested.iter().any(|&(s, e)| i > s && i < e);
+            direct && toks[i].is_ident(&cfg.transition_enum)
+        });
+        if names_enum {
+            out.push(Violation {
+                lint: Lint::ProtocolTransition,
+                file: ctx.rel_path.clone(),
+                line: toks[kw].line,
+                key: format!("match({})", cfg.transition_enum),
+                message: format!(
+                    "`match` over `{}` outside `{}`; transition logic must \
+                     stay in the shared module the simulator and the model \
+                     checker both execute",
+                    cfg.transition_enum, cfg.transition_home
+                ),
+            });
         }
     }
 }
@@ -557,6 +607,41 @@ fn f(m: Mode) {\n\
         let v = lint("crates/mgpu/src/policy.rs", bad);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn protocol_event_match_outside_the_transition_module_flagged() {
+        let src = "\
+fn apply(e: &ProtocolEvent) {\n\
+    match e {\n\
+        ProtocolEvent::Map { .. } => m(),\n\
+        ProtocolEvent::Unmap { .. } => u(),\n\
+    }\n\
+}\n";
+        let v = lint("crates/mgpu/src/host.rs", src);
+        let transition: Vec<_> = v
+            .iter()
+            .filter(|v| v.lint == Lint::ProtocolTransition)
+            .collect();
+        assert_eq!(transition.len(), 1, "{v:?}");
+        assert_eq!(transition[0].key, "match(ProtocolEvent)");
+        assert_eq!(transition[0].line, 2);
+        // The same match inside the shared transition module is the point.
+        assert!(lint("crates/mgpu/src/protocol/mod.rs", src).is_empty());
+        assert!(lint("crates/mgpu/src/protocol/model.rs", src).is_empty());
+    }
+
+    #[test]
+    fn constructing_or_passing_protocol_events_elsewhere_is_fine() {
+        // Only *matching* centralises transition logic; building events and
+        // handing them to `protocol::step` is exactly the intended idiom.
+        let src = "\
+fn send(gpu: u32, vpn: u64) {\n\
+    let e = ProtocolEvent::Unmap { gpu, vpn };\n\
+    protocol::step(self, &e);\n\
+    match color { Color::Red => r(), Color::Blue => b() }\n\
+}\n";
+        assert!(lint("crates/mgpu/src/policy.rs", src).is_empty());
     }
 
     #[test]

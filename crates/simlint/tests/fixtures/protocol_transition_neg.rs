@@ -1,0 +1,14 @@
+// Fixture: the intended idiom — build a ProtocolEvent and delegate to the
+// shared transition module; match freely over non-transition enums.
+
+fn unmap_remote(&mut self, gpu: u32, vpn: u64) {
+    let e = ProtocolEvent::Unmap { gpu, vpn };
+    protocol::step(self, &e);
+}
+
+fn classify(outcome: WalkOutcome) -> &'static str {
+    match outcome {
+        WalkOutcome::Hit => "hit",
+        WalkOutcome::Miss => "miss",
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: a ProtocolEvent handler outside crates/mgpu/src/protocol —
+// duplicated transition logic the model checker would never see.
+
+fn apply_locally(e: &ProtocolEvent) {
+    match e {
+        ProtocolEvent::Map { gpu, vpn, loc } => install(*gpu, *vpn, *loc),
+        ProtocolEvent::Unmap { gpu, vpn } => drop_pte(*gpu, *vpn),
+        ProtocolEvent::Commit(txn) => commit(txn),
+        ProtocolEvent::Evict { gpu, report } => evict(*gpu, report),
+        ProtocolEvent::Flush { gpu } => flush(*gpu),
+        ProtocolEvent::Rejoin { gpu, resident } => rejoin(*gpu, resident),
+    }
+}

@@ -86,6 +86,28 @@ fn protocol_exhaustive_fixture_pair() {
 }
 
 #[test]
+fn protocol_transition_fixture_pair() {
+    let pos = lint_fixture(
+        include_str!("fixtures/protocol_transition_pos.rs"),
+        "crates/mgpu/src/policy.rs",
+    );
+    assert_eq!(lints_of(&pos), [Lint::ProtocolTransition], "{pos:?}");
+    assert_eq!(pos[0].key, "match(ProtocolEvent)");
+    // The identical handler *inside* the shared transition module is the
+    // one place it belongs.
+    let home = lint_fixture(
+        include_str!("fixtures/protocol_transition_pos.rs"),
+        "crates/mgpu/src/protocol/mod.rs",
+    );
+    assert!(home.is_empty(), "transition home flagged: {home:?}");
+    let neg = lint_fixture(
+        include_str!("fixtures/protocol_transition_neg.rs"),
+        "crates/mgpu/src/policy.rs",
+    );
+    assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
+}
+
+#[test]
 fn metrics_complete_fixture_pair() {
     let cfg = Config::trans_fw();
     let metrics = include_str!("fixtures/metrics_complete_pos.rs");
