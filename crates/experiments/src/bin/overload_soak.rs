@@ -1,0 +1,137 @@
+//! Overload-soak driver: a seeded matrix of offered load (1x..8x on the
+//! bursty open-loop workload) crossed with fault plans, with the full
+//! overload-control subsystem enabled — admission watermarks, retry
+//! budgets with deterministic backoff, and per-peer circuit breakers.
+//!
+//! Every cell runs under the invariant auditor inside `System::run`; this
+//! driver additionally enforces the graceful-degradation contract:
+//!
+//! * demand walks are never rejected (only deferred), at any load;
+//! * at the 8x points, shed traffic is ≥90% background class
+//!   (prefetch/migration/remote-walk) whenever anything was shed at all;
+//! * the demand-latency p99 bound stays under the run length.
+//!
+//! The per-run counters (including the `overload` block) are written to
+//! `BENCH_OVERLOAD.json` (see `experiments::run_json`).
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin overload_soak [SCALE] [SEEDS]
+//! ```
+
+use experiments::runner::{parallel_map, runs_json};
+use mgpu::{FaultPlan, OverloadConfig, RunMetrics, System, SystemConfig, TransFwKnobs};
+
+/// Watermarks tuned for soak-scale queues (the shipped defaults are sized
+/// for full-scale runs and would never engage at a CI-sized scale).
+fn soak_overload() -> OverloadConfig {
+    OverloadConfig {
+        host_queue_high: 10,
+        host_queue_low: 3,
+        gpu_queue_high: 6,
+        gpu_queue_low: 2,
+        mshr_high: 24,
+        mshr_low: 8,
+        backoff_base: 200,
+        backoff_cap: 3_200,
+        ..OverloadConfig::enabled()
+    }
+}
+
+/// PRT/FT sized up for the burst workload's migration churn: the
+/// paper-sized 500-entry tables accumulate enough fingerprint-collision
+/// deletes at soak scale to trip the post-run PRT audit, independent of
+/// the overload subsystem.
+fn soak_tables() -> TransFwKnobs {
+    let mut k = TransFwKnobs::full();
+    k.config.prt_fingerprints = 2_000;
+    k.config.prt_fp_bits = 16;
+    k.config.ft_fingerprints = 4_000;
+    k.config.ft_fp_bits = 14;
+    k
+}
+
+fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("clean", FaultPlan::none()),
+        ("loss", FaultPlan::message_loss(seed.wrapping_mul(31) + 7, 0.02)),
+        (
+            "chaos",
+            FaultPlan::message_chaos(seed.wrapping_mul(37) + 11, 0.02, 200),
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
+    let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    // simlint::allow(det-wallclock): harness progress timing, never fed into the sim
+    let t0 = std::time::Instant::now();
+
+    let mut cells = Vec::new();
+    for seed in 1..=seeds.max(1) {
+        for (plan_name, plan) in plans(seed) {
+            for load in [1u64, 2, 4, 8] {
+                cells.push((plan_name, plan.clone(), load, seed));
+            }
+        }
+    }
+    let total = cells.len();
+
+    let runs: Vec<(u64, RunMetrics)> = parallel_map(cells, |(plan_name, plan, load, seed)| {
+        let app = workloads::burst().scaled(scale).with_load(load);
+        let cfg = SystemConfig::builder()
+            .gpus(4)
+            .cus_per_gpu(4)
+            .host_walkers(1)
+            .seed(seed)
+            .transfw(Some(soak_tables()))
+            .placement(Some(uvm::PolicyKind::PrefetchNeighborhood { radius: 3 }))
+            .overload(soak_overload())
+            .faults(plan)
+            .build();
+        let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
+            panic!("overload soak: {plan_name}/{load}x seed {seed} failed: {e}");
+        });
+        assert_eq!(
+            m.resilience.requests_retired, m.translation_requests,
+            "{plan_name}/{load}x seed {seed}: must retire every request exactly once"
+        );
+        let ov = &m.overload;
+        assert_eq!(
+            ov.demand_rejected, 0,
+            "{plan_name}/{load}x seed {seed}: demand must be deferred, never rejected: {ov:?}"
+        );
+        if load == 8 && ov.total_shed() > 0 {
+            assert!(
+                ov.background_shed() * 10 >= ov.total_shed() * 9,
+                "{plan_name}/8x seed {seed}: shed traffic must be ≥90% background: {ov:?}"
+            );
+        }
+        let p99 = ov.demand_lat.percentile_bound(0.99);
+        assert!(
+            p99 < m.total_cycles,
+            "{plan_name}/{load}x seed {seed}: demand p99 bound {p99} exceeds run length {}",
+            m.total_cycles
+        );
+        eprintln!(
+            "[overload-soak] {plan_name:>5}/{load}x seed {seed}: {} cycles, \
+             shed={} (bg={}) deferred={} retries={} breaker_opens={} p99<={p99}",
+            m.total_cycles,
+            ov.total_shed(),
+            ov.background_shed(),
+            ov.demand_deferred,
+            ov.retries_budgeted,
+            ov.breaker_opens,
+        );
+        (seed, m)
+    });
+
+    let json = runs_json(&runs);
+    std::fs::write("BENCH_OVERLOAD.json", &json).expect("write BENCH_OVERLOAD.json");
+    eprintln!(
+        "[overload-soak] {total} cells clean in {:.1?} (scale {scale}, {seeds} seed(s)) \
+         -> BENCH_OVERLOAD.json",
+        t0.elapsed(),
+    );
+}

@@ -122,6 +122,7 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         host_queue_peak,
         resilience,
         recovery,
+        overload,
     } = m;
     let mgpu::LatencyBreakdown {
         gmmu_queue,
@@ -190,6 +191,24 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         checkpoints_taken,
         restores_performed,
     } = recovery;
+    let mgpu::OverloadStats {
+        prefetch_shed,
+        migration_shed,
+        remote_walks_shed,
+        demand_deferred,
+        demand_rejected,
+        retries_budgeted,
+        retry_tokens_denied,
+        backoff_delay_total,
+        breaker_opens,
+        breaker_half_opens,
+        breaker_closes,
+        breaker_probes,
+        breaker_short_circuits,
+        probe_drains,
+        forward_skipped_congested,
+        demand_lat,
+    } = overload;
     // SharingProfile and PwCacheStats keep private/derived state; their
     // published summaries go in instead of raw internals.
     let (shared_reads, shared_writes) = sharing.shared_rw();
@@ -236,7 +255,16 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
             "\"ft_invalidations\":{},\"prt_rebuilds\":{},",
             "\"ownership_migrations\":{},\"reissued_walks\":{},",
             "\"deferred_events\":{},\"rerouted_messages\":{},",
-            "\"checkpoints_taken\":{},\"restores_performed\":{}}}}}"
+            "\"checkpoints_taken\":{},\"restores_performed\":{}}},",
+            "\"overload\":{{\"prefetch_shed\":{},\"migration_shed\":{},",
+            "\"remote_walks_shed\":{},\"demand_deferred\":{},",
+            "\"demand_rejected\":{},\"retries_budgeted\":{},",
+            "\"retry_tokens_denied\":{},\"backoff_delay_total\":{},",
+            "\"breaker_opens\":{},\"breaker_half_opens\":{},",
+            "\"breaker_closes\":{},\"breaker_probes\":{},",
+            "\"breaker_short_circuits\":{},\"probe_drains\":{},",
+            "\"forward_skipped_congested\":{},",
+            "\"demand_lat\":{{\"count\":{},\"mean\":{:.3},\"p99_bound\":{}}}}}}}"
         ),
         json_escape(app),
         seed,
@@ -313,6 +341,24 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         rerouted_messages,
         checkpoints_taken,
         restores_performed,
+        prefetch_shed,
+        migration_shed,
+        remote_walks_shed,
+        demand_deferred,
+        demand_rejected,
+        retries_budgeted,
+        retry_tokens_denied,
+        backoff_delay_total,
+        breaker_opens,
+        breaker_half_opens,
+        breaker_closes,
+        breaker_probes,
+        breaker_short_circuits,
+        probe_drains,
+        forward_skipped_congested,
+        demand_lat.count(),
+        demand_lat.mean(),
+        demand_lat.percentile_bound(0.99),
     )
 }
 
@@ -419,6 +465,10 @@ mod tests {
             "reissued_walks",
             "checkpoints_taken",
             "restores_performed",
+            "prefetch_shed",
+            "retries_budgeted",
+            "breaker_opens",
+            "demand_lat",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}: {json}");
         }
@@ -523,6 +573,24 @@ mod tests {
             "rerouted_messages",
             "checkpoints_taken",
             "restores_performed",
+            // overload control
+            "prefetch_shed",
+            "migration_shed",
+            "remote_walks_shed",
+            "demand_deferred",
+            "demand_rejected",
+            "retries_budgeted",
+            "retry_tokens_denied",
+            "backoff_delay_total",
+            "breaker_opens",
+            "breaker_half_opens",
+            "breaker_closes",
+            "breaker_probes",
+            "breaker_short_circuits",
+            "probe_drains",
+            "forward_skipped_congested",
+            "demand_lat",
+            "p99_bound",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}: {json}");
         }

@@ -93,6 +93,13 @@ impl Link {
     pub fn busy_until(&self) -> Cycle {
         self.busy_until
     }
+
+    /// Queued serialisation work ahead of a payload submitted at `now`:
+    /// zero when the link is idle. Overload control reads this as its
+    /// congestion signal before committing traffic to a path.
+    pub fn backlog(&self, now: Cycle) -> Cycle {
+        self.busy_until.saturating_sub(now)
+    }
 }
 
 /// Message size constants used by the simulator, in bytes.
@@ -163,6 +170,18 @@ impl Fabric {
     /// Sends from the host to GPU `gpu`; returns arrival time.
     pub fn send_cpu_to_gpu(&mut self, gpu: usize, now: Cycle, bytes: u64) -> Cycle {
         self.down[gpu].send(now, bytes)
+    }
+
+    /// Backlog on the host→GPU link a forward to `gpu` would ride,
+    /// relative to `now` — the fabric-side queue-depth signal admission
+    /// control consults before forwarding a walk to a remote peer.
+    pub fn down_backlog(&self, gpu: usize, now: Cycle) -> Cycle {
+        self.down.get(gpu).map_or(0, |l| l.backlog(now))
+    }
+
+    /// Backlog on GPU `gpu`'s peer egress port relative to `now`.
+    pub fn peer_backlog(&self, gpu: usize, now: Cycle) -> Cycle {
+        self.peer.get(gpu).map_or(0, |l| l.backlog(now))
     }
 
     /// Sends from GPU `src` to GPU `dst`; returns arrival time.
@@ -274,6 +293,27 @@ mod tests {
         l.send(0, 320); // busy until 10
         let arrival = l.send(1000, 32);
         assert_eq!(arrival, 1011);
+    }
+
+    #[test]
+    fn backlog_tracks_queued_serialisation() {
+        let mut l = Link::new(100, 32);
+        assert_eq!(l.backlog(0), 0);
+        l.send(0, 3200); // 100 cycles of serialisation
+        assert_eq!(l.backlog(0), 100);
+        assert_eq!(l.backlog(60), 40);
+        assert_eq!(l.backlog(500), 0, "past busy_until the backlog is gone");
+    }
+
+    #[test]
+    fn fabric_backlogs_are_per_port_and_oob_safe() {
+        let mut f = Fabric::new(2, 100, 50, 32);
+        f.send_cpu_to_gpu(1, 0, 3200);
+        assert_eq!(f.down_backlog(1, 0), 100);
+        assert_eq!(f.down_backlog(0, 0), 0, "other GPU's downlink untouched");
+        f.send_gpu_to_gpu(0, 1, 0, 3200);
+        assert_eq!(f.peer_backlog(0, 0), 100);
+        assert_eq!(f.down_backlog(99, 0), 0, "out-of-range GPU reads as idle");
     }
 
     #[test]

@@ -201,6 +201,11 @@ pub struct SystemConfig {
     /// are read-only and draw no randomness, so enabling them keeps runs
     /// bit-identical; findings surface through the post-run auditor.
     pub sanitize: bool,
+    /// Overload-control knobs: admission watermarks, retry budgets with
+    /// deterministic backoff, and per-peer circuit breakers. The default
+    /// is disabled, which keeps every run bit-identical to a build without
+    /// the subsystem (see [`OverloadConfig`](crate::OverloadConfig)).
+    pub overload: crate::overload::OverloadConfig,
     /// Deterministic simulation seed.
     pub seed: u64,
 }
@@ -246,6 +251,7 @@ impl Default for SystemConfig {
             checkpoint_interval: None,
             watchdog: WatchdogConfig::default(),
             sanitize: false,
+            overload: crate::overload::OverloadConfig::default(),
             seed: 0xBEEF,
         }
     }
@@ -316,6 +322,9 @@ impl SystemConfig {
                 self.watchdog.liveness_interval > 0,
                 "watchdog liveness_interval must be positive"
             );
+        }
+        if self.overload.enabled {
+            self.overload.validate();
         }
     }
 
@@ -482,6 +491,10 @@ impl SystemConfigBuilder {
     setter!(
         /// Shadow-sanitizer invariant checking.
         sanitize: bool
+    );
+    setter!(
+        /// Overload-control knobs.
+        overload: crate::overload::OverloadConfig
     );
     setter!(
         /// Simulation seed.

@@ -175,6 +175,19 @@ impl System {
             self.note_duplicate();
             return;
         }
+        let queue_occ = self.gpus[gpu as usize].queue.len();
+        let mshr_occ = self.gpus[gpu as usize].mshr.len();
+        if self.overload.gpu_overloaded(gpu, queue_occ, mshr_occ) {
+            // GPU-side admission control: an overloaded owner refuses the
+            // borrowed walk instead of queueing behind its own demand
+            // misses. The failure notify keeps the host path live (and
+            // feeds the requester's circuit breaker for this peer).
+            self.overload.stats.remote_walks_shed += 1;
+            let now = self.now;
+            let notify_at = self.cpu_control_arrival(now);
+            self.send_message(req, notify_at, Event::RemoteNotify { req, success: false });
+            return;
+        }
         let gen = self.gpus[gpu as usize].gen;
         self.gmmu_enqueue(gpu, GmmuJob { req, remote: true, gen });
     }
@@ -241,6 +254,13 @@ impl System {
             return;
         }
         self.reqs[req].remote_outcome = true;
+        // The breaker samples one outcome per live forward attempt: taking
+        // `forwarded_to` here means a watchdog timeout for the same attempt
+        // (which also takes it) can never double-count.
+        if let Some(peer) = self.reqs[req].forwarded_to.take() {
+            let now = self.now;
+            self.overload.record_forward_outcome(now, peer, req, success);
+        }
         if success {
             // Never cancel a fallback request: the degraded path must stay
             // runnable no matter how late a lost-then-retried notification

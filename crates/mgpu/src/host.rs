@@ -16,6 +16,15 @@ impl System {
         let Some(r) = self.reqs.get_mut(req) else {
             return;
         };
+        if r.completed {
+            // A watchdog retry can race the original reply: the reply
+            // retires the request while the retried fault copy is still in
+            // flight. Re-entering the host path here would start a second
+            // walk — and retire the request a second time — so the
+            // straggler is discarded like any other duplicate.
+            self.note_duplicate();
+            return;
+        }
         r.host_submit_time = now;
         let (vpn, g) = (r.vpn, r.gpu);
 
@@ -30,6 +39,7 @@ impl System {
 
         // Miss: consult the FT and maybe forward, then join the PW-queue.
         let occupancy = self.host.queue.len();
+        self.overload.observe_host(occupancy);
         let forward_to = self.host.ft.as_mut().and_then(|ft| {
             let owners: Vec<_> = ft.lookup(vpn).into_iter().filter(|&o| o != g).collect();
             if owners.is_empty() {
@@ -43,9 +53,11 @@ impl System {
             if self
                 .policy
                 .should_forward(occupancy, self.host.walkers.threads())
+                && self.allow_forward(owner, req, now)
             {
                 if let Some(r) = self.reqs.get_mut(req) {
                     r.forwarded = true;
+                    r.forwarded_to = Some(owner);
                 }
                 self.metrics.transfw.forwarded += 1;
                 let arrival = self.cpu_control_arrival(now);
@@ -58,9 +70,27 @@ impl System {
             Err(req) => {
                 // Host queue full (sized generously; effectively unreachable
                 // under Table II parameters): retry shortly.
+                if self.overload.active() {
+                    self.overload.stats.demand_deferred += 1;
+                }
                 self.events.push(now + 64, Event::HostArrive { req });
             }
         }
+    }
+
+    /// Overload gate on the forwarding fast path: consults the peer's
+    /// host→GPU link backlog (congestion) and its circuit breaker. Always
+    /// permissive while overload control is disabled, so the pre-overload
+    /// forward decision — and therefore the event stream — is unchanged.
+    fn allow_forward(&mut self, owner: ptw::GpuId, req: ReqId, now: Cycle) -> bool {
+        if !self.overload.active() {
+            return true;
+        }
+        let backlog = self.fabric.down_backlog(usize::from(owner), now);
+        !matches!(
+            self.overload.forward_decision(now, owner, req, backlog),
+            crate::overload::ForwardDecision::Skip
+        )
     }
 
     /// Starts host PT-walks while walkers are free, lazily skipping
@@ -273,6 +303,12 @@ impl System {
         let Some(r) = self.reqs.get_mut(req) else {
             return;
         };
+        if r.completed {
+            // A duplicated/retried fault message for an already-answered
+            // request: resubmitting would start a redundant driver walk.
+            self.note_duplicate();
+            return;
+        }
         r.host_submit_time = now;
         let (vpn, g) = (r.vpn, r.gpu);
 
@@ -288,9 +324,12 @@ impl System {
             }
         });
         if let Some(owner) = forward_to {
-            if self.policy.should_forward(backlog, threads) || self.driver.is_busy() {
+            if (self.policy.should_forward(backlog, threads) || self.driver.is_busy())
+                && self.allow_forward(owner, req, now)
+            {
                 if let Some(r) = self.reqs.get_mut(req) {
                     r.forwarded = true;
+                    r.forwarded_to = Some(owner);
                 }
                 self.metrics.transfw.forwarded += 1;
                 let arrival = self.cpu_control_arrival(now);

@@ -46,6 +46,7 @@ pub mod config;
 pub mod gmmu;
 pub mod host;
 pub mod metrics;
+pub mod overload;
 pub mod placement;
 pub mod protocol;
 pub mod recovery;
@@ -64,6 +65,7 @@ pub use config::{
 pub use metrics::{
     LatencyBreakdown, PlacementStats, RecoveryStats, ResilienceStats, RunMetrics, SharingProfile,
 };
+pub use overload::{OverloadConfig, OverloadControl, OverloadStats};
 pub use protocol::{ProtocolEvent, ProtocolNote, ProtocolTables};
 pub use recovery::{run_with_restore, RestoreOutcome};
 pub use sim_core::{CheckpointLog, ComponentEvent, EpochCheckpoint, FaultPlan, SimError};

@@ -323,6 +323,10 @@ pub struct RunMetrics {
     pub resilience: ResilienceStats,
     /// Component-failure and recovery counters.
     pub recovery: RecoveryStats,
+    /// Overload-control counters: shed/deferred work by priority class,
+    /// retry-budget and backoff accounting, breaker transitions, and the
+    /// demand-walk latency tail (all zero while overload control is off).
+    pub overload: crate::overload::OverloadStats,
 }
 
 impl RunMetrics {

@@ -88,6 +88,12 @@ impl System {
         if neighborhood.is_empty() {
             return;
         }
+        if self.overload.shed_background(uvm::TrafficClass::Prefetch) {
+            // Admission control sheds prefetch traffic first: the demand
+            // migration already happened, only the speculative pull is lost.
+            self.overload.stats.prefetch_shed += neighborhood.len() as u64;
+            return;
+        }
         // Snapshot the pending state of the whole neighborhood up front:
         // the PRT is a group-granular multiset, so this batch's own
         // insertions must not make later candidates look pending.

@@ -233,6 +233,14 @@ impl System {
         let report = self.dir.evict_gpu(g);
         protocol::evict_tables(self, g, &report);
 
+        // An evicted peer takes its circuit breaker down with it: any
+        // half-open probes aimed at it are drained (their in-flight forwards
+        // were refused above / by the interceptor, and the probed requests
+        // keep their host walks), and the breaker latches open so no new
+        // forwards target the dead GPU before the host-side FT eviction is
+        // observed everywhere.
+        let _drained = self.overload.on_gpu_offline(now, g);
+
         // Flush the victim wholesale: device memory is gone. The MSHR is
         // deliberately kept — its coalesced waiters are woken by the
         // re-issued walks after rejoin.
@@ -360,6 +368,7 @@ impl System {
             d.mix(ft.state_digest());
         }
         d.mix(self.dir.state_digest());
+        d.mix(self.overload.digest());
         d.finish()
     }
 }

@@ -38,6 +38,10 @@ pub struct Req {
     pub resolved_loc: Option<Location>,
     /// Trans-FW: the request was forwarded to a remote GPU.
     pub forwarded: bool,
+    /// The peer the live forward went to, until its outcome is recorded
+    /// with the overload circuit breaker (then taken back to `None`, so
+    /// each forward attempt contributes at most one breaker sample).
+    pub forwarded_to: Option<GpuId>,
     /// Trans-FW: the remote GPU supplied the translation.
     pub remote_supplied: bool,
     /// The host walk (or driver batch) has started and can no longer be
@@ -75,6 +79,7 @@ impl Req {
             born,
             resolved_loc: None,
             forwarded: false,
+            forwarded_to: None,
             remote_supplied: false,
             host_walk_started: false,
             cancelled: false,

@@ -177,6 +177,9 @@ pub struct System {
     /// observed at ownership commits and retires, reported by the post-run
     /// auditor. Capped so a systemic violation cannot balloon memory.
     pub(crate) sanitizer_violations: Vec<String>,
+    /// Overload-control plane: admission gates, retry budgets, breakers.
+    /// Inert (no RNG draws, no events) when `cfg.overload.enabled` is off.
+    pub(crate) overload: crate::overload::OverloadControl,
 }
 
 impl System {
@@ -271,6 +274,7 @@ impl System {
             checkpoint_log: CheckpointLog::new(),
             checkpoint_sink: None,
             sanitizer_violations: Vec::new(),
+            overload: crate::overload::OverloadControl::new(&cfg.overload, cfg.gpus, cfg.seed),
             now: 0,
             events: EventQueue::with_capacity(1 << 14),
             gpus,
@@ -568,29 +572,62 @@ impl System {
     /// reliable direct host walk — the ordinary path of §II-B, with the
     /// §IV-C cancellation undone so the fallback cannot be skipped.
     fn req_deadline(&mut self, req: ReqId, attempt: u32) {
-        if self.reqs[req].completed || self.reqs[req].fallback {
-            return;
-        }
-        if attempt != self.reqs[req].watchdog_retries {
-            return; // stale: a newer send re-armed the deadline
-        }
         let now = self.now;
-        self.reqs[req].remote_timed_out = true;
+        let (gpu, timed_out_peer) = {
+            let Some(r) = self.reqs.get_mut(req) else {
+                return;
+            };
+            if r.completed || r.fallback {
+                return;
+            }
+            if attempt != r.watchdog_retries {
+                return; // stale: a newer send re-armed the deadline
+            }
+            r.remote_timed_out = true;
+            (r.gpu, r.forwarded_to.take())
+        };
         self.metrics.resilience.remote_timeouts += 1;
-        if attempt < self.cfg.watchdog.max_retries {
-            self.reqs[req].watchdog_retries += 1;
+        // A forward that timed out is failure evidence for the peer's
+        // breaker (no-op while overload control is off).
+        if let Some(peer) = timed_out_peer {
+            self.overload.record_forward_outcome(now, peer, req, false);
+        }
+        // With overload control off every allowed retry fires immediately
+        // (the pre-overload behaviour); with it on, a retry must win a
+        // token from the per-GPU budget and then waits out jittered
+        // exponential backoff so a saturated host is not hammered.
+        let granted: Option<Cycle> = if attempt < self.cfg.watchdog.max_retries {
+            if self.overload.active() {
+                match self.overload.retry_decision(gpu, attempt) {
+                    crate::overload::RetryDecision::Retry { delay } => Some(delay),
+                    crate::overload::RetryDecision::Exhausted => None,
+                }
+            } else {
+                Some(0)
+            }
+        } else {
+            None
+        };
+        if let Some(delay) = granted {
+            if let Some(r) = self.reqs.get_mut(req) {
+                r.watchdog_retries += 1;
+                r.cancelled = false;
+            }
             self.metrics.resilience.retries += 1;
-            self.reqs[req].cancelled = false;
-            self.send_fault_to_host(req, now);
+            self.send_fault_to_host(req, now + delay);
         } else {
             // Graceful degradation: mark the request fallback (all of its
             // subsequent messages bypass the injector) and hand it straight
             // to the host MMU.
-            self.reqs[req].fallback = true;
-            self.reqs[req].cancelled = false;
+            if let Some(r) = self.reqs.get_mut(req) {
+                r.fallback = true;
+                r.cancelled = false;
+            }
             self.metrics.resilience.fallback_walks += 1;
             let arrival = self.cpu_control_arrival(now);
-            self.reqs[req].lat.network += arrival - now;
+            if let Some(r) = self.reqs.get_mut(req) {
+                r.lat.network += arrival - now;
+            }
             self.events.push(arrival, Event::HostArrive { req });
         }
     }
@@ -657,7 +694,11 @@ impl System {
         };
         r.completed = true;
         r.retire_count += 1;
+        let born = r.born;
         self.metrics.resilience.requests_retired += 1;
+        // Latency-tail accounting (recorded only while overload control is
+        // enabled, so disabled metrics stay at `Default`).
+        self.overload.note_demand_latency(self.now.saturating_sub(born));
         if self.cfg.sanitize {
             self.sanitize_retire(req);
         }
@@ -781,6 +822,8 @@ impl System {
                 let born = self.now + l2_lat;
                 let req = self.reqs.create(tvpn, wf.gpu, a.is_write, born);
                 self.metrics.translation_requests += 1;
+                // Fresh demand traffic funds the GPU's retry budget.
+                self.overload.on_fresh_demand(wf.gpu);
                 self.start_translation(req, born);
             }
         }
@@ -880,7 +923,12 @@ impl System {
             Location::Gpu(o) if o == gpu => self.cfg.dram_latency,
             Location::Cpu => 2 * self.cfg.cpu_link_latency + self.cfg.dram_latency,
             Location::Gpu(_) => {
-                if let Some(outcome) = self.dir.record_remote_access(vpn, gpu) {
+                // Access-counter migration is the lowest priority class:
+                // while the host admission gate is engaged it is shed
+                // outright (a later access can always re-trigger it).
+                if self.overload.shed_background(uvm::TrafficClass::Migration) {
+                    self.overload.stats.migration_shed += 1;
+                } else if let Some(outcome) = self.dir.record_remote_access(vpn, gpu) {
                     self.apply_background_migration(vpn, gpu, outcome);
                 }
                 2 * self.cfg.peer_link_latency + self.cfg.dram_latency
@@ -1081,6 +1129,7 @@ impl System {
         // Data transfers rerouted inside the fabric join the control
         // messages rerouted at the protocol layer.
         self.metrics.recovery.rerouted_messages += self.fabric.rerouted_count();
+        self.metrics.overload = self.overload.take_stats();
         Ok(self.metrics)
     }
 }

@@ -93,6 +93,12 @@ impl<R> PwQueue<R> {
         self.capacity
     }
 
+    /// Free slots remaining before pushes start failing — the occupancy
+    /// headroom admission control watches.
+    pub fn headroom(&self) -> usize {
+        self.capacity.saturating_sub(self.queue.len())
+    }
+
     /// Largest occupancy observed.
     pub fn peak(&self) -> usize {
         self.peak
@@ -243,6 +249,19 @@ mod tests {
         assert_eq!(q.push(3, 0), Err(3));
         assert_eq!(q.reject_count(), 1);
         assert_eq!(q.peak(), 2);
+    }
+
+    #[test]
+    fn queue_headroom_shrinks_with_occupancy() {
+        let mut q: PwQueue<u32> = PwQueue::new(3);
+        assert_eq!(q.headroom(), 3);
+        q.push(1, 0).unwrap();
+        q.push(2, 0).unwrap();
+        assert_eq!(q.headroom(), 1);
+        q.push(3, 0).unwrap();
+        assert_eq!(q.headroom(), 0);
+        let _ = q.pop(1);
+        assert_eq!(q.headroom(), 1);
     }
 
     #[test]

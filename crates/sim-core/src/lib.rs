@@ -32,6 +32,7 @@ pub mod det;
 pub mod error;
 pub mod fault;
 pub mod migration;
+pub mod overload;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -42,6 +43,7 @@ pub use det::{DetMap, DetSet};
 pub use error::SimError;
 pub use fault::{ComponentEvent, FaultInjector, FaultPlan, InjectStats, MessageFate};
 pub use migration::{MigrationEvent, MigrationKind, MigrationLog};
+pub use overload::{ExponentialBackoff, Hysteresis, TokenBucket};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

@@ -204,6 +204,35 @@ impl Histogram {
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
     }
+
+    /// An upper bound on the `frac` quantile: the inclusive upper edge of
+    /// the first bucket whose cumulative count reaches `frac` of all
+    /// samples (0 when empty). With power-of-two buckets this is within 2×
+    /// of the true quantile — good enough for "p99 stays bounded" checks.
+    ///
+    /// ```
+    /// use sim_core::stats::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// for _ in 0..99 { h.record(10); }
+    /// h.record(1_000);
+    /// assert!(h.percentile_bound(0.50) <= 16);
+    /// assert!(h.percentile_bound(0.999) >= 1_000);
+    /// ```
+    pub fn percentile_bound(&self, frac: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let need = (frac.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= need {
+                return 1u64 << i;
+            }
+        }
+        1u64 << self.buckets.len().saturating_sub(1)
+    }
 }
 
 /// Computes the arithmetic mean of an `f64` slice (0 when empty).

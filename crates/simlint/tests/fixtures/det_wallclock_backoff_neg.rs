@@ -1,0 +1,11 @@
+//! Negative fixture: the same jittered backoff drawn from the simulator's
+//! seeded RNG stream — fully deterministic, replays bit-identically.
+pub fn jittered_backoff(attempt: u32, base: u64, cap: u64, rng: &mut SimRng) -> u64 {
+    let raw = base
+        .checked_shl(attempt)
+        .unwrap_or(cap)
+        .min(cap)
+        .max(1);
+    // Jitter in [raw/2, raw], every bit of it from the seeded stream.
+    raw / 2 + rng.gen_range(raw - raw / 2 + 1)
+}

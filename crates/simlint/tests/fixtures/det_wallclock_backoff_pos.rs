@@ -1,0 +1,15 @@
+//! Positive fixture: retry backoff jittered from ambient sources. Every
+//! one of these makes the retry schedule differ between replays of the
+//! same seed, which breaks checkpoint/restore bit-identity.
+pub fn jittered_backoff(attempt: u32, base: u64) -> u64 {
+    let raw = base << attempt.min(5);
+    // Wall-clock entropy as jitter:
+    let t = std::time::Instant::now().elapsed().subsec_nanos() as u64;
+    let e = std::time::SystemTime::now();
+    let _ = e;
+    // Ambient RNG as jitter:
+    let r: u64 = rand::random();
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+    raw / 2 + (t ^ r) % (raw / 2 + 1)
+}

@@ -49,6 +49,27 @@ fn det_wallclock_fixture_pair() {
 }
 
 #[test]
+fn det_wallclock_backoff_fixture_pair() {
+    // The overload subsystem's retry backoff is the classic place ambient
+    // jitter sneaks in: a backoff helper seeded from Instant/thread_rng
+    // must be flagged, the SimRng-jittered equivalent must be clean.
+    let pos = lint_fixture(
+        include_str!("fixtures/det_wallclock_backoff_pos.rs"),
+        "crates/mgpu/src/overload.rs",
+    );
+    let keys: Vec<&str> = pos.iter().map(|v| v.key.as_str()).collect();
+    assert!(pos.iter().all(|v| v.lint == Lint::DetWallclock), "{pos:?}");
+    for expect in ["Instant", "SystemTime", "rand::random", "thread_rng"] {
+        assert!(keys.contains(&expect), "missing {expect} in {keys:?}");
+    }
+    let neg = lint_fixture(
+        include_str!("fixtures/det_wallclock_backoff_neg.rs"),
+        "crates/mgpu/src/overload.rs",
+    );
+    assert!(neg.is_empty(), "deterministic backoff flagged: {neg:?}");
+}
+
+#[test]
 fn panic_freedom_fixture_pair() {
     let pos = lint_fixture(
         include_str!("fixtures/panic_freedom_pos.rs"),

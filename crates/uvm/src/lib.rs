@@ -31,4 +31,6 @@ pub use directory::{
     PageState,
 };
 pub use driver::{DriverBatch, DriverConfig, UvmDriver};
-pub use policy::{OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TxnKind};
+pub use policy::{
+    OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TrafficClass, TxnKind,
+};

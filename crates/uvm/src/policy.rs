@@ -30,6 +30,29 @@ use ptw::{GpuId, Location};
 
 use crate::directory::{FaultAction, FaultOutcome, MigrationPolicy, PageState};
 
+/// Priority class of translation-pipeline traffic, for overload shedding.
+///
+/// Under overload the memory system sheds work lowest-class-first: demand
+/// walks (a warp is stalled on them) are protected, prefetch is speculative
+/// and cheap to drop, and background migration is pure optimisation that
+/// can always be retried by a later access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Access-counter-driven background migration — shed first.
+    Migration,
+    /// Policy-driven neighborhood prefetch — shed second.
+    Prefetch,
+    /// A demand translation a warp is blocked on — shed last, if ever.
+    Demand,
+}
+
+impl TrafficClass {
+    /// Whether this class is background work (sheddable before demand).
+    pub fn is_background(self) -> bool {
+        matches!(self, TrafficClass::Migration | TrafficClass::Prefetch)
+    }
+}
+
 /// Which placement policy drives the directory.
 ///
 /// `Copy` so configs can embed it; [`build`](Self::build) turns it into the

@@ -27,10 +27,12 @@
 //! assert_eq!(all_apps().len(), 10);
 //! ```
 
+pub mod burst;
 pub mod ml;
 pub mod phase;
 pub mod spec;
 
+pub use burst::{burst, Burst};
 pub use ml::{resnet18, vgg16, MlModel};
 pub use phase::{phase_shift, PhaseShift};
 pub use spec::{AppSpec, Pattern};

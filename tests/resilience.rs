@@ -80,6 +80,50 @@ fn interconnect_chaos_suppresses_duplicates() {
 }
 
 #[test]
+fn delayed_then_duplicated_replies_never_double_retire() {
+    // Regression for the watchdog retry race: a deliberately tiny deadline
+    // plus message delays far past it make a retry race the late original
+    // reply on almost every remote leg, and heavy duplication lands extra
+    // copies of both. A retried fault message reaching the host (either
+    // entry path) after the original reply already completed the request
+    // must be discarded as a duplicate, never restarted into a second walk
+    // that double-retires (the auditor inside `run` enforces exactly-once).
+    let plan = FaultPlan {
+        message_delay_prob: 0.5,
+        message_delay_cycles: 2_000, // well past the shortened deadline
+        message_duplicate_prob: 0.25,
+        ..FaultPlan::none()
+    };
+    for driver_mode in [false, true] {
+        let app = workloads::app("PR").unwrap().scaled(0.2);
+        let mut cfg = faulty(SystemConfig::with_transfw(), plan.clone());
+        cfg.watchdog.request_timeout = 500;
+        if driver_mode {
+            cfg.fault_mode = mgpu::FarFaultMode::UvmDriver;
+        }
+        let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
+            panic!("wedged under retry/duplicate pressure (driver={driver_mode}): {e}")
+        });
+        assert!(
+            m.resilience.remote_timeouts > 0,
+            "the shortened deadline must fire (driver={driver_mode}): {:?}",
+            m.resilience
+        );
+        assert!(m.resilience.retries > 0, "driver={driver_mode}");
+        assert!(
+            m.resilience.duplicates_suppressed > 0,
+            "late originals/duplicates must be counted, not re-run \
+             (driver={driver_mode}): {:?}",
+            m.resilience
+        );
+        assert_eq!(
+            m.resilience.requests_retired, m.translation_requests,
+            "double retire under retry race (driver={driver_mode})"
+        );
+    }
+}
+
+#[test]
 fn walker_stalls_and_host_bursts_only_slow_things_down() {
     let app = workloads::app("KM").unwrap().scaled(0.1);
     let clean = System::new(SystemConfig::baseline())
