@@ -74,9 +74,9 @@ pub fn average_cycles(
 /// the workspace deliberately has no serialization dependency). This is
 /// what the bench harness embeds in `BENCH_*.json`: the timing numbers,
 /// translation counters, Trans-FW datapath and placement-policy counters,
-/// and the robustness trajectory (watchdog activity plus component-failure
-/// recovery counters) are captured next to each other, not printed and
-/// lost.
+/// and the robustness trajectory (watchdog activity, component-failure
+/// recovery counters, overload control and oversubscription/eviction
+/// counters) are captured next to each other, not printed and lost.
 ///
 /// Every field of [`RunMetrics`] and its nested statistics structs is
 /// destructured exhaustively (no `..`), so adding a counter without
@@ -123,6 +123,7 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         resilience,
         recovery,
         overload,
+        oversub,
     } = m;
     let mgpu::LatencyBreakdown {
         gmmu_queue,
@@ -187,6 +188,7 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         ownership_migrations,
         reissued_walks,
         deferred_events,
+        deferred_evictions,
         rerouted_messages,
         checkpoints_taken,
         restores_performed,
@@ -209,6 +211,15 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         forward_skipped_congested,
         demand_lat,
     } = overload;
+    let mgpu::OversubStats {
+        evictions,
+        refaults,
+        thrash_trips,
+        pinned_skips,
+        no_victim,
+        direct_fallbacks,
+        background_shed,
+    } = oversub;
     // SharingProfile and PwCacheStats keep private/derived state; their
     // published summaries go in instead of raw internals.
     let (shared_reads, shared_writes) = sharing.shared_rw();
@@ -254,7 +265,8 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
             "\"link_partition_events\":{},\"host_failover_events\":{},",
             "\"ft_invalidations\":{},\"prt_rebuilds\":{},",
             "\"ownership_migrations\":{},\"reissued_walks\":{},",
-            "\"deferred_events\":{},\"rerouted_messages\":{},",
+            "\"deferred_events\":{},\"deferred_evictions\":{},",
+            "\"rerouted_messages\":{},",
             "\"checkpoints_taken\":{},\"restores_performed\":{}}},",
             "\"overload\":{{\"prefetch_shed\":{},\"migration_shed\":{},",
             "\"remote_walks_shed\":{},\"demand_deferred\":{},",
@@ -264,7 +276,10 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
             "\"breaker_closes\":{},\"breaker_probes\":{},",
             "\"breaker_short_circuits\":{},\"probe_drains\":{},",
             "\"forward_skipped_congested\":{},",
-            "\"demand_lat\":{{\"count\":{},\"mean\":{:.3},\"p99_bound\":{}}}}}}}"
+            "\"demand_lat\":{{\"count\":{},\"mean\":{:.3},\"p99_bound\":{}}}}},",
+            "\"oversub\":{{\"evictions\":{},\"refaults\":{},",
+            "\"thrash_trips\":{},\"pinned_skips\":{},\"no_victim\":{},",
+            "\"direct_fallbacks\":{},\"background_shed\":{}}}}}"
         ),
         json_escape(app),
         seed,
@@ -338,6 +353,7 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         ownership_migrations,
         reissued_walks,
         deferred_events,
+        deferred_evictions,
         rerouted_messages,
         checkpoints_taken,
         restores_performed,
@@ -359,6 +375,13 @@ pub fn run_json(m: &RunMetrics, seed: u64) -> String {
         demand_lat.count(),
         demand_lat.mean(),
         demand_lat.percentile_bound(0.99),
+        evictions,
+        refaults,
+        thrash_trips,
+        pinned_skips,
+        no_victim,
+        direct_fallbacks,
+        background_shed,
     )
 }
 
@@ -469,6 +492,11 @@ mod tests {
             "retries_budgeted",
             "breaker_opens",
             "demand_lat",
+            "deferred_evictions",
+            "evictions",
+            "refaults",
+            "thrash_trips",
+            "direct_fallbacks",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}: {json}");
         }
@@ -570,6 +598,7 @@ mod tests {
             "ownership_migrations",
             "reissued_walks",
             "deferred_events",
+            "deferred_evictions",
             "rerouted_messages",
             "checkpoints_taken",
             "restores_performed",
@@ -591,6 +620,15 @@ mod tests {
             "forward_skipped_congested",
             "demand_lat",
             "p99_bound",
+            // oversubscription / eviction
+            "oversub",
+            "evictions",
+            "refaults",
+            "thrash_trips",
+            "pinned_skips",
+            "no_victim",
+            "direct_fallbacks",
+            "background_shed",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing {key}: {json}");
         }

@@ -35,9 +35,9 @@ pub use workloads;
 pub mod prelude {
     pub use mgpu::workload::{Access, AccessStream, Workload};
     pub use mgpu::{
-        run_with_restore, ComponentEvent, FaultPlan, OverloadConfig, OverloadStats, RecoveryStats,
-        ResilienceStats, RestoreOutcome, RunMetrics, SimError, System, SystemConfig, TransFwKnobs,
-        WatchdogConfig,
+        run_with_restore, ComponentEvent, FaultPlan, OverloadConfig, OverloadStats, OversubConfig,
+        OversubStats, RecoveryStats, ResilienceStats, RestoreOutcome, RunMetrics, SimError, System,
+        SystemConfig, TransFwKnobs, WatchdogConfig,
     };
     pub use transfw::TransFwConfig;
     pub use workloads;

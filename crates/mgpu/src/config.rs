@@ -206,6 +206,11 @@ pub struct SystemConfig {
     /// is disabled, which keeps every run bit-identical to a build without
     /// the subsystem (see [`OverloadConfig`](crate::OverloadConfig)).
     pub overload: crate::overload::OverloadConfig,
+    /// Oversubscription knobs: per-GPU capacity, eviction policy and
+    /// thrash detection. The default is disabled (capacity treated as
+    /// infinite), which keeps every run bit-identical to a build without
+    /// the subsystem (see [`OversubConfig`](crate::OversubConfig)).
+    pub oversub: crate::oversub::OversubConfig,
     /// Deterministic simulation seed.
     pub seed: u64,
 }
@@ -252,6 +257,7 @@ impl Default for SystemConfig {
             watchdog: WatchdogConfig::default(),
             sanitize: false,
             overload: crate::overload::OverloadConfig::default(),
+            oversub: crate::oversub::OversubConfig::default(),
             seed: 0xBEEF,
         }
     }
@@ -325,6 +331,9 @@ impl SystemConfig {
         }
         if self.overload.enabled {
             self.overload.validate();
+        }
+        if self.oversub.enabled {
+            self.oversub.validate();
         }
     }
 
@@ -495,6 +504,10 @@ impl SystemConfigBuilder {
     setter!(
         /// Overload-control knobs.
         overload: crate::overload::OverloadConfig
+    );
+    setter!(
+        /// Oversubscription knobs.
+        oversub: crate::oversub::OversubConfig
     );
     setter!(
         /// Simulation seed.

@@ -204,6 +204,26 @@ impl System {
             self.events.push(until, retry);
             return;
         }
+        // Thrash detection: classify the fault (refault = the page was
+        // evicted within the refault window) and, while the gate is
+        // engaged, serve cold faults by host-mediated direct access — map
+        // the page where it lives, no migration, no eviction — instead of
+        // deepening the collapse. Inert while oversubscription is off.
+        let was_refault = self.oversub.note_fault(g, vpn, now);
+        if self.oversub.active() {
+            let at_capacity = self.evictor.resident_count(g) >= self.oversub.capacity();
+            if self.oversub.prefer_direct_access(g, was_refault, at_capacity) {
+                let home = self.dir.home(vpn);
+                if home != Location::Gpu(g) {
+                    self.dir.add_remote_map(vpn, g);
+                }
+                if let Some(r) = self.reqs.get_mut(req) {
+                    r.resolved_loc = Some(home);
+                }
+                self.events.push(now, Event::FaultResolved { req });
+                return;
+            }
+        }
         // The directory commits the policy decision and hands back the
         // ownership transaction; the memory-system mirror (shootdowns, host
         // view, PRT/FT) is applied atomically in `apply_ownership_txn`.
@@ -224,6 +244,9 @@ impl System {
             // demand migration (no-op for non-prefetching policies).
             self.apply_prefetches(vpn, g, txn.source, now);
         }
+        // Capacity ceiling: the demand resolution (and its prefetches) may
+        // have pushed the destination over; evict back down to fit.
+        self.enforce_capacity(g);
         self.events.push(done_at, Event::FaultResolved { req });
     }
 

@@ -47,6 +47,7 @@ pub mod gmmu;
 pub mod host;
 pub mod metrics;
 pub mod overload;
+pub mod oversub;
 pub mod placement;
 pub mod protocol;
 pub mod recovery;
@@ -66,6 +67,7 @@ pub use metrics::{
     LatencyBreakdown, PlacementStats, RecoveryStats, ResilienceStats, RunMetrics, SharingProfile,
 };
 pub use overload::{OverloadConfig, OverloadControl, OverloadStats};
+pub use oversub::{OversubConfig, OversubControl, OversubStats};
 pub use protocol::{ProtocolEvent, ProtocolNote, ProtocolTables};
 pub use recovery::{run_with_restore, RestoreOutcome};
 pub use sim_core::{CheckpointLog, ComponentEvent, EpochCheckpoint, FaultPlan, SimError};

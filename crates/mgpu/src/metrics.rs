@@ -258,6 +258,10 @@ pub struct RecoveryStats {
     /// Events deferred because their target component was offline (the
     /// warm-up cost a rejoining GPU pays).
     pub deferred_events: u64,
+    /// Recovery evictions deferred because the page was pinned by an
+    /// outstanding request (a forwarded walk still in flight); completed
+    /// when the last request on the page retires, or cancelled at rejoin.
+    pub deferred_evictions: u64,
     /// Peer messages rerouted through the host because the direct link was
     /// partitioned.
     pub rerouted_messages: u64,
@@ -327,6 +331,10 @@ pub struct RunMetrics {
     /// retry-budget and backoff accounting, breaker transitions, and the
     /// demand-walk latency tail (all zero while overload control is off).
     pub overload: crate::overload::OverloadStats,
+    /// Oversubscription counters: capacity evictions, refaults, thrash-gate
+    /// trips, pinned-victim skips and direct-access fallbacks (all zero
+    /// while oversubscription is off).
+    pub oversub: crate::oversub::OversubStats,
 }
 
 impl RunMetrics {

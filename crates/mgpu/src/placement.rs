@@ -27,6 +27,11 @@ impl System {
     /// atomicity on the spot.
     pub(crate) fn apply_ownership_txn(&mut self, txn: &OwnershipTransaction) {
         protocol::commit_ownership(self, txn);
+        if self.oversub.active() {
+            // Mirror the committed move into the eviction engine's
+            // residency/recency tracking.
+            self.evictor.apply_txn(txn, self.now);
+        }
         if self.cfg.sanitize {
             self.sanitize_commit(txn);
         }
@@ -92,6 +97,11 @@ impl System {
             // Admission control sheds prefetch traffic first: the demand
             // migration already happened, only the speculative pull is lost.
             self.overload.stats.prefetch_shed += neighborhood.len() as u64;
+            return;
+        }
+        if self.oversub.shed_background(gpu, uvm::TrafficClass::Prefetch) {
+            // Thrash gate: speculative pulls into a thrashing GPU would be
+            // the first pages evicted back out.
             return;
         }
         // Snapshot the pending state of the whole neighborhood up front:

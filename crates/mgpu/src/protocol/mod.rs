@@ -45,6 +45,8 @@ pub enum ProtocolNote {
     FtInvalidation,
     /// A PRT was rebuilt from the directory at rejoin.
     PrtRebuild,
+    /// A page was evicted to stay under the oversubscription capacity.
+    CapacityEviction,
 }
 
 /// The table state the forwarding protocol mutates, as fine-grained hooks.
@@ -276,6 +278,33 @@ pub fn evict_tables<T: ProtocolTables + ?Sized>(t: &mut T, gpu: GpuId, report: &
     for &(vpn, holder) in &report.invalidate {
         unmap_page(t, holder, vpn);
     }
+}
+
+/// Evicts a single page from a *live* GPU: the eviction report is mirrored
+/// into the shared tables exactly as a recovery eviction would be
+/// ([`evict_tables`]), and then — unlike recovery, where the victim's
+/// tables are flushed wholesale — the evicting GPU's own local mapping is
+/// destroyed, PRT departure included, so no stale short-circuit survives.
+pub fn evict_page<T: ProtocolTables + ?Sized>(
+    t: &mut T,
+    gpu: GpuId,
+    vpn: u64,
+    report: &EvictionReport,
+) {
+    evict_tables(t, gpu, report);
+    unmap_page(t, gpu, vpn);
+}
+
+/// A capacity-bounded eviction: [`evict_page`] plus the metric note the
+/// oversubscription subsystem counts.
+pub fn capacity_evict<T: ProtocolTables + ?Sized>(
+    t: &mut T,
+    gpu: GpuId,
+    vpn: u64,
+    report: &EvictionReport,
+) {
+    evict_page(t, gpu, vpn, report);
+    t.note(ProtocolNote::CapacityEviction);
 }
 
 /// Flushes an offline GPU's local tables wholesale: page table, caches and

@@ -61,6 +61,10 @@ pub enum Mutation {
     /// The prefetcher ignores the pending-VPN snapshot and maps a page the
     /// directory declined to hand over.
     PrefetchPendingVpn,
+    /// A capacity eviction drops the evictor's local mapping but forgets the
+    /// remote TLB/FT invalidation fan-out: the host PT keeps pointing at the
+    /// evicted copy and the FT keeps naming the evictor as an owner.
+    SkipTlbShootdownOnEvict,
 }
 
 /// A tiny closed configuration for exhaustive exploration.
@@ -81,6 +85,11 @@ pub struct ModelConfig {
     /// Optional component failure: this GPU may be evicted (and later
     /// rejoin) at any point of the interleaving.
     pub failure: Option<GpuId>,
+    /// Optional per-GPU page capacity: while a GPU holds more resident
+    /// pages than this, a capacity eviction of any *unpinned* resident page
+    /// is enabled (the model explores every victim choice, subsuming every
+    /// deterministic policy). `None` = unbounded memory (no evictions).
+    pub capacity: Option<usize>,
 }
 
 impl ModelConfig {
@@ -110,6 +119,7 @@ impl ModelConfig {
             reqs,
             warm,
             failure: None,
+            capacity: None,
         }
     }
 
@@ -126,6 +136,15 @@ impl ModelConfig {
     #[must_use]
     pub fn cold(mut self) -> Self {
         self.warm = vec![None; self.vpns as usize];
+        self
+    }
+
+    /// Enables the capacity-eviction dimension: any GPU holding more than
+    /// `pages` resident pages may evict an unpinned one at any point.
+    #[must_use]
+    pub fn with_capacity(mut self, pages: usize) -> Self {
+        assert!(pages > 0, "capacity must be positive");
+        self.capacity = Some(pages);
         self
     }
 }
@@ -230,6 +249,15 @@ pub enum Action {
     Evict(GpuId),
     /// The failed GPU rejoins (PRT rebuild from the directory).
     Rejoin(GpuId),
+    /// A GPU over its page capacity evicts one unpinned resident page
+    /// through the live-eviction transition
+    /// ([`crate::protocol::capacity_evict`]).
+    CapacityEvict {
+        /// The over-capacity GPU shedding the page.
+        gpu: GpuId,
+        /// The victim page.
+        vpn: u64,
+    },
 }
 
 impl Action {
@@ -249,6 +277,7 @@ impl Action {
             Action::DeliverReply(i) => format!("reply {i}"),
             Action::Evict(g) => format!("evict {g}"),
             Action::Rejoin(g) => format!("rejoin {g}"),
+            Action::CapacityEvict { gpu, vpn } => format!("cap-evict {gpu} {vpn}"),
         }
     }
 
@@ -278,9 +307,16 @@ impl Action {
             "reply" => Action::DeliverReply(arg.parse().ok()?),
             "evict" => Action::Evict(arg.parse().ok()?),
             "rejoin" => Action::Rejoin(arg.parse().ok()?),
+            "cap-evict" => {
+                let gpu = arg.parse().ok()?;
+                let vpn = parts.next()?.parse().ok()?;
+                Action::CapacityEvict { gpu, vpn }
+            }
             _ => return None,
         };
-        if parts.next().is_some() && !matches!(action, Action::HostArrive { .. }) {
+        if parts.next().is_some()
+            && !matches!(action, Action::HostArrive { .. } | Action::CapacityEvict { .. })
+        {
             return None;
         }
         Some(action)
@@ -321,6 +357,8 @@ pub struct ProtocolState {
     reqs: Vec<ModelReq>,
     /// The failure dimension, copied from the configuration.
     failure: Option<GpuId>,
+    /// The capacity-eviction dimension, copied from the configuration.
+    capacity: Option<usize>,
     /// Invariant violations observed so far, tagged `tag: detail`.
     violations: Vec<String>,
     /// Active deliberate defect, if any.
@@ -458,6 +496,7 @@ impl ProtocolState {
             walkers: vec![0; cfg.gpus as usize],
             reqs: Vec::new(),
             failure: cfg.failure,
+            capacity: cfg.capacity,
             violations: Vec::new(),
             mutation: None,
             initial_ft: DetMap::new(),
@@ -588,7 +627,36 @@ impl ProtocolState {
                 out.push(Action::Rejoin(g));
             }
         }
+        if let Some(cap) = self.capacity {
+            for g in 0..self.gpus {
+                if self.offline[g as usize] {
+                    continue;
+                }
+                let resident = self.dir.resident_vpns_on(g);
+                if resident.len() <= cap {
+                    continue;
+                }
+                for vpn in resident {
+                    if !self.vpn_pinned(vpn) {
+                        out.push(Action::CapacityEvict { gpu: g, vpn });
+                    }
+                }
+            }
+        }
         out
+    }
+
+    /// The model's pin rule, mirroring `System::outstanding_vpns`: a page
+    /// is pinned from the moment a request on it is created until that
+    /// request retires — an in-flight forwarded walk, host walk, supply or
+    /// reply keeps its page unevictable everywhere. (Messages that outlive
+    /// a retired request — duplicate supplies, late notifies — do NOT pin,
+    /// exactly as in the simulator; the explorer races them against
+    /// evictions.)
+    fn vpn_pinned(&self, vpn: u64) -> bool {
+        self.reqs
+            .iter()
+            .any(|r| r.vpn == vpn && r.phase != Phase::Start && !r.completed)
     }
 
     /// Whether `a` is a pure absorb: it consumes one of its own request's
@@ -627,6 +695,7 @@ impl ProtocolState {
             Action::DeliverReply(i) => self.do_deliver_reply(i),
             Action::Evict(g) => self.do_evict(g),
             Action::Rejoin(g) => self.do_rejoin(g),
+            Action::CapacityEvict { gpu, vpn } => self.do_capacity_evict(gpu, vpn),
         }
     }
 
@@ -922,6 +991,23 @@ impl ProtocolState {
         self.offline[g as usize] = false;
         let resident = self.dir.resident_vpns_on(g);
         protocol::rejoin_prt(self, g, &resident);
+    }
+
+    /// Mirrors `System::enforce_capacity`'s per-victim step: the directory
+    /// drops the resident copy and the live-eviction transition fans the
+    /// invalidations out (remote unmaps, host PT/TLB, FT keys, then the
+    /// evictor's own mapping).
+    fn do_capacity_evict(&mut self, g: GpuId, vpn: u64) {
+        let Some(report) = self.dir.evict_page(vpn, g) else {
+            return; // enablement raced a concurrent move: nothing resident
+        };
+        if self.mutation == Some(Mutation::SkipTlbShootdownOnEvict) {
+            // The defect: only the local mapping dies; the remote TLB/FT
+            // invalidation fan-out (evict_tables) is forgotten.
+            protocol::unmap_page(self, g, vpn);
+            return;
+        }
+        protocol::capacity_evict(self, g, vpn, &report);
     }
 
     /// Retires request `i`; `checked_loc` (when given) runs the

@@ -229,9 +229,22 @@ impl System {
         // Ownership migration through the directory, with the FT entries
         // keyed to the victim invalidated in the same step — the host must
         // stop forwarding to the dead GPU immediately (forwards already in
-        // flight are refused by the interceptor).
-        let report = self.dir.evict_gpu(g);
+        // flight are refused by the interceptor). Pages with an outstanding
+        // request (a PRT-pending fault or an in-flight forwarded walk) are
+        // *pinned*: migrating their ownership mid-walk would let a late
+        // supply resurrect a mapping the eviction tore down, so they are
+        // deferred until their last request retires (`unpin_vpn`).
+        let pins = self.pin_set();
+        let report = self.dir.evict_gpu_pinned(g, &pins);
+        for &vpn in &report.deferred {
+            self.pending_evict.insert(vpn, g);
+        }
+        self.metrics.recovery.deferred_evictions += report.deferred.len() as u64;
         protocol::evict_tables(self, g, &report);
+        if self.oversub.active() {
+            self.evictor.on_gpu_offline(g);
+            self.oversub.on_gpu_offline(g);
+        }
 
         // An evicted peer takes its circuit breaker down with it: any
         // half-open probes aimed at it are drained (their in-flight forwards
@@ -263,6 +276,13 @@ impl System {
         // re-issued and deferred walks migrate them back in).
         let resident = self.dir.resident_vpns_on(g);
         protocol::rejoin_prt(self, g, &resident);
+        // Evictions deferred by the pin set are cancelled: the rejoining
+        // GPU's deferred and re-issued walks re-resolve against fresh
+        // placement and may legitimately migrate those pages back in.
+        self.pending_evict.retain(|_, &mut owner| owner != g);
+        if self.oversub.active() {
+            self.evictor.sync_residency(g, &resident, self.now);
+        }
         self.events.push(self.now, Event::GmmuDispatch { gpu: g });
     }
 
@@ -369,6 +389,14 @@ impl System {
         }
         d.mix(self.dir.state_digest());
         d.mix(self.overload.digest());
+        d.mix(self.oversub.digest());
+        d.mix(self.evictor.state_digest());
+        for (&vpn, &c) in self.outstanding_vpns.iter() {
+            d.mix(vpn + 1).mix(u64::from(c));
+        }
+        for (&vpn, &g) in self.pending_evict.iter() {
+            d.mix(vpn + 1).mix(u64::from(g));
+        }
         d.finish()
     }
 }

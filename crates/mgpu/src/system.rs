@@ -180,6 +180,23 @@ pub struct System {
     /// Overload-control plane: admission gates, retry budgets, breakers.
     /// Inert (no RNG draws, no events) when `cfg.overload.enabled` is off.
     pub(crate) overload: crate::overload::OverloadControl,
+    /// Oversubscription control plane: thrash detection and degradation
+    /// policy. Inert when `cfg.oversub.enabled` is off.
+    pub(crate) oversub: crate::oversub::OversubControl,
+    /// Per-GPU residency/recency tracker and victim selector. Only
+    /// consulted and updated while oversubscription is enabled.
+    pub(crate) evictor: uvm::EvictionEngine,
+    /// Outstanding translation requests per VPN — the pin set. A page with
+    /// a PRT-pending fault or an in-flight forwarded walk must never be
+    /// evicted (capacity or recovery): the supplied translation would
+    /// resurrect a mapping the eviction just tore down. Pure bookkeeping
+    /// (no RNG), maintained unconditionally so the recovery path honours
+    /// it even with oversubscription off.
+    pub(crate) outstanding_vpns: sim_core::DetMap<u64, u32>,
+    /// Recovery evictions deferred because the page was pinned: VPN → the
+    /// offline GPU it still must be evicted from. Completed when the last
+    /// outstanding request on the VPN retires; cancelled at rejoin.
+    pub(crate) pending_evict: sim_core::DetMap<u64, GpuId>,
 }
 
 impl System {
@@ -275,6 +292,10 @@ impl System {
             checkpoint_sink: None,
             sanitizer_violations: Vec::new(),
             overload: crate::overload::OverloadControl::new(&cfg.overload, cfg.gpus, cfg.seed),
+            oversub: crate::oversub::OversubControl::new(&cfg.oversub, cfg.gpus, cfg.seed),
+            evictor: uvm::EvictionEngine::new(cfg.oversub.policy, cfg.gpus),
+            outstanding_vpns: sim_core::DetMap::new(),
+            pending_evict: sim_core::DetMap::new(),
             now: 0,
             events: EventQueue::with_capacity(1 << 14),
             gpus,
@@ -360,6 +381,19 @@ impl System {
                 for vpn in 0..t_pages {
                     gpu.pt.insert(vpn, Pte::new(vpn, Location::Gpu(g as GpuId)));
                 }
+            }
+        }
+
+        // Oversubscription: seed the eviction engine's residency tracking
+        // from the warm placement, then trim any GPU whose warm set already
+        // overflows its capacity.
+        if self.oversub.active() {
+            for g in 0..self.cfg.gpus {
+                let resident = self.dir.resident_vpns_on(g);
+                self.evictor.sync_residency(g, &resident, 0);
+            }
+            for g in 0..self.cfg.gpus {
+                self.enforce_capacity(g);
             }
         }
 
@@ -694,13 +728,53 @@ impl System {
         };
         r.completed = true;
         r.retire_count += 1;
-        let born = r.born;
+        let (born, vpn, gpu) = (r.born, r.vpn, r.gpu);
         self.metrics.resilience.requests_retired += 1;
         // Latency-tail accounting (recorded only while overload control is
         // enabled, so disabled metrics stay at `Default`).
         self.overload.note_demand_latency(self.now.saturating_sub(born));
+        self.unpin_vpn(vpn);
+        if self.oversub.active() {
+            self.evictor.note_touch(gpu, vpn, self.now);
+        }
         if self.cfg.sanitize {
             self.sanitize_retire(req);
+        }
+    }
+
+    /// Releases one pin on `vpn`; when the last outstanding request on the
+    /// page retires, a recovery eviction deferred by the pin (the page's
+    /// forwarded walk was still in flight when its GPU went offline) is
+    /// completed against the directory's current state.
+    fn unpin_vpn(&mut self, vpn: u64) {
+        let emptied = match self.outstanding_vpns.get_mut(&vpn) {
+            Some(c) => {
+                *c = c.saturating_sub(1);
+                *c == 0
+            }
+            None => {
+                debug_assert!(false, "unpin of untracked vpn {vpn}");
+                false
+            }
+        };
+        if !emptied {
+            return;
+        }
+        self.outstanding_vpns.remove(&vpn);
+        let Some(g) = self.pending_evict.remove(&vpn) else {
+            return;
+        };
+        // Rejoin cancels its pending evictions, so the GPU is still down;
+        // the guard only protects against a page that already migrated away
+        // (evict_page finds nothing to do and returns None).
+        if self
+            .offline_until
+            .get(usize::from(g))
+            .is_some_and(Option::is_some)
+        {
+            if let Some(report) = self.dir.evict_page(vpn, g) {
+                protocol::evict_tables(self, g, &report);
+            }
         }
     }
 
@@ -821,6 +895,7 @@ impl System {
             MshrOutcome::Primary => {
                 let born = self.now + l2_lat;
                 let req = self.reqs.create(tvpn, wf.gpu, a.is_write, born);
+                *self.outstanding_vpns.entry(tvpn).or_insert(0) += 1;
                 self.metrics.translation_requests += 1;
                 // Fresh demand traffic funds the GPU's retry budget.
                 self.overload.on_fresh_demand(wf.gpu);
@@ -928,6 +1003,9 @@ impl System {
                 // outright (a later access can always re-trigger it).
                 if self.overload.shed_background(uvm::TrafficClass::Migration) {
                     self.overload.stats.migration_shed += 1;
+                } else if self.oversub.shed_background(gpu, uvm::TrafficClass::Migration) {
+                    // Thrash gate: pulling more pages into a thrashing GPU
+                    // only deepens the collapse; the access stays remote.
                 } else if let Some(outcome) = self.dir.record_remote_access(vpn, gpu) {
                     self.apply_background_migration(vpn, gpu, outcome);
                 }
@@ -970,6 +1048,64 @@ impl System {
         });
         protocol::map_page(self, to, vpn, Location::Gpu(to));
         protocol::migrate_home(self, vpn, outcome.source.gpu(), to);
+        if self.oversub.active() {
+            // Mirror the background move into the eviction engine and keep
+            // the destination under its capacity ceiling.
+            for &v in &outcome.invalidations {
+                self.evictor.note_evicted(v, vpn);
+            }
+            if let Some(s) = outcome.source.gpu() {
+                if s != to {
+                    self.evictor.note_evicted(s, vpn);
+                }
+            }
+            self.evictor.note_resident(to, vpn, now);
+            self.enforce_capacity(to);
+        }
+    }
+
+    /// The pin set: every VPN with an outstanding translation request
+    /// (PRT-pending fault or in-flight forwarded walk) is exempt from
+    /// eviction.
+    pub(crate) fn pin_set(&self) -> sim_core::DetSet<u64> {
+        let mut s = sim_core::DetSet::new();
+        for &vpn in self.outstanding_vpns.keys() {
+            s.insert(vpn);
+        }
+        s
+    }
+
+    /// Evicts pages from `g` until its tracked residency fits the
+    /// oversubscription capacity. Victims flow through the shared protocol
+    /// transition ([`protocol::capacity_evict`]) so PRT/FT/TLB/host-PT
+    /// invalidation reuses the recovery plumbing. Degrades gracefully: when
+    /// every candidate is pinned or protected the loop stops (the GPU runs
+    /// over capacity briefly) instead of evicting a page mid-walk.
+    pub(crate) fn enforce_capacity(&mut self, g: GpuId) {
+        if !self.oversub.active() {
+            return;
+        }
+        let cap = self.oversub.capacity();
+        while self.evictor.resident_count(g) > cap {
+            let pins = self.pin_set();
+            let pick =
+                self.evictor
+                    .select_victim(g, &self.dir, &pins, self.oversub.hot_protect(g));
+            self.oversub.note_pinned_skips(pick.pinned_skipped);
+            let Some(victim) = pick.victim else {
+                self.oversub.note_no_victim();
+                return;
+            };
+            self.evictor.note_evicted(g, victim);
+            let Some(report) = self.dir.evict_page(victim, g) else {
+                // The engine tracked a page the directory no longer places
+                // on `g` (stale after a racing move); dropping the tracking
+                // entry above already reconciled them.
+                continue;
+            };
+            protocol::capacity_evict(self, g, victim, &report);
+            self.oversub.note_evicted(g, victim, self.now);
+        }
     }
 
     /// Destroys GPU `g`'s local mapping of `vpn`: page table, PW-cache
@@ -1130,6 +1266,7 @@ impl System {
         // messages rerouted at the protocol layer.
         self.metrics.recovery.rerouted_messages += self.fabric.rerouted_count();
         self.metrics.overload = self.overload.take_stats();
+        self.metrics.oversub = self.oversub.take_stats();
         Ok(self.metrics)
     }
 }
@@ -1258,6 +1395,7 @@ impl ProtocolTables for System {
             ProtocolNote::OwnershipMigration => self.metrics.recovery.ownership_migrations += 1,
             ProtocolNote::FtInvalidation => self.metrics.recovery.ft_invalidations += 1,
             ProtocolNote::PrtRebuild => self.metrics.recovery.prt_rebuilds += 1,
+            ProtocolNote::CapacityEviction => self.oversub.stats.evictions += 1,
         }
     }
 }

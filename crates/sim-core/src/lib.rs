@@ -43,7 +43,7 @@ pub use det::{DetMap, DetSet};
 pub use error::SimError;
 pub use fault::{ComponentEvent, FaultInjector, FaultPlan, InjectStats, MessageFate};
 pub use migration::{MigrationEvent, MigrationKind, MigrationLog};
-pub use overload::{ExponentialBackoff, Hysteresis, TokenBucket};
+pub use overload::{ExponentialBackoff, Hysteresis, TokenBucket, WindowedCount};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 

@@ -189,6 +189,78 @@ impl Hysteresis {
     }
 }
 
+/// A sliding-window event counter over `Cycle` time: how many events were
+/// recorded in the trailing `window` cycles.
+///
+/// The thrash detector feeds refault events (a fault on a recently evicted
+/// page) into one of these and gates on the windowed count, so a burst of
+/// refaults engages the gate while ancient history ages out. Events are
+/// kept exactly (a deque of timestamps pruned on every operation), which
+/// keeps the count deterministic and replayable; memory is bounded by the
+/// number of events inside one window.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::WindowedCount;
+///
+/// let mut w = WindowedCount::new(100);
+/// w.record(10);
+/// w.record(50);
+/// assert_eq!(w.count(60), 2);
+/// assert_eq!(w.count(111), 1); // the event at 10 aged out
+/// assert_eq!(w.count(151), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedCount {
+    window: Cycle,
+    events: std::collections::VecDeque<Cycle>,
+}
+
+impl WindowedCount {
+    /// Creates an empty counter with the given window length in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0, "windowed counter needs a positive window");
+        Self {
+            window,
+            events: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn prune(&mut self, now: Cycle) {
+        let cutoff = now.saturating_sub(self.window);
+        while self.events.front().is_some_and(|&t| t <= cutoff) {
+            self.events.pop_front();
+        }
+    }
+
+    /// Records one event at `now`. Events must be fed in non-decreasing
+    /// time order (simulation time is monotone).
+    pub fn record(&mut self, now: Cycle) {
+        debug_assert!(
+            self.events.back().is_none_or(|&t| t <= now),
+            "windowed counter fed out of order"
+        );
+        self.prune(now);
+        self.events.push_back(now);
+    }
+
+    /// Events recorded in `(now - window, now]`, pruning aged-out entries.
+    pub fn count(&mut self, now: Cycle) -> usize {
+        self.prune(now);
+        self.events.len()
+    }
+
+    /// The retained event timestamps, oldest first (digests, diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = Cycle> + '_ {
+        self.events.iter().copied()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,5 +339,34 @@ mod tests {
         assert!(!g.observe(4));
         assert!(g.observe(5), "high wins the tie");
         assert!(!g.observe(4), "releases strictly below the watermark");
+    }
+
+    #[test]
+    fn windowed_count_ages_events_out() {
+        let mut w = WindowedCount::new(100);
+        assert_eq!(w.count(0), 0);
+        w.record(10);
+        w.record(10);
+        w.record(90);
+        assert_eq!(w.count(90), 3);
+        assert_eq!(w.count(110), 1, "events at 10 aged out at 110");
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![90]);
+        assert_eq!(w.count(189), 1, "boundary: 90 is still inside (189-100, 189]");
+        assert_eq!(w.count(190), 0, "boundary: 90 falls out of (190-100, 190]");
+    }
+
+    #[test]
+    fn windowed_count_record_prunes_too() {
+        let mut w = WindowedCount::new(10);
+        for t in [0u64, 5, 20] {
+            w.record(t);
+        }
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![20], "record pruned stale");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive window")]
+    fn windowed_count_rejects_zero_window() {
+        let _ = WindowedCount::new(0);
     }
 }

@@ -2,9 +2,11 @@
 //!
 //! With no arguments, verifies the standard small-scope certificate: the
 //! 2-GPU / 3-VPN / 2-in-flight configuration under all four placement
-//! policies, plus a component-failure configuration (GPU0 may be evicted
-//! and rejoin at any interleaving point). Exits non-zero on a violation
-//! or an exhausted budget, printing the minimized counterexample.
+//! policies, a component-failure configuration (GPU0 may be evicted and
+//! rejoin at any interleaving point), and a capacity-eviction
+//! configuration (any GPU over one resident page may evict an unpinned
+//! victim at any point). Exits non-zero on a violation or an exhausted
+//! budget, printing the minimized counterexample.
 
 use std::time::Instant; // simlint::allow(det-wallclock): harness timing only
 
@@ -39,6 +41,7 @@ struct Args {
     policy: Option<PolicyKind>,
     budget: usize,
     failure: Option<u16>,
+    capacity: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         policy: None,
         budget: CheckConfig::default().max_states,
         failure: None,
+        capacity: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,11 +77,15 @@ fn parse_args() -> Result<Args, String> {
                 args.failure =
                     Some(val("--failure")?.parse().map_err(|e| format!("--failure: {e}"))?);
             }
+            "--capacity" => {
+                args.capacity =
+                    Some(val("--capacity")?.parse().map_err(|e| format!("--capacity: {e}"))?);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: simcheck [--gpus N] [--vpns N] [--inflight N] \
                      [--policy first-touch|delayed-migration|read-duplicate|prefetch] \
-                     [--budget STATES] [--failure GPU]"
+                     [--budget STATES] [--failure GPU] [--capacity PAGES]"
                 );
                 std::process::exit(0);
             }
@@ -148,6 +156,9 @@ fn main() {
         if let Some(g) = args.failure {
             cfg = cfg.with_failure(g);
         }
+        if let Some(pages) = args.capacity {
+            cfg = cfg.with_capacity(pages);
+        }
         ok &= run_one(policy_name(policy), &cfg, &check_cfg);
     } else {
         // The standard certificate: all four policies, then the failure
@@ -164,6 +175,14 @@ fn main() {
         let failure = ModelConfig::small(args.gpus, args.vpns, 1, PolicyKind::FirstTouch)
             .with_failure(args.failure.unwrap_or(0));
         ok &= run_one("first-touch+failure", &failure, &check_cfg);
+        // The oversubscription certificate: every GPU over one resident page
+        // may shed any unpinned victim at any interleaving point, so the
+        // evict-vs-in-flight-forward race is explored exhaustively.
+        // (First-touch scope: the exact-count FT model would double-count a
+        // replica promoted to home, a benign lossiness in the real filter.)
+        let capacity = ModelConfig::small(args.gpus, args.vpns, args.inflight, PolicyKind::FirstTouch)
+            .with_capacity(args.capacity.unwrap_or(1));
+        ok &= run_one("first-touch+capacity", &capacity, &check_cfg);
     }
     if !ok {
         std::process::exit(1);

@@ -126,6 +126,22 @@ fn lost_generation_bump_is_found() {
 }
 
 #[test]
+fn skip_tlb_shootdown_on_evict_is_found() {
+    // A capacity eviction that forgets the remote TLB/FT invalidation
+    // fan-out: the directory re-homes the evicted page, but the host PT
+    // keeps pointing at the evicted copy and the FT keeps naming the
+    // evictor as an owner — the tables disagree at quiescence.
+    let mut cfg = ModelConfig::small(2, 3, 1, PolicyKind::FirstTouch).with_capacity(1);
+    cfg.reqs = vec![(1, 1, false)];
+    assert_found(
+        &cfg,
+        Mutation::SkipTlbShootdownOnEvict,
+        200_000,
+        "table-agreement",
+    );
+}
+
+#[test]
 fn prefetch_pending_vpn_is_found() {
     // The prefetcher maps a neighbor page the directory declined to hand
     // over (it is homed on a third party): the host PT and the directory

@@ -1,7 +1,7 @@
 //! The driver's centralised view of page placement.
 
 use ptw::{GpuId, Location};
-use sim_core::det::DetMap;
+use sim_core::det::{DetMap, DetSet};
 use sim_core::SimError;
 
 use crate::policy::{OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TxnKind};
@@ -112,6 +112,11 @@ pub struct EvictionReport {
     /// Stale remote mappings on *surviving* GPUs that pointed at physical
     /// memory on the evicted GPU and must be shot down.
     pub invalidate: Vec<(u64, GpuId)>,
+    /// Pages the eviction *skipped* because they were pinned (a forwarded
+    /// walk or PRT-pending fault still in flight). The caller must finish
+    /// them individually (see [`PageDirectory::evict_page`]) once the pin
+    /// drains, or drop them if ownership moved on in the meantime.
+    pub deferred: Vec<u64>,
 }
 
 impl EvictionReport {
@@ -121,6 +126,7 @@ impl EvictionReport {
             && self.dropped_replicas.is_empty()
             && self.dropped_remote_maps.is_empty()
             && self.invalidate.is_empty()
+            && self.deferred.is_empty()
     }
 }
 
@@ -556,12 +562,36 @@ impl PageDirectory {
     ///
     /// Panics if `gpu` is out of range.
     pub fn evict_gpu(&mut self, gpu: GpuId) -> EvictionReport {
+        self.evict_gpu_pinned(gpu, &DetSet::new())
+    }
+
+    /// [`evict_gpu`](Self::evict_gpu), but pages in `pins` whose placement
+    /// involves the evicted GPU are left untouched and reported in
+    /// [`EvictionReport::deferred`] instead. A pinned page has a walk in
+    /// flight against its current placement (a forwarded walk borrowing the
+    /// GPU's tables, or a PRT-pending fault); migrating its ownership out
+    /// from under that walk would let a stale translation retire. The
+    /// caller evicts each deferred page via [`evict_page`](Self::evict_page)
+    /// once its pin drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range.
+    pub fn evict_gpu_pinned(&mut self, gpu: GpuId, pins: &DetSet<u64>) -> EvictionReport {
         assert!(gpu < self.gpu_count, "gpu {gpu} out of range");
         let mut report = EvictionReport::default();
         let bit = 1u64 << gpu;
         // DetMap iterates in ascending VPN order: the report lists pages in
         // the same deterministic order on every run.
         for (&vpn, page) in self.pages.iter_mut() {
+            if pins.contains(&vpn)
+                && (page.home == Location::Gpu(gpu)
+                    || page.replicas & bit != 0
+                    || page.remote_maps & bit != 0)
+            {
+                report.deferred.push(vpn);
+                continue;
+            }
             if page.replicas & bit != 0 {
                 page.replicas &= !bit;
                 report.dropped_replicas.push(vpn);
@@ -600,6 +630,65 @@ impl PageDirectory {
             }
         }
         report
+    }
+
+    /// Evicts `gpu`'s copy of a single page — the capacity-eviction
+    /// primitive, and the finisher for a pin-deferred recovery eviction.
+    /// Exactly the per-page body of [`evict_gpu`](Self::evict_gpu): a
+    /// replica or remote mapping is dropped, a home copy is re-owned (the
+    /// lowest surviving replica is promoted, else the CPU backing copy),
+    /// and dangling remote maps are reported for shootdown.
+    ///
+    /// Returns `None` when `gpu` holds nothing for `vpn` (e.g. ownership
+    /// moved while a deferred eviction waited for its pin to drain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu` is out of range.
+    pub fn evict_page(&mut self, vpn: u64, gpu: GpuId) -> Option<EvictionReport> {
+        assert!(gpu < self.gpu_count, "gpu {gpu} out of range");
+        let bit = 1u64 << gpu;
+        let gpu_count = self.gpu_count;
+        let page = self.pages.get_mut(&vpn)?;
+        if page.home != Location::Gpu(gpu)
+            && page.replicas & bit == 0
+            && page.remote_maps & bit == 0
+        {
+            return None;
+        }
+        let mut report = EvictionReport::default();
+        if page.replicas & bit != 0 {
+            page.replicas &= !bit;
+            report.dropped_replicas.push(vpn);
+        }
+        if page.remote_maps & bit != 0 {
+            page.remote_maps &= !bit;
+            report.dropped_remote_maps.push(vpn);
+        }
+        if let Some(c) = page.access_counts.get_mut(gpu as usize) {
+            *c = 0;
+        }
+        if let Some(c) = page.fault_counts.get_mut(gpu as usize) {
+            *c = 0;
+        }
+        if page.home == Location::Gpu(gpu) {
+            let new_home = (0..gpu_count)
+                .find(|&g| page.replicas & (1 << g) != 0)
+                .map_or(Location::Cpu, |g| {
+                    page.replicas &= !(1 << g);
+                    Location::Gpu(g)
+                });
+            page.home = new_home;
+            self.stats.migrations += 1;
+            for g in 0..gpu_count {
+                if g != gpu && page.remote_maps & (1 << g) != 0 {
+                    report.invalidate.push((vpn, g));
+                }
+            }
+            page.remote_maps = 0;
+            report.migrated.push((vpn, new_home));
+        }
+        Some(report)
     }
 
     /// Every VPN with a resident copy (home or replica) on `gpu`, in
@@ -934,6 +1023,88 @@ mod tests {
         assert_eq!(a.state_digest(), b.state_digest());
         let second = a.evict_gpu(1);
         assert!(second.is_empty(), "second eviction finds nothing");
+    }
+
+    #[test]
+    fn evict_gpu_pinned_defers_pinned_pages() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::OnTouch);
+        d.resolve_fault(7, 2, false);
+        d.resolve_fault(9, 2, false);
+        d.resolve_fault(11, 0, false);
+        let mut pins = DetSet::new();
+        pins.insert(9); // a forwarded walk on vpn 9 is still in flight
+        pins.insert(11); // pinned but not involving GPU 2: not deferred
+        let report = d.evict_gpu_pinned(2, &pins);
+        assert_eq!(report.migrated, vec![(7, Location::Cpu)]);
+        assert_eq!(report.deferred, vec![9], "pinned page skipped, not migrated");
+        assert_eq!(d.home(9), Location::Gpu(2), "deferred page untouched");
+        assert_eq!(d.home(11), Location::Gpu(0));
+        // Once the pin drains, the caller finishes the page individually.
+        let fin = d.evict_page(9, 2).expect("still held");
+        assert_eq!(fin.migrated, vec![(9, Location::Cpu)]);
+        assert_eq!(d.home(9), Location::Cpu);
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_page_drops_a_single_replica() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false); // home on 0
+        d.resolve_fault(5, 1, false); // replica on 1
+        let report = d.evict_page(5, 1).expect("replica held");
+        assert_eq!(report.dropped_replicas, vec![5]);
+        assert!(report.migrated.is_empty());
+        assert!(d.is_resident(5, 0));
+        assert!(!d.is_resident(5, 1));
+        assert!(d.evict_page(5, 1).is_none(), "second eviction finds nothing");
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_page_promotes_replica_and_invalidates_danglers() {
+        let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+        d.resolve_fault(5, 0, false); // home on 0
+        d.resolve_fault(5, 2, false); // replica on 2
+        d.add_remote_map(5, 3); // a Trans-FW supply registered on 3
+        let report = d.evict_page(5, 0).expect("home held");
+        assert_eq!(report.migrated, vec![(5, Location::Gpu(2))]);
+        assert_eq!(report.invalidate, vec![(5, 3)], "dangling map shot down");
+        assert_eq!(d.home(5), Location::Gpu(2));
+        assert_eq!(d.page(5).unwrap().remote_maps, 0);
+        d.audit().unwrap();
+    }
+
+    #[test]
+    fn evict_page_matches_evict_gpu_per_page_effects() {
+        let build = || {
+            let mut d = PageDirectory::new(4, MigrationPolicy::ReadReplication);
+            d.resolve_fault(3, 1, false);
+            d.resolve_fault(3, 2, false);
+            d.resolve_fault(8, 1, false);
+            d.add_remote_map(12, 1);
+            d
+        };
+        let mut whole = build();
+        let gpu_report = whole.evict_gpu(1);
+        let mut single = build();
+        let mut merged = EvictionReport::default();
+        for vpn in [3u64, 8, 12] {
+            if let Some(r) = single.evict_page(vpn, 1) {
+                merged.migrated.extend(r.migrated);
+                merged.dropped_replicas.extend(r.dropped_replicas);
+                merged.dropped_remote_maps.extend(r.dropped_remote_maps);
+                merged.invalidate.extend(r.invalidate);
+            }
+        }
+        assert_eq!(merged, gpu_report);
+        assert_eq!(whole.state_digest(), single.state_digest());
+    }
+
+    #[test]
+    fn evict_page_on_untouched_page_is_none() {
+        let mut d = PageDirectory::new(2, MigrationPolicy::OnTouch);
+        assert!(d.evict_page(5, 0).is_none());
+        assert_eq!(d.stats().migrations, 0);
     }
 
     #[test]

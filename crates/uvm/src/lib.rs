@@ -24,12 +24,14 @@
 
 pub mod directory;
 pub mod driver;
+pub mod evict;
 pub mod policy;
 
 pub use directory::{
     DirectoryStats, EvictionReport, FaultAction, FaultOutcome, MigrationPolicy, PageDirectory,
     PageState,
 };
+pub use evict::{EvictPolicy, EvictionEngine, VictimPick};
 pub use driver::{DriverBatch, DriverConfig, UvmDriver};
 pub use policy::{
     OwnershipTransaction, PlacementPolicy, PolicyDecision, PolicyKind, TrafficClass, TxnKind,

@@ -29,11 +29,13 @@
 
 pub mod burst;
 pub mod ml;
+pub mod oversub;
 pub mod phase;
 pub mod spec;
 
 pub use burst::{burst, Burst};
 pub use ml::{resnet18, vgg16, MlModel};
+pub use oversub::{oversub_shift, OversubShift};
 pub use phase::{phase_shift, PhaseShift};
 pub use spec::{AppSpec, Pattern};
 
