@@ -5,7 +5,9 @@
 //! Every run executes under the invariant auditor inside `System::run`, and
 //! this driver additionally enforces retire-exactly-once and completion for
 //! each cell. The per-run robustness counters are written to
-//! `BENCH_CHAOS_SOAK.json` (see `experiments::run_json`).
+//! `BENCH_CHAOS_SOAK.json` (see `experiments::run_json`). The same matrix
+//! is committed declaratively as `scenarios/chaos_soak.scn` for the `scnd`
+//! experiment server.
 //!
 //! ```sh
 //! cargo run --release -p experiments --bin chaos_soak [SCALE] [SEEDS] [--sanitize]
@@ -18,7 +20,9 @@
 //! way.
 
 use experiments::runner::{parallel_map, runs_json};
-use mgpu::{ComponentEvent, FaultPlan, RunMetrics, System, SystemConfig};
+use experiments::RunSpec;
+use mgpu::{ComponentEvent, FaultPlan, RunMetrics, SystemConfig};
+use workloads::WorkloadSpec;
 
 fn scenarios() -> Vec<(&'static str, FaultPlan)> {
     let offline = |gpu, at_cycle, duration| ComponentEvent::GpuOffline {
@@ -90,25 +94,29 @@ fn main() {
     let total = cells.len();
 
     let runs: Vec<(u64, RunMetrics)> = parallel_map(cells, |(scenario, plan, app_name, seed)| {
-        let app = workloads::app(app_name)
-            .unwrap_or_else(|| panic!("unknown app {app_name}"))
-            .scaled(scale);
+        let workload = WorkloadSpec::app(app_name, scale)
+            .unwrap_or_else(|| panic!("unknown app {app_name}"));
+        let expected_insns = {
+            let app = workloads::app(app_name).expect("known app").scaled(scale);
+            (app.ctas * app.accesses_per_cta) as u64
+        };
         let mut cfg = SystemConfig::with_transfw();
-        cfg.seed = seed;
         cfg.faults = plan;
         cfg.checkpoint_interval = Some(2_000);
         cfg.sanitize = sanitize;
-        let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
-            panic!("chaos soak: {scenario}/{app_name} seed {seed} failed: {e}");
-        });
+        let spec = RunSpec::new(cfg, workload)
+            .labeled(format!("{scenario}/{app_name} seed {seed}"))
+            .with_seed(seed);
+        let m = spec.run_or_panic("chaos soak");
         assert_eq!(
             m.resilience.requests_retired, m.translation_requests,
-            "{scenario}/{app_name} seed {seed}: must retire every request exactly once"
+            "{}: must retire every request exactly once",
+            spec.label
         );
         assert_eq!(
-            m.mem_instructions,
-            (app.ctas * app.accesses_per_cta) as u64,
-            "{scenario}/{app_name} seed {seed}: lost instructions"
+            m.mem_instructions, expected_insns,
+            "{}: lost instructions",
+            spec.label
         );
         eprintln!(
             "[chaos-soak] {scenario:>14}/{app_name:<3} seed {seed}: {} cycles, \

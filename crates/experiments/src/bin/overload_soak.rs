@@ -12,14 +12,18 @@
 //! * the demand-latency p99 bound stays under the run length.
 //!
 //! The per-run counters (including the `overload` block) are written to
-//! `BENCH_OVERLOAD.json` (see `experiments::run_json`).
+//! `BENCH_OVERLOAD.json` (see `experiments::run_json`). The same matrix is
+//! committed declaratively as `scenarios/overload_soak.scn` for the `scnd`
+//! experiment server.
 //!
 //! ```sh
 //! cargo run --release -p experiments --bin overload_soak [SCALE] [SEEDS]
 //! ```
 
 use experiments::runner::{parallel_map, runs_json};
-use mgpu::{FaultPlan, OverloadConfig, RunMetrics, System, SystemConfig, TransFwKnobs};
+use experiments::{soak_fault_plans, soak_tables, RunSpec};
+use mgpu::{OverloadConfig, RunMetrics, SystemConfig};
+use workloads::WorkloadSpec;
 
 /// Watermarks tuned for soak-scale queues (the shipped defaults are sized
 /// for full-scale runs and would never engage at a CI-sized scale).
@@ -37,30 +41,6 @@ fn soak_overload() -> OverloadConfig {
     }
 }
 
-/// PRT/FT sized up for the burst workload's migration churn: the
-/// paper-sized 500-entry tables accumulate enough fingerprint-collision
-/// deletes at soak scale to trip the post-run PRT audit, independent of
-/// the overload subsystem.
-fn soak_tables() -> TransFwKnobs {
-    let mut k = TransFwKnobs::full();
-    k.config.prt_fingerprints = 2_000;
-    k.config.prt_fp_bits = 16;
-    k.config.ft_fingerprints = 4_000;
-    k.config.ft_fp_bits = 14;
-    k
-}
-
-fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        ("clean", FaultPlan::none()),
-        ("loss", FaultPlan::message_loss(seed.wrapping_mul(31) + 7, 0.02)),
-        (
-            "chaos",
-            FaultPlan::message_chaos(seed.wrapping_mul(37) + 11, 0.02, 200),
-        ),
-    ]
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
@@ -70,7 +50,7 @@ fn main() {
 
     let mut cells = Vec::new();
     for seed in 1..=seeds.max(1) {
-        for (plan_name, plan) in plans(seed) {
+        for (plan_name, plan) in soak_fault_plans(seed) {
             for load in [1u64, 2, 4, 8] {
                 cells.push((plan_name, plan.clone(), load, seed));
             }
@@ -79,7 +59,6 @@ fn main() {
     let total = cells.len();
 
     let runs: Vec<(u64, RunMetrics)> = parallel_map(cells, |(plan_name, plan, load, seed)| {
-        let app = workloads::burst().scaled(scale).with_load(load);
         let cfg = SystemConfig::builder()
             .gpus(4)
             .cus_per_gpu(4)
@@ -90,28 +69,32 @@ fn main() {
             .overload(soak_overload())
             .faults(plan)
             .build();
-        let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
-            panic!("overload soak: {plan_name}/{load}x seed {seed} failed: {e}");
-        });
+        let spec = RunSpec::new(cfg, WorkloadSpec::Burst { scale, load })
+            .labeled(format!("{plan_name}/{load}x seed {seed}"));
+        let m = spec.run_or_panic("overload soak");
         assert_eq!(
             m.resilience.requests_retired, m.translation_requests,
-            "{plan_name}/{load}x seed {seed}: must retire every request exactly once"
+            "{}: must retire every request exactly once",
+            spec.label
         );
         let ov = &m.overload;
         assert_eq!(
             ov.demand_rejected, 0,
-            "{plan_name}/{load}x seed {seed}: demand must be deferred, never rejected: {ov:?}"
+            "{}: demand must be deferred, never rejected: {ov:?}",
+            spec.label
         );
         if load == 8 && ov.total_shed() > 0 {
             assert!(
                 ov.background_shed() * 10 >= ov.total_shed() * 9,
-                "{plan_name}/8x seed {seed}: shed traffic must be ≥90% background: {ov:?}"
+                "{}: shed traffic must be ≥90% background: {ov:?}",
+                spec.label
             );
         }
         let p99 = ov.demand_lat.percentile_bound(0.99);
         assert!(
             p99 < m.total_cycles,
-            "{plan_name}/{load}x seed {seed}: demand p99 bound {p99} exceeds run length {}",
+            "{}: demand p99 bound {p99} exceeds run length {}",
+            spec.label,
             m.total_cycles
         );
         eprintln!(

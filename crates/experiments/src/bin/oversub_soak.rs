@@ -19,16 +19,20 @@
 //! * at the 4x points capacity pressure is real: evictions happened.
 //!
 //! The per-run counters (including the `oversub` block) are written to
-//! `BENCH_OVERSUB.json` (see `experiments::run_json`).
+//! `BENCH_OVERSUB.json` (see `experiments::run_json`). The same matrix is
+//! committed declaratively as `scenarios/oversub_soak.scn` for the `scnd`
+//! experiment server.
 //!
 //! ```sh
 //! cargo run --release -p experiments --bin oversub_soak [SCALE] [SEEDS]
 //! ```
 
 use experiments::runner::{parallel_map, runs_json};
+use experiments::{soak_fault_plans, soak_tables, RunSpec};
 use mgpu::workload::Workload;
-use mgpu::{FaultPlan, OverloadConfig, OversubConfig, RunMetrics, System, SystemConfig, TransFwKnobs};
+use mgpu::{OverloadConfig, OversubConfig, RunMetrics, SystemConfig};
 use uvm::EvictPolicy;
+use workloads::WorkloadSpec;
 
 /// Oversubscription tuned for soak-scale runs: the shipped defaults size
 /// the thrash gate for full-scale refault storms and would never engage at
@@ -44,29 +48,6 @@ fn soak_oversub(capacity: usize, policy: EvictPolicy) -> OversubConfig {
     }
 }
 
-/// PRT/FT sized up for the shift workload's migration churn (same
-/// rationale as the overload soak: paper-sized 500-entry tables accumulate
-/// fingerprint-collision deletes at soak scale).
-fn soak_tables() -> TransFwKnobs {
-    let mut k = TransFwKnobs::full();
-    k.config.prt_fingerprints = 2_000;
-    k.config.prt_fp_bits = 16;
-    k.config.ft_fingerprints = 4_000;
-    k.config.ft_fp_bits = 14;
-    k
-}
-
-fn plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        ("clean", FaultPlan::none()),
-        ("loss", FaultPlan::message_loss(seed.wrapping_mul(31) + 7, 0.02)),
-        (
-            "chaos",
-            FaultPlan::message_chaos(seed.wrapping_mul(37) + 11, 0.02, 200),
-        ),
-    ]
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
@@ -79,7 +60,7 @@ fn main() {
 
     let mut cells = Vec::new();
     for seed in 1..=seeds.max(1) {
-        for (plan_name, plan) in plans(seed) {
+        for (plan_name, plan) in soak_fault_plans(seed) {
             for ratio in [1usize, 2, 3, 4] {
                 for policy in [EvictPolicy::Lru, EvictPolicy::AccessCounter] {
                     cells.push((plan_name, plan.clone(), ratio, policy, seed));
@@ -91,7 +72,6 @@ fn main() {
 
     let runs: Vec<(u64, RunMetrics)> =
         parallel_map(cells, |(plan_name, plan, ratio, policy, seed)| {
-            let app = workloads::oversub_shift().scaled(scale);
             // ratio x oversubscription: the aggregate device memory holds
             // 1/ratio of the footprint, split evenly across the GPUs.
             let capacity = footprint.div_ceil(GPUS as usize * ratio);
@@ -106,20 +86,18 @@ fn main() {
                 .oversub(soak_oversub(capacity, policy))
                 .faults(plan)
                 .build();
-            let m = System::new(cfg).run(&app).unwrap_or_else(|e| {
-                panic!(
-                    "oversub soak: {plan_name}/{ratio}x/{} seed {seed} failed: {e}",
-                    policy.name()
-                );
-            });
-            let tag = format!("{plan_name}/{ratio}x/{} seed {seed}", policy.name());
+            let spec = RunSpec::new(cfg, WorkloadSpec::OversubShift { scale })
+                .labeled(format!("{plan_name}/{ratio}x/{} seed {seed}", policy.name()));
+            let m = spec.run_or_panic("oversub soak");
             assert_eq!(
                 m.resilience.requests_retired, m.translation_requests,
-                "{tag}: must retire every request exactly once with eviction on"
+                "{}: must retire every request exactly once with eviction on",
+                spec.label
             );
             assert_eq!(
                 m.overload.demand_rejected, 0,
-                "{tag}: demand must never be rejected under memory pressure"
+                "{}: demand must never be rejected under memory pressure",
+                spec.label
             );
             // The histogram reports power-of-two bucket bounds, so a smoke
             // run shorter than one bucket (64Ki cycles) can legitimately
@@ -128,14 +106,16 @@ fn main() {
             let p99 = m.overload.demand_lat.percentile_bound(0.99);
             assert!(
                 p99 < m.total_cycles.max(65_536),
-                "{tag}: demand p99 bound {p99} exceeds run length {} (thrash collapse)",
+                "{}: demand p99 bound {p99} exceeds run length {} (thrash collapse)",
+                spec.label,
                 m.total_cycles
             );
             let os = &m.oversub;
             if ratio >= 4 {
                 assert!(
                     os.evictions > 0,
-                    "{tag}: 4x oversubscription must force evictions: {os:?}"
+                    "{}: 4x oversubscription must force evictions: {os:?}",
+                    spec.label
                 );
             }
             eprintln!(

@@ -1,11 +1,11 @@
 //! Policy-sweep driver: the 4×4 matrix of placement policies × access
 //! patterns the placement-policy engine is evaluated on.
 //!
-//! Policies: first-touch (the legacy default), delayed migration
-//! (threshold 4), read duplication, and tree prefetch (radius 3). Patterns:
-//! AES (partitioned — policies should be near-inert), KM (hot shared
-//! centroids), PR (random graph chasing) and PhaseShift (the hot GPU moves
-//! mid-run — the adversarial input for migration).
+//! The matrix is no longer hard-coded here: it is compiled from the
+//! committed `scenarios/policy_sweep.scn` scenario, and the golden
+//! equivalence test (`crates/experiments/tests/scenario_golden.rs`) pins
+//! that file to the historical configuration bit-for-bit. The CLI scale
+//! and seed-count arguments override the scenario's defaults.
 //!
 //! Every run executes under the invariant auditor inside `System::run`, and
 //! each cell additionally enforces retire-exactly-once. Per-cell migration,
@@ -18,31 +18,9 @@
 //! ```
 
 use experiments::runner::{parallel_map, run_json};
-use mgpu::workload::Workload;
-use mgpu::{RunMetrics, System, SystemConfig};
+use experiments::{load_scenario, scenario_specs};
+use mgpu::RunMetrics;
 use uvm::PolicyKind;
-use workloads::phase_shift;
-
-fn policies() -> Vec<PolicyKind> {
-    vec![
-        PolicyKind::FirstTouch,
-        PolicyKind::DelayedMigration { threshold: 4 },
-        PolicyKind::ReadDuplicate,
-        PolicyKind::PrefetchNeighborhood { radius: 3 },
-    ]
-}
-
-fn pattern(name: &str, scale: f64) -> Box<dyn Workload> {
-    if name == "PhaseShift" {
-        Box::new(phase_shift().scaled(scale))
-    } else {
-        Box::new(
-            workloads::app(name)
-                .unwrap_or_else(|| panic!("unknown app {name}"))
-                .scaled(scale),
-        )
-    }
-}
 
 /// One sweep cell: the headline placement counters and latency next to the
 /// full metrics object.
@@ -79,41 +57,37 @@ fn cell_json(policy: PolicyKind, seed: u64, m: &RunMetrics) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
-    let seeds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let scale: Option<f64> = args.get(1).and_then(|s| s.parse().ok());
+    let seeds: Option<u64> = args.get(2).and_then(|s| s.parse().ok());
     // simlint::allow(det-wallclock): harness progress timing, never fed into the sim
     let t0 = std::time::Instant::now();
 
-    let mut cells = Vec::new();
-    for policy in policies() {
-        for app_name in ["AES", "KM", "PR", "PhaseShift"] {
-            for seed in 1..=seeds.max(1) {
-                cells.push((policy, app_name, seed));
-            }
-        }
+    let mut sc =
+        load_scenario("policy_sweep").unwrap_or_else(|e| panic!("policy sweep: {e}"));
+    if let Some(n) = seeds {
+        sc.seeds = (1..=n.max(1)).collect();
     }
-    let total = cells.len();
+    let digest = sc.digest_hex();
+    let mut specs = scenario_specs(&sc);
+    if let Some(s) = scale {
+        specs = specs.into_iter().map(|spec| spec.with_scale(s)).collect();
+    }
+    let total = specs.len();
 
-    let rows: Vec<String> = parallel_map(cells, |(policy, app_name, seed)| {
-        let app = pattern(app_name, scale);
-        let mut cfg = SystemConfig::with_transfw();
-        cfg.seed = seed;
-        cfg.placement = Some(policy);
-        let m = System::new(cfg).run(app.as_ref()).unwrap_or_else(|e| {
-            panic!(
-                "policy sweep: {}/{app_name} seed {seed} failed: {e}",
-                policy.name()
-            );
-        });
+    let rows: Vec<String> = parallel_map(specs, |spec| {
+        let policy = spec.placement_kind();
+        let seed = spec.cfg.seed;
+        let m = spec.run_or_panic("policy sweep");
         assert_eq!(
             m.resilience.requests_retired, m.translation_requests,
-            "{}/{app_name} seed {seed}: must retire every request exactly once",
-            policy.name()
+            "{} seed {seed}: must retire every request exactly once",
+            spec.label
         );
         eprintln!(
-            "[policy-sweep] {:>21}/{app_name:<10} seed {seed}: {} cycles, \
+            "[policy-sweep] {:>21}/{:<10} seed {seed}: {} cycles, \
              migrations={} replications={} collapses={} prefetched={}",
             policy.name(),
+            m.app,
             m.total_cycles,
             m.directory.migrations,
             m.directory.replications,
@@ -126,7 +100,8 @@ fn main() {
     let json = format!("[{}]", rows.join(","));
     std::fs::write("BENCH_POLICY_SWEEP.json", &json).expect("write BENCH_POLICY_SWEEP.json");
     eprintln!(
-        "[policy-sweep] {total} cells clean in {:.1?} (scale {scale}, {seeds} seed(s)) -> BENCH_POLICY_SWEEP.json",
+        "[policy-sweep] {total} cells clean in {:.1?} (scenario policy_sweep, digest {digest}) \
+         -> BENCH_POLICY_SWEEP.json",
         t0.elapsed()
     );
 }

@@ -45,7 +45,9 @@ pub mod fig29;
 pub mod fig30;
 pub mod report;
 pub mod runner;
+pub mod spec;
 pub mod table3;
 
 pub use report::Report;
 pub use runner::{average_cycles, parallel_map, run_json, run_one, runs_json, RunOpts};
+pub use spec::{load_scenario, scenario_specs, soak_fault_plans, soak_tables, RunSpec};

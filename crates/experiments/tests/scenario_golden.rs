@@ -1,0 +1,150 @@
+//! Golden equivalence: the committed `.scn` scenarios must reproduce the
+//! historical hard-coded experiment configurations bit-for-bit.
+//!
+//! The policy-sweep bin used to assemble its 4×4 matrix by hand
+//! (`SystemConfig::with_transfw()` + seed + placement); it now compiles
+//! `scenarios/policy_sweep.scn`. These tests pin the two paths together:
+//! every cell's `SystemConfig` and workload must compare equal to the
+//! hand-built originals, and actually *running* a sample of cells through
+//! both paths must produce `RunMetrics` that compare equal — the simulator
+//! is deterministic, so metric equality is bit-identity.
+
+use experiments::{load_scenario, scenario_specs, RunSpec};
+use mgpu::{System, SystemConfig};
+use uvm::PolicyKind;
+use workloads::WorkloadSpec;
+
+/// The policy_sweep bin's historical matrix, reassembled by hand exactly as
+/// the pre-scenario code did.
+fn hand_built_policy_sweep() -> Vec<RunSpec> {
+    let policies = [
+        PolicyKind::FirstTouch,
+        PolicyKind::DelayedMigration { threshold: 4 },
+        PolicyKind::ReadDuplicate,
+        PolicyKind::PrefetchNeighborhood { radius: 3 },
+    ];
+    let scale = 0.1;
+    let seeds = 2u64;
+    let mut specs = Vec::new();
+    for policy in policies {
+        for app_name in ["AES", "KM", "PR", "PhaseShift"] {
+            for seed in 1..=seeds {
+                let workload = if app_name == "PhaseShift" {
+                    WorkloadSpec::PhaseShift { scale }
+                } else {
+                    WorkloadSpec::app(app_name, scale).expect("known app")
+                };
+                let mut cfg = SystemConfig::with_transfw();
+                cfg.seed = seed;
+                cfg.placement = Some(policy);
+                specs.push(RunSpec::new(cfg, workload));
+            }
+        }
+    }
+    specs
+}
+
+#[test]
+fn policy_sweep_scenario_matches_the_hard_coded_matrix() {
+    let sc = load_scenario("policy_sweep").expect("committed scenario compiles");
+    let compiled = scenario_specs(&sc);
+    let hand = hand_built_policy_sweep();
+    assert_eq!(
+        compiled.len(),
+        hand.len(),
+        "4 policies x 4 apps x 2 seeds = 32 runs"
+    );
+    for (c, h) in compiled.iter().zip(&hand) {
+        assert_eq!(
+            c.cfg, h.cfg,
+            "{}: scenario config must equal the hand-built config",
+            c.label
+        );
+        assert_eq!(
+            c.workload, h.workload,
+            "{}: scenario workload must equal the hand-built workload",
+            c.label
+        );
+    }
+}
+
+#[test]
+fn policy_sweep_labels_are_stable() {
+    let sc = load_scenario("policy_sweep").expect("committed scenario compiles");
+    let labels: Vec<String> = sc.cells().iter().map(|c| c.label.clone()).collect();
+    assert_eq!(labels.len(), 16);
+    assert_eq!(labels[0], "first-touch/AES");
+    assert_eq!(labels[15], "prefetch-neighborhood/PhaseShift");
+}
+
+/// Running a cell through the scenario path and through the historical
+/// direct path must produce identical metrics. A sample of three cells
+/// (one per interesting policy) at a reduced scale keeps this fast.
+#[test]
+fn scenario_runs_are_bit_identical_to_direct_runs() {
+    let sc = load_scenario("policy_sweep").expect("committed scenario compiles");
+    let specs = scenario_specs(&sc);
+    // first-touch/AES seed 1, delayed-migration/KM seed 1,
+    // prefetch-neighborhood/PhaseShift seed 2 (indices in cells x seeds
+    // order: cell*2 + (seed-1)).
+    for idx in [0usize, 2 * 2, 15 * 2 + 1] {
+        let spec = specs[idx].clone().with_scale(0.05);
+        let via_scenario = spec.run().expect("scenario path runs clean");
+        let direct = System::new(spec.cfg.clone())
+            .run(spec.workload.build().as_ref())
+            .expect("direct path runs clean");
+        assert_eq!(
+            via_scenario, direct,
+            "{}: the scenario path and the direct path must be bit-identical",
+            spec.label
+        );
+    }
+}
+
+/// The digest is stable across compile-print-compile and sensitive to a
+/// single-token semantic edit (the determinism-backed cache key contract).
+#[test]
+fn committed_scenario_digest_round_trips_and_tracks_semantics() {
+    let sc = load_scenario("policy_sweep").expect("committed scenario compiles");
+    let reparsed = scn::compile_one(&sc.canonical()).expect("canonical form recompiles");
+    assert_eq!(sc, reparsed, "canonical print must round-trip the IR");
+    assert_eq!(sc.digest(), reparsed.digest());
+
+    let mut edited = sc.clone();
+    edited.seeds = vec![1, 2, 3];
+    assert_ne!(
+        sc.digest(),
+        edited.digest(),
+        "a semantic edit must produce a new digest"
+    );
+}
+
+/// Every committed scenario in the repo compiles, has at least one cell,
+/// and round-trips through its canonical form.
+#[test]
+fn every_committed_scenario_compiles_and_round_trips() {
+    let dir = scn::find_scenarios_dir().expect("scenarios/ directory exists");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("readable scenarios dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 4,
+        "expected the four committed experiment scenarios, found {paths:?}"
+    );
+    for path in paths {
+        let src = std::fs::read_to_string(&path).expect("readable scenario");
+        let scenarios =
+            scn::compile(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!scenarios.is_empty(), "{}: no scenarios", path.display());
+        for sc in scenarios {
+            assert!(!sc.cells().is_empty(), "{}: scenario with no cells", sc.name);
+            let reparsed = scn::compile_one(&sc.canonical())
+                .unwrap_or_else(|e| panic!("{} canonical: {e}", sc.name));
+            assert_eq!(sc, reparsed, "{}: canonical round-trip", sc.name);
+            assert_eq!(sc.digest(), reparsed.digest());
+        }
+    }
+}

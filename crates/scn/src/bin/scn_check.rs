@@ -1,0 +1,73 @@
+//! Compiles every committed `.scn` scenario and prints its digest — the
+//! CI `scenario-check` gate.
+//!
+//! Usage: `cargo run -p scn --bin scn_check [dir]`. Without an argument
+//! the repository's `scenarios/` directory is located automatically.
+//! Exit status 1 if any file fails to compile (or none are found), with
+//! `file:line:col: message` diagnostics on stderr.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => PathBuf::from(d),
+        None => match scn::find_scenarios_dir() {
+            Some(d) => d,
+            None => {
+                eprintln!("scn_check: no scenarios/ directory found (pass one explicitly)");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "scn"))
+            .collect(),
+        Err(e) => {
+            eprintln!("scn_check: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("scn_check: no .scn files under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                failed = true;
+                continue;
+            }
+        };
+        match scn::compile(&src) {
+            Ok(scenarios) => {
+                for sc in &scenarios {
+                    println!(
+                        "{}  {}  \"{}\"  cells={} seeds={}",
+                        path.display(),
+                        sc.digest_hex(),
+                        sc.name,
+                        sc.cells().len(),
+                        sc.seeds.len()
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("{}:{e}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

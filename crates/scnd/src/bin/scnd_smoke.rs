@@ -1,0 +1,71 @@
+//! End-to-end smoke of the experiment server over a real TCP socket:
+//! submit → run → cache hit → semantic edit misses → protocol shutdown.
+//! Exits non-zero (panics) on any deviation; CI runs this as the
+//! `scenario-check` server step.
+//!
+//! ```sh
+//! cargo run --release -p scnd --bin scnd_smoke [path/to/scenario.scn]
+//! ```
+//!
+//! With a path argument the smoke submits that scenario instead of the
+//! built-in tiny one (expect full simulation time for committed matrices).
+
+use scnd::{serve, Client, DaemonConfig};
+
+const TINY: &str = r#"
+    scenario "smoke" {
+        seeds = 1
+        system { gpus = 2 cus_per_gpu = 1 wavefronts_per_cu = 2 }
+        workload = uniform(pages = 32, ctas = 8, accesses = 16)
+    }
+"#;
+
+fn main() {
+    let src = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {path}: {e}")),
+        None => TINY.to_string(),
+    };
+    let digest = scn::compile_one(&src).expect("scenario compiles").digest_hex();
+
+    let server = serve(&DaemonConfig::default(), 0).expect("bind a local port");
+    let addr = server.addr();
+    let mut c = Client::connect(addr).expect("connect");
+    let submit = format!(
+        "{{\"op\":\"submit\",\"scenario\":{},\"wait\":true}}",
+        scnd::json::quote(&src)
+    );
+
+    let first = c.request(&submit).expect("first submit");
+    assert!(
+        first.contains("\"state\":\"done\"") && first.contains(&digest),
+        "first run must complete with the compiled digest: {first}"
+    );
+    let second = c.request(&submit).expect("second submit");
+    assert!(
+        second.contains("\"cached\":true"),
+        "identical resubmission must hit the cache: {second}"
+    );
+
+    let fresh = src.replace("seeds = 1", "seeds = [41]");
+    if fresh != src {
+        let submit_fresh = format!(
+            "{{\"op\":\"submit\",\"scenario\":{},\"wait\":true}}",
+            scnd::json::quote(&fresh)
+        );
+        let third = c.request(&submit_fresh).expect("edited submit");
+        assert!(
+            third.contains("\"state\":\"done\"") && !third.contains("\"cached\":true"),
+            "a semantic edit must be a fresh run: {third}"
+        );
+    }
+
+    let stats = c.request("{\"op\":\"stats\"}").expect("stats");
+    assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+    assert!(stats.contains("\"failed\":0"), "{stats}");
+
+    let bye = c.request("{\"op\":\"shutdown\"}").expect("shutdown ack");
+    assert!(bye.contains("\"shutdown\":true"), "{bye}");
+    server.join();
+    eprintln!("[scnd-smoke] ok: digest {digest}, {stats}");
+}

@@ -1,0 +1,51 @@
+//! A minimal blocking client for the daemon's line protocol (used by the
+//! integration tests and handy for scripting).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One persistent connection; requests are answered in order.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one request line and reads the one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the connection drops.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}
+
+/// One-shot request over a fresh connection.
+///
+/// # Errors
+///
+/// Returns an I/O error if connecting or the exchange fails.
+pub fn request_once(addr: impl ToSocketAddrs, line: &str) -> std::io::Result<String> {
+    Client::connect(addr)?.request(line)
+}

@@ -1,0 +1,449 @@
+//! The daemon core: a bounded job queue, a worker pool, digest-keyed
+//! result caching, and admission control built from the simulator's own
+//! overload primitives.
+//!
+//! Admission reuses [`sim_core::Hysteresis`] (a queue-depth watermark gate:
+//! engages when the queue reaches capacity, releases only once it has
+//! drained to half) and [`sim_core::TokenBucket`] (a submission budget
+//! refunded by job completions). A submission that fails admission is
+//! *shed* with a deterministic error — never queued, never blocked — so a
+//! saturated daemon degrades exactly like the simulated system it serves.
+//!
+//! Caching is sound because the whole stack below it is deterministic: a
+//! scenario's digest is taken over its lowered IR (see `scn::print`) and
+//! the simulator replays bit-identically from a config + seed, so equal
+//! digests imply equal results. Identical in-flight submissions are
+//! single-flight coalesced onto the running job instead of re-queued.
+
+use experiments::{run_json, scenario_specs};
+use sim_core::{Hysteresis, TokenBucket};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Daemon sizing knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Worker threads executing queued jobs. Zero is legal (nothing ever
+    /// runs — the deterministic queue-full test fixture).
+    pub workers: usize,
+    /// Bounded queue capacity; the admission gate engages at this depth.
+    pub queue_cap: usize,
+    /// Token-bucket submission budget (burst size; refunded per completion).
+    pub bucket_capacity: u64,
+    /// Milli-tokens refunded to the bucket per completed job (≤ 1000).
+    pub bucket_refill_permille: u64,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_cap: 32,
+            bucket_capacity: 256,
+            bucket_refill_permille: 1000,
+        }
+    }
+}
+
+/// A job's externally visible lifecycle state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobView {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished cleanly.
+    Done {
+        /// The scenario digest (the cache key).
+        digest: u64,
+        /// The JSON array of per-run metrics payloads.
+        runs: String,
+    },
+    /// The run failed (simulator error or panic).
+    Failed(String),
+}
+
+/// What happened to a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitOutcome {
+    /// The digest was already cached; the result is returned inline.
+    CacheHit {
+        /// The scenario digest.
+        digest: u64,
+        /// The cached JSON runs payload.
+        runs: String,
+    },
+    /// Admitted and queued.
+    Queued {
+        /// The new job's id.
+        id: u64,
+        /// The scenario digest.
+        digest: u64,
+    },
+    /// An identical scenario is already queued or running; this submission
+    /// was coalesced onto it.
+    Coalesced {
+        /// The existing job's id.
+        id: u64,
+        /// The scenario digest.
+        digest: u64,
+    },
+    /// Rejected by admission control (queue full or budget exhausted).
+    Shed,
+    /// The scenario text did not compile.
+    Invalid(String),
+}
+
+/// A point-in-time snapshot of the daemon's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Jobs admitted to the queue.
+    pub submitted: u64,
+    /// Jobs that finished cleanly.
+    pub completed: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: u64,
+    /// Submissions rejected by admission control.
+    pub shed: u64,
+    /// Submissions coalesced onto an identical in-flight job.
+    pub coalesced: u64,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+}
+
+struct Job {
+    key: (u64, u64),
+    scenario: Option<scn::Scenario>,
+    view: JobView,
+}
+
+struct State {
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, Job>,
+    cache: BTreeMap<(u64, u64), String>,
+    inflight: BTreeMap<(u64, u64), u64>,
+    next_id: u64,
+    shutdown: bool,
+    admit: Hysteresis,
+    bucket: TokenBucket,
+    stats: Stats,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// The daemon: owns the queue, the cache and the worker pool. Cloneable
+/// handles are obtained by wrapping it in an [`Arc`] (the TCP server does).
+pub struct Daemon {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Daemon {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_cap` is zero or the token-bucket parameters are
+    /// invalid (zero capacity or refill above 1000‰).
+    pub fn start(cfg: &DaemonConfig) -> Self {
+        assert!(cfg.queue_cap > 0, "daemon queue capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: BTreeMap::new(),
+                cache: BTreeMap::new(),
+                inflight: BTreeMap::new(),
+                next_id: 1,
+                shutdown: false,
+                admit: Hysteresis::new(cfg.queue_cap, cfg.queue_cap / 2),
+                bucket: TokenBucket::new(cfg.bucket_capacity, cfg.bucket_refill_permille),
+                stats: Stats::default(),
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("daemon state poisoned")
+    }
+
+    /// Compiles `src` (one scenario), applies the optional seed override,
+    /// and either answers from the cache, coalesces onto an identical
+    /// in-flight job, queues a new job, or sheds.
+    pub fn submit(&self, src: &str, seed: Option<u64>) -> SubmitOutcome {
+        let mut sc = match scn::compile_one(src) {
+            Ok(sc) => sc,
+            Err(e) => return SubmitOutcome::Invalid(e.to_string()),
+        };
+        if let Some(s) = seed {
+            sc.seeds = vec![s];
+        }
+        // The digest is taken *after* the seed override, so the cache key's
+        // seed component is redundant with the digest — kept anyway so the
+        // key documents what it identifies.
+        let digest = sc.digest();
+        let key = (digest, seed.unwrap_or(0));
+
+        let mut st = self.lock();
+        if let Some(runs) = st.cache.get(&key) {
+            let runs = runs.clone();
+            st.stats.cache_hits += 1;
+            return SubmitOutcome::CacheHit { digest, runs };
+        }
+        if let Some(&id) = st.inflight.get(&key) {
+            st.stats.coalesced += 1;
+            return SubmitOutcome::Coalesced { id, digest };
+        }
+        let depth = st.queue.len();
+        if st.admit.observe(depth) || !st.bucket.try_take() {
+            st.stats.shed += 1;
+            return SubmitOutcome::Shed;
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.stats.submitted += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                key,
+                scenario: Some(sc),
+                view: JobView::Queued,
+            },
+        );
+        st.queue.push_back(id);
+        st.inflight.insert(key, id);
+        drop(st);
+        self.shared.cv.notify_all();
+        SubmitOutcome::Queued { id, digest }
+    }
+
+    /// The job's current state, or `None` for an unknown id.
+    pub fn status(&self, id: u64) -> Option<JobView> {
+        self.lock().jobs.get(&id).map(|j| j.view.clone())
+    }
+
+    /// The job's state; with `wait`, blocks until it is terminal (or the
+    /// daemon shuts down, in which case the last observed state returns).
+    pub fn result(&self, id: u64, wait: bool) -> Option<JobView> {
+        let mut st = self.lock();
+        loop {
+            let view = st.jobs.get(&id).map(|j| j.view.clone())?;
+            let terminal = matches!(view, JobView::Done { .. } | JobView::Failed(_));
+            if terminal || !wait || st.shutdown {
+                return Some(view);
+            }
+            st = self
+                .shared
+                .cv
+                .wait(st)
+                .expect("daemon state poisoned");
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> Stats {
+        let st = self.lock();
+        let mut s = st.stats;
+        s.queued = st.queue.len();
+        s
+    }
+
+    /// Whether [`Daemon::shutdown`] has been called.
+    pub fn is_shutdown(&self) -> bool {
+        self.lock().shutdown
+    }
+
+    /// Stops the worker pool: workers finish their current job and exit;
+    /// queued jobs stay queued forever. Idempotent.
+    pub fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.shared.cv.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().expect("worker list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let (id, sc) = {
+            let mut st = shared.state.lock().expect("daemon state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = st.queue.pop_front() {
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    job.view = JobView::Running;
+                    let sc = job.scenario.take().expect("queued job has its scenario");
+                    break (id, sc);
+                }
+                st = shared.cv.wait(st).expect("daemon state poisoned");
+            }
+        };
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_all(&sc)));
+
+        let mut st = shared.state.lock().expect("daemon state poisoned");
+        let key = st.jobs.get(&id).expect("running job exists").key;
+        match outcome {
+            Ok(Ok(runs)) => {
+                st.cache.insert(key, runs.clone());
+                st.stats.completed += 1;
+                st.jobs.get_mut(&id).expect("running job exists").view = JobView::Done {
+                    digest: key.0,
+                    runs,
+                };
+            }
+            Ok(Err(msg)) => {
+                st.stats.failed += 1;
+                st.jobs.get_mut(&id).expect("running job exists").view = JobView::Failed(msg);
+            }
+            Err(_) => {
+                st.stats.failed += 1;
+                st.jobs.get_mut(&id).expect("running job exists").view =
+                    JobView::Failed("run panicked".into());
+            }
+        }
+        st.inflight.remove(&key);
+        st.bucket.refill();
+        drop(st);
+        shared.cv.notify_all();
+    }
+}
+
+/// Runs every cell × seed of the scenario, returning the JSON runs array.
+fn run_all(sc: &scn::Scenario) -> Result<String, String> {
+    let mut rows = Vec::new();
+    for spec in scenario_specs(sc) {
+        match spec.run() {
+            Ok(m) => rows.push(run_json(&m, spec.cfg.seed)),
+            Err(e) => return Err(format!("{}: {e}", spec.label)),
+        }
+    }
+    Ok(format!("[{}]", rows.join(",")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+        scenario "tiny" {
+            seeds = 1
+            system { gpus = 2 cus_per_gpu = 1 wavefronts_per_cu = 2 }
+            workload = uniform(pages = 16, ctas = 4, accesses = 8)
+        }
+    "#;
+
+    #[test]
+    fn submit_run_and_cache_round_trip() {
+        let d = Daemon::start(&DaemonConfig::default());
+        let SubmitOutcome::Queued { id, digest } = d.submit(TINY, None) else {
+            panic!("first submission must queue");
+        };
+        let Some(JobView::Done { runs, .. }) = d.result(id, true) else {
+            panic!("job must complete");
+        };
+        assert!(runs.starts_with('[') && runs.ends_with(']'));
+        match d.submit(TINY, None) {
+            SubmitOutcome::CacheHit {
+                digest: d2,
+                runs: r2,
+            } => {
+                assert_eq!(d2, digest);
+                assert_eq!(r2, runs, "cache must return the identical payload");
+            }
+            other => panic!("second submission must hit the cache: {other:?}"),
+        }
+        assert_eq!(d.stats().cache_hits, 1);
+        d.shutdown();
+    }
+
+    #[test]
+    fn seed_override_changes_the_digest_and_misses_the_cache() {
+        let d = Daemon::start(&DaemonConfig::default());
+        let SubmitOutcome::Queued { id, digest } = d.submit(TINY, None) else {
+            panic!("queue");
+        };
+        let _ = d.result(id, true);
+        match d.submit(TINY, Some(9)) {
+            SubmitOutcome::Queued { digest: d2, id } => {
+                assert_ne!(d2, digest, "seed override must re-digest");
+                let _ = d.result(id, true);
+            }
+            other => panic!("seed override must be a fresh run: {other:?}"),
+        }
+        assert_eq!(d.stats().cache_hits, 0);
+        d.shutdown();
+    }
+
+    #[test]
+    fn invalid_scenarios_are_rejected_synchronously() {
+        let d = Daemon::start(&DaemonConfig {
+            workers: 0,
+            ..DaemonConfig::default()
+        });
+        match d.submit("scenario \"x\" { seeds = 0 }", None) {
+            SubmitOutcome::Invalid(msg) => assert!(msg.contains(':'), "positioned: {msg}"),
+            other => panic!("must reject: {other:?}"),
+        }
+        assert_eq!(d.stats().submitted, 0);
+        d.shutdown();
+    }
+
+    #[test]
+    fn queue_full_sheds_without_blocking() {
+        let d = Daemon::start(&DaemonConfig {
+            workers: 0,
+            queue_cap: 2,
+            ..DaemonConfig::default()
+        });
+        let a = TINY.replace("seeds = 1", "seeds = [11]");
+        let b = TINY.replace("seeds = 1", "seeds = [12]");
+        let c = TINY.replace("seeds = 1", "seeds = [13]");
+        assert!(matches!(d.submit(&a, None), SubmitOutcome::Queued { .. }));
+        assert!(matches!(d.submit(&b, None), SubmitOutcome::Queued { .. }));
+        assert_eq!(d.submit(&c, None), SubmitOutcome::Shed);
+        assert_eq!(d.submit(&c, None), SubmitOutcome::Shed, "gate holds");
+        let s = d.stats();
+        assert_eq!((s.submitted, s.shed, s.queued), (2, 2, 2));
+        d.shutdown();
+    }
+
+    #[test]
+    fn identical_inflight_submissions_coalesce() {
+        let d = Daemon::start(&DaemonConfig {
+            workers: 0,
+            ..DaemonConfig::default()
+        });
+        let SubmitOutcome::Queued { id, .. } = d.submit(TINY, None) else {
+            panic!("queue");
+        };
+        match d.submit(TINY, None) {
+            SubmitOutcome::Coalesced { id: id2, .. } => assert_eq!(id2, id),
+            other => panic!("identical submission must coalesce: {other:?}"),
+        }
+        assert_eq!(d.stats().coalesced, 1);
+        assert_eq!(d.stats().queued, 1, "coalescing must not consume a slot");
+        d.shutdown();
+    }
+}

@@ -1,0 +1,38 @@
+//! `scnd` — simulation-as-a-service for the Trans-FW simulator.
+//!
+//! The daemon accepts `.scn` scenario text (see the `scn` crate) over a
+//! line-delimited JSON TCP protocol, runs each compiled scenario's full
+//! cell × seed matrix through the shared `experiments::RunSpec` path, and
+//! caches results keyed by the scenario's semantic digest. Because the
+//! simulator is deterministic and the digest is taken over the scenario's
+//! *lowered* IR (formatting never changes it), a cache hit is guaranteed to
+//! equal a fresh run bit-for-bit — the cache is a pure latency
+//! optimisation, never an approximation.
+//!
+//! Admission control reuses the simulator's own overload primitives
+//! ([`sim_core::Hysteresis`] + [`sim_core::TokenBucket`]): when the bounded
+//! queue fills, further submissions are shed with a deterministic error
+//! instead of queuing without bound — the daemon practices the same
+//! graceful degradation the paper's forwarding path does.
+//!
+//! # Examples
+//!
+//! ```
+//! use scnd::{serve, request_once, DaemonConfig};
+//!
+//! let server = serve(&DaemonConfig::default(), 0).expect("bind");
+//! let req = r#"{"op":"stats"}"#;
+//! let resp = request_once(server.addr(), req).expect("round trip");
+//! assert!(resp.contains("\"ok\":true"));
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod jobs;
+pub mod json;
+pub mod server;
+
+pub use client::{request_once, Client};
+pub use jobs::{Daemon, DaemonConfig, JobView, Stats, SubmitOutcome};
+pub use json::Value;
+pub use server::{handle_request, serve, Server};

@@ -1,0 +1,36 @@
+//! The `scnd` binary: bind a port and serve scenarios until a client sends
+//! `{"op":"shutdown"}`.
+//!
+//! ```sh
+//! cargo run --release -p scnd -- [--port N] [--workers N] [--queue-cap N]
+//! ```
+
+use scnd::{serve, DaemonConfig};
+
+fn arg(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let port = arg(&args, "--port").unwrap_or(7077) as u16;
+    let mut cfg = DaemonConfig::default();
+    if let Some(w) = arg(&args, "--workers") {
+        cfg.workers = w as usize;
+    }
+    if let Some(q) = arg(&args, "--queue-cap") {
+        cfg.queue_cap = q as usize;
+    }
+    let server = serve(&cfg, port).expect("bind scnd port");
+    eprintln!(
+        "[scnd] listening on {} ({} worker(s), queue capacity {})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_cap
+    );
+    server.join();
+    eprintln!("[scnd] shut down");
+}

@@ -1,0 +1,241 @@
+//! The TCP front end: line-delimited JSON requests over `127.0.0.1`.
+//!
+//! Each connection is served by its own thread; each request line yields
+//! exactly one response line. The protocol:
+//!
+//! | op         | request fields                      | response |
+//! |------------|-------------------------------------|----------|
+//! | `submit`   | `scenario` (text), `seed`?, `wait`? | id / cached result / shed |
+//! | `status`   | `id`                                | lifecycle state |
+//! | `result`   | `id`, `wait`?                       | runs payload or pending |
+//! | `batch`    | `scenarios` (array of text), `seed`?| one submit response each |
+//! | `stats`    | —                                   | counter snapshot |
+//! | `shutdown` | —                                   | ack, then the daemon stops |
+
+use crate::jobs::{Daemon, DaemonConfig, JobView, SubmitOutcome};
+use crate::json::{quote, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running daemon bound to a local TCP port.
+pub struct Server {
+    daemon: Arc<Daemon>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+/// Binds `127.0.0.1:port` (0 picks a free port) and starts serving.
+///
+/// # Errors
+///
+/// Returns the bind error if the port is unavailable.
+pub fn serve(cfg: &DaemonConfig, port: u16) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let addr = listener.local_addr()?;
+    let daemon = Arc::new(Daemon::start(cfg));
+    let accept_daemon = Arc::clone(&daemon);
+    let accept = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_daemon.is_shutdown() {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let daemon = Arc::clone(&accept_daemon);
+            std::thread::spawn(move || handle_conn(&daemon, stream));
+        }
+    });
+    Ok(Server {
+        daemon,
+        addr,
+        accept: Some(accept),
+    })
+}
+
+impl Server {
+    /// The bound address (use after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon behind the socket (tests inspect counters directly).
+    pub fn daemon(&self) -> &Daemon {
+        &self.daemon
+    }
+
+    /// Blocks the calling thread until the accept loop exits (i.e. until a
+    /// client sends `shutdown` or [`Server::shutdown`] is called).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops the daemon, unblocks the accept loop and joins it.
+    pub fn shutdown(mut self) {
+        self.daemon.shutdown();
+        // The accept loop only re-checks the shutdown flag on a connection,
+        // so poke it with one.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle_conn(daemon: &Arc<Daemon>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let shutting_down = line.contains("shutdown");
+        let resp = handle_request(daemon, &line);
+        if writeln!(writer, "{resp}").is_err() {
+            break;
+        }
+        if shutting_down && daemon.is_shutdown() {
+            // Unblock the accept loop so it observes the flag and exits.
+            if let Ok(local) = writer.local_addr() {
+                let _ = TcpStream::connect(local);
+            }
+            break;
+        }
+    }
+}
+
+/// Dispatches one request line to the daemon and renders the response line.
+pub fn handle_request(daemon: &Daemon, line: &str) -> String {
+    let req = match Value::parse(line) {
+        Ok(v) => v,
+        Err(e) => return err_line(&format!("bad request: {e}")),
+    };
+    match req.get("op").and_then(Value::as_str) {
+        Some("submit") => handle_submit(daemon, &req),
+        Some("status") => {
+            let Some(id) = req.get("id").and_then(Value::as_u64) else {
+                return err_line("status needs a numeric id");
+            };
+            match daemon.status(id) {
+                Some(view) => format!("{{\"ok\":true,\"id\":{id},\"state\":{}}}", state_str(&view)),
+                None => err_line(&format!("unknown job {id}")),
+            }
+        }
+        Some("result") => {
+            let Some(id) = req.get("id").and_then(Value::as_u64) else {
+                return err_line("result needs a numeric id");
+            };
+            let wait = req.get("wait").and_then(Value::as_bool).unwrap_or(false);
+            match daemon.result(id, wait) {
+                Some(view) => result_line(id, &view),
+                None => err_line(&format!("unknown job {id}")),
+            }
+        }
+        Some("batch") => {
+            let Some(items) = req.get("scenarios").and_then(Value::as_arr) else {
+                return err_line("batch needs a scenarios array");
+            };
+            let seed = req.get("seed").and_then(Value::as_u64);
+            let results: Vec<String> = items
+                .iter()
+                .map(|item| match item.as_str() {
+                    Some(src) => submit_line(daemon, src, seed, false),
+                    None => err_line("batch scenarios must be strings"),
+                })
+                .collect();
+            format!("{{\"ok\":true,\"results\":[{}]}}", results.join(","))
+        }
+        Some("stats") => {
+            let s = daemon.stats();
+            format!(
+                concat!(
+                    "{{\"ok\":true,\"submitted\":{},\"completed\":{},\"failed\":{},",
+                    "\"cache_hits\":{},\"shed\":{},\"coalesced\":{},\"queued\":{}}}"
+                ),
+                s.submitted, s.completed, s.failed, s.cache_hits, s.shed, s.coalesced, s.queued,
+            )
+        }
+        Some("shutdown") => {
+            daemon.shutdown();
+            "{\"ok\":true,\"shutdown\":true}".into()
+        }
+        Some(op) => err_line(&format!("unknown op \"{op}\"")),
+        None => err_line("request needs an op"),
+    }
+}
+
+fn handle_submit(daemon: &Daemon, req: &Value) -> String {
+    let Some(src) = req.get("scenario").and_then(Value::as_str) else {
+        return err_line("submit needs a scenario string");
+    };
+    let seed = req.get("seed").and_then(Value::as_u64);
+    let wait = req.get("wait").and_then(Value::as_bool).unwrap_or(false);
+    submit_line(daemon, src, seed, wait)
+}
+
+fn submit_line(daemon: &Daemon, src: &str, seed: Option<u64>, wait: bool) -> String {
+    match daemon.submit(src, seed) {
+        SubmitOutcome::CacheHit { digest, runs } => format!(
+            "{{\"ok\":true,\"cached\":true,\"digest\":\"{digest:016x}\",\"runs\":{runs}}}"
+        ),
+        SubmitOutcome::Queued { id, digest } => {
+            if wait {
+                match daemon.result(id, true) {
+                    Some(view) => result_line(id, &view),
+                    None => err_line(&format!("unknown job {id}")),
+                }
+            } else {
+                format!("{{\"ok\":true,\"id\":{id},\"digest\":\"{digest:016x}\"}}")
+            }
+        }
+        SubmitOutcome::Coalesced { id, digest } => {
+            if wait {
+                match daemon.result(id, true) {
+                    Some(view) => result_line(id, &view),
+                    None => err_line(&format!("unknown job {id}")),
+                }
+            } else {
+                format!(
+                    "{{\"ok\":true,\"id\":{id},\"digest\":\"{digest:016x}\",\"coalesced\":true}}"
+                )
+            }
+        }
+        SubmitOutcome::Shed => err_line("shed"),
+        SubmitOutcome::Invalid(msg) => err_line(&format!("compile: {msg}")),
+    }
+}
+
+fn result_line(id: u64, view: &JobView) -> String {
+    match view {
+        JobView::Done { digest, runs } => format!(
+            "{{\"ok\":true,\"id\":{id},\"state\":\"done\",\"digest\":\"{digest:016x}\",\"runs\":{runs}}}"
+        ),
+        JobView::Failed(msg) => format!(
+            "{{\"ok\":false,\"id\":{id},\"state\":\"failed\",\"error\":{}}}",
+            quote(msg)
+        ),
+        JobView::Queued | JobView::Running => format!(
+            "{{\"ok\":false,\"id\":{id},\"state\":{},\"error\":\"pending\"}}",
+            state_str(view)
+        ),
+    }
+}
+
+fn state_str(view: &JobView) -> &'static str {
+    match view {
+        JobView::Queued => "\"queued\"",
+        JobView::Running => "\"running\"",
+        JobView::Done { .. } => "\"done\"",
+        JobView::Failed(_) => "\"failed\"",
+    }
+}
+
+fn err_line(msg: &str) -> String {
+    format!("{{\"ok\":false,\"error\":{}}}", quote(msg))
+}

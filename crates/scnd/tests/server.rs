@@ -1,0 +1,185 @@
+//! End-to-end tests of the experiment server over real TCP connections:
+//! determinism-backed caching, deterministic queue-full shedding, and a
+//! concurrent-clients smoke.
+
+use scnd::{request_once, Client, DaemonConfig, serve};
+
+/// A scenario small enough to simulate in milliseconds.
+const TINY: &str = r#"
+    scenario "tiny" {
+        seeds = 1
+        system { gpus = 2 cus_per_gpu = 1 wavefronts_per_cu = 2 }
+        workload = uniform(pages = 16, ctas = 4, accesses = 8)
+    }
+"#;
+
+/// Renders a submit request for `src` as one JSON line.
+fn submit_req(src: &str, wait: bool) -> String {
+    format!(
+        "{{\"op\":\"submit\",\"scenario\":{},\"wait\":{wait}}}",
+        scnd::json::quote(src)
+    )
+}
+
+#[test]
+fn identical_scenario_hits_the_cache_and_the_counter_shows_it() {
+    let server = serve(&DaemonConfig::default(), 0).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    let first = c.request(&submit_req(TINY, true)).expect("submit");
+    assert!(
+        first.contains("\"ok\":true") && first.contains("\"state\":\"done\""),
+        "first run must complete: {first}"
+    );
+    assert!(first.contains("\"runs\":["), "result embeds metrics: {first}");
+
+    let second = c.request(&submit_req(TINY, true)).expect("resubmit");
+    assert!(
+        second.contains("\"cached\":true"),
+        "identical scenario must be served from the cache: {second}"
+    );
+    // The cached payload is bit-identical to the fresh one: same digest,
+    // same runs array (determinism makes the cache sound).
+    let runs_of = |resp: &str| resp.split("\"runs\":").nth(1).map(str::to_string);
+    assert_eq!(runs_of(&first), runs_of(&second));
+
+    let stats = c.request(r#"{"op":"stats"}"#).expect("stats");
+    assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+    assert!(stats.contains("\"completed\":1"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn one_token_edit_is_a_fresh_run_not_a_cache_hit() {
+    let server = serve(&DaemonConfig::default(), 0).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    let first = c.request(&submit_req(TINY, true)).expect("submit");
+    assert!(first.contains("\"state\":\"done\""), "{first}");
+
+    // One token changed: pages 16 -> 32. New digest, fresh run.
+    let edited = TINY.replace("pages = 16", "pages = 32");
+    let second = c.request(&submit_req(&edited, true)).expect("submit edit");
+    assert!(second.contains("\"state\":\"done\""), "{second}");
+    assert!(!second.contains("\"cached\":true"), "{second}");
+
+    let digest_of = |resp: &str| {
+        resp.split("\"digest\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .map(str::to_string)
+    };
+    assert_ne!(
+        digest_of(&first),
+        digest_of(&second),
+        "a semantic edit must produce a new digest"
+    );
+
+    let stats = c.request(r#"{"op":"stats"}"#).expect("stats");
+    assert!(stats.contains("\"cache_hits\":0"), "{stats}");
+    assert!(stats.contains("\"completed\":2"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_sheds_deterministically_and_never_hangs() {
+    // No workers: nothing drains, so admission outcomes are a pure
+    // function of the submission sequence.
+    let cfg = DaemonConfig {
+        workers: 0,
+        queue_cap: 2,
+        ..DaemonConfig::default()
+    };
+    let server = serve(&cfg, 0).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+
+    for seed in [31, 32] {
+        let src = TINY.replace("seeds = 1", &format!("seeds = [{seed}]"));
+        let resp = c.request(&submit_req(&src, false)).expect("submit");
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    for seed in [33, 34] {
+        let src = TINY.replace("seeds = 1", &format!("seeds = [{seed}]"));
+        let resp = c.request(&submit_req(&src, false)).expect("submit");
+        assert_eq!(resp, "{\"ok\":false,\"error\":\"shed\"}", "full queue must shed");
+    }
+
+    let stats = c.request(r#"{"op":"stats"}"#).expect("stats");
+    assert!(stats.contains("\"shed\":2"), "{stats}");
+    assert!(stats.contains("\"queued\":2"), "{stats}");
+
+    // Status of a queued job answers immediately even with no workers.
+    let status = c.request(r#"{"op":"status","id":1}"#).expect("status");
+    assert!(status.contains("\"state\":\"queued\""), "{status}");
+    // A non-waiting result poll reports pending instead of blocking.
+    let result = c.request(r#"{"op":"result","id":1}"#).expect("result");
+    assert!(result.contains("\"error\":\"pending\""), "{result}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_complete() {
+    let cfg = DaemonConfig {
+        workers: 2,
+        ..DaemonConfig::default()
+    };
+    let server = serve(&cfg, 0).expect("bind");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let src = TINY.replace("seeds = 1", &format!("seeds = [{}]", 100 + i));
+                request_once(addr, &submit_req(&src, true)).expect("round trip")
+            })
+        })
+        .collect();
+    for h in handles {
+        let resp = h.join().expect("client thread");
+        assert!(
+            resp.contains("\"state\":\"done\"") && resp.contains("\"runs\":["),
+            "every concurrent client must get a completed run: {resp}"
+        );
+    }
+
+    let stats = request_once(addr, r#"{"op":"stats"}"#).expect("stats");
+    assert!(stats.contains("\"completed\":4"), "{stats}");
+    assert!(stats.contains("\"failed\":0"), "{stats}");
+    server.shutdown();
+}
+
+#[test]
+fn batch_submits_every_scenario_in_one_request() {
+    let server = serve(&DaemonConfig::default(), 0).expect("bind");
+    let a = TINY.replace("seeds = 1", "seeds = [201]");
+    let b = TINY.replace("seeds = 1", "seeds = [202]");
+    let req = format!(
+        "{{\"op\":\"batch\",\"scenarios\":[{},{}]}}",
+        scnd::json::quote(&a),
+        scnd::json::quote(&b)
+    );
+    let resp = request_once(server.addr(), &req).expect("batch");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"id\":1") && resp.contains("\"id\":2"), "{resp}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_errors_not_disconnects() {
+    let server = serve(&DaemonConfig::default(), 0).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+    for bad in [
+        "not json",
+        "{\"op\":\"nope\"}",
+        "{\"no_op\":1}",
+        "{\"op\":\"status\"}",
+        "{\"op\":\"submit\",\"scenario\":\"scenario \\\"x\\\" {}\"}",
+    ] {
+        let resp = c.request(bad).expect("server must keep the connection");
+        assert!(resp.contains("\"ok\":false"), "{bad} -> {resp}");
+    }
+    // The connection still works after every error.
+    let resp = c.request(r#"{"op":"stats"}"#).expect("stats");
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    server.shutdown();
+}

@@ -209,10 +209,12 @@ impl Config {
     pub fn trans_fw() -> Self {
         let c = |s: &str| format!("crates/{s}");
         Self {
-            sim_state_crates: ["core", "cuckoo", "tlb", "ptw", "uvm", "mgpu", "sim-core"]
-                .iter()
-                .map(|s| c(s))
-                .collect(),
+            sim_state_crates: [
+                "core", "cuckoo", "tlb", "ptw", "uvm", "mgpu", "sim-core", "scn", "scnd",
+            ]
+            .iter()
+            .map(|s| c(s))
+            .collect(),
             exempt_crates: vec![c("bench")],
             hot_path_files: ["system", "recovery", "placement", "host"]
                 .iter()

@@ -31,12 +31,14 @@ pub mod burst;
 pub mod ml;
 pub mod oversub;
 pub mod phase;
+pub mod select;
 pub mod spec;
 
 pub use burst::{burst, Burst};
 pub use ml::{resnet18, vgg16, MlModel};
 pub use oversub::{oversub_shift, OversubShift};
 pub use phase::{phase_shift, PhaseShift};
+pub use select::WorkloadSpec;
 pub use spec::{AppSpec, Pattern};
 
 /// All ten Table III applications with their default (paper-shaped) specs.
