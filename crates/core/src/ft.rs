@@ -81,12 +81,12 @@ impl Ft {
     /// (possibly several after collision-induced stale entries, possibly a
     /// false positive; never misses a real owner).
     pub fn lookup(&mut self, vpn: u64) -> Vec<GpuId> {
-        self.lookups += 1;
+        self.lookups = self.lookups.saturating_add(1);
         let owners: Vec<GpuId> = (0..self.gpu_count)
             .filter(|&g| self.filter.contains(self.key(vpn, g)))
             .collect();
         if !owners.is_empty() {
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
         }
         owners
     }
@@ -153,7 +153,11 @@ impl Ft {
     /// A 64-bit digest of the table's occupancy and counters, for epoch
     /// checkpoints.
     pub fn state_digest(&self) -> u64 {
-        let mut sm = self.filter.len() as u64 ^ (self.lookups << 24) ^ (self.hits << 48);
+        let mut sm = self.filter.len() as u64
+            ^ (self.lookups << 24)
+            ^ (self.hits << 48)
+            ^ (u64::from(self.mask_bits) << 8)
+            ^ u64::from(self.gpu_count);
         sim_core::rng::splitmix64(&mut sm)
     }
 }

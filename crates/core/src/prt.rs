@@ -71,10 +71,10 @@ impl Prt {
     /// Tests whether the translation *may* be present in the local page
     /// table. `false` is definitive (short-circuit to the host MMU).
     pub fn may_be_local(&mut self, vpn: u64) -> bool {
-        self.lookups += 1;
+        self.lookups = self.lookups.saturating_add(1);
         let hit = self.filter.contains(self.key(vpn));
         if hit {
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
         }
         hit
     }
@@ -136,7 +136,10 @@ impl Prt {
     /// A 64-bit digest of the table's current membership and counters, for
     /// epoch checkpoints. Deterministic across runs with the same history.
     pub fn state_digest(&self) -> u64 {
-        let mut sm = self.filter.len() as u64 ^ (self.lookups << 24) ^ (self.hits << 48);
+        let mut sm = self.filter.len() as u64
+            ^ (self.lookups << 24)
+            ^ (self.hits << 48)
+            ^ (u64::from(self.mask_bits) << 8);
         sim_core::rng::splitmix64(&mut sm)
     }
 }

@@ -61,7 +61,7 @@ impl System {
             let start = resume.map_or(levels, |k| k - 1);
             let insert_lo = walk.reached_level.max(2);
             let insert_hi = start.min(levels);
-            self.metrics.gmmu_walk_accesses += u64::from(walk.accesses);
+            self.metrics.gmmu_walk_accesses = self.metrics.gmmu_walk_accesses.saturating_add(u64::from(walk.accesses));
             self.events.push(
                 now + walk_cycles,
                 Event::GmmuWalkDone {
@@ -138,12 +138,12 @@ impl System {
             }
             None => {
                 // GPU local page fault (far fault).
-                self.metrics.local_faults += 1;
+                self.metrics.local_faults = self.metrics.local_faults.saturating_add(1);
                 self.record_remote_probe(gpu, self.reqs[req].vpn);
                 if self.gpus[gpu as usize].prt.is_some() {
                     // With short-circuiting enabled every local-walk fault is
                     // a PRT false positive by construction.
-                    self.metrics.transfw.prt_false_positives += 1;
+                    self.metrics.transfw.prt_false_positives = self.metrics.transfw.prt_false_positives.saturating_add(1);
                 }
                 self.send_fault_to_host(req, now);
             }
@@ -153,15 +153,15 @@ impl System {
     /// The Fig. 8 study: on each local fault, would a *remote* GPU's
     /// PW-cache have provided a prefix for this translation?
     fn record_remote_probe(&mut self, faulting_gpu: u16, vpn: u64) {
-        self.metrics.remote_probe.faults += 1;
+        self.metrics.remote_probe.faults = self.metrics.remote_probe.faults.saturating_add(1);
         let best = (0..self.gpus.len())
             .filter(|&g| g != faulting_gpu as usize)
             .filter_map(|g| self.gpus[g].pwc.probe(vpn))
             .min();
         if let Some(k) = best {
-            self.metrics.remote_probe.hits += 1;
+            self.metrics.remote_probe.hits = self.metrics.remote_probe.hits.saturating_add(1);
             if k <= 3 {
-                self.metrics.remote_probe.lower_hits += 1;
+                self.metrics.remote_probe.lower_hits = self.metrics.remote_probe.lower_hits.saturating_add(1);
             }
         }
     }
@@ -182,7 +182,7 @@ impl System {
             // borrowed walk instead of queueing behind its own demand
             // misses. The failure notify keeps the host path live (and
             // feeds the requester's circuit breaker for this peer).
-            self.overload.stats.remote_walks_shed += 1;
+            self.overload.stats.remote_walks_shed = self.overload.stats.remote_walks_shed.saturating_add(1);
             let now = self.now;
             let notify_at = self.cpu_control_arrival(now);
             self.send_message(req, notify_at, Event::RemoteNotify { req, success: false });
@@ -218,7 +218,7 @@ impl System {
                 },
             );
         } else {
-            self.metrics.transfw.remote_failed += 1;
+            self.metrics.transfw.remote_failed = self.metrics.transfw.remote_failed.saturating_add(1);
         }
         let notify_at = self.cpu_control_arrival(now);
         self.send_message(req, notify_at, Event::RemoteNotify { req, success });
@@ -237,7 +237,7 @@ impl System {
         let vpn = self.reqs[req].vpn;
         self.reqs[req].remote_supplied = true;
         self.retire(req);
-        self.metrics.transfw.remote_supplied += 1;
+        self.metrics.transfw.remote_supplied = self.metrics.transfw.remote_supplied.saturating_add(1);
         self.map_on_gpu(g, vpn, entry.loc);
         self.dir.add_remote_map(vpn, g);
         self.complete_translation(g, vpn, entry);
@@ -270,16 +270,16 @@ impl System {
                 && !self.reqs[req].fallback
             {
                 self.reqs[req].cancelled = true;
-                self.metrics.transfw.cancelled_host_walks += 1;
+                self.metrics.transfw.cancelled_host_walks = self.metrics.transfw.cancelled_host_walks.saturating_add(1);
             } else if self.reqs[req].host_walk_started {
                 // Both the host walk and the remote walk ran: Fig. 14's
                 // replicated PT-walk.
-                self.metrics.transfw.replicated_walks += 1;
+                self.metrics.transfw.replicated_walks = self.metrics.transfw.replicated_walks.saturating_add(1);
             }
         } else {
             // The borrowed walk ran in vain and the host walk proceeds (or
             // already ran): the walk was replicated either way.
-            self.metrics.transfw.replicated_walks += 1;
+            self.metrics.transfw.replicated_walks = self.metrics.transfw.replicated_walks.saturating_add(1);
         }
     }
 }

@@ -59,7 +59,7 @@ impl System {
                     r.forwarded = true;
                     r.forwarded_to = Some(owner);
                 }
-                self.metrics.transfw.forwarded += 1;
+                self.metrics.transfw.forwarded = self.metrics.transfw.forwarded.saturating_add(1);
                 let arrival = self.cpu_control_arrival(now);
                 self.send_message(req, arrival, Event::RemoteWalkArrive { gpu: owner, req });
             }
@@ -71,7 +71,7 @@ impl System {
                 // Host queue full (sized generously; effectively unreachable
                 // under Table II parameters): retry shortly.
                 if self.overload.active() {
-                    self.overload.stats.demand_deferred += 1;
+                    self.overload.stats.demand_deferred = self.overload.stats.demand_deferred.saturating_add(1);
                 }
                 self.events.push(now + 64, Event::HostArrive { req });
             }
@@ -127,7 +127,7 @@ impl System {
                     what: "host: free walker vanished during dispatch".into(),
                 });
             }
-            self.metrics.host_walks += 1;
+            self.metrics.host_walks = self.metrics.host_walks.saturating_add(1);
             // Injected slowdowns: DRAM-contention walker stalls and
             // host-MMU overload bursts.
             let stall = self.injector.walker_stall() + self.injector.host_burst_penalty(now);
@@ -142,7 +142,7 @@ impl System {
             let walk_cycles = Cycle::from(accesses) * self.cfg.walk_level_latency
                 + self.cfg.host_fault_overhead
                 + stall;
-            self.metrics.host_walk_accesses += u64::from(walk.accesses);
+            self.metrics.host_walk_accesses = self.metrics.host_walk_accesses.saturating_add(u64::from(walk.accesses));
             let start = resume.map_or(levels, |k| k - 1);
             self.events.push(
                 now + walk_cycles,
@@ -199,7 +199,7 @@ impl System {
             // The requester is offline: resolving now would migrate the page
             // into a dead GPU. Park the request and re-resolve against fresh
             // placement state once it rejoins.
-            self.metrics.recovery.deferred_events += 1;
+            self.metrics.recovery.deferred_events = self.metrics.recovery.deferred_events.saturating_add(1);
             let retry = self.host_entry_event(req);
             self.events.push(until, retry);
             return;
@@ -354,7 +354,7 @@ impl System {
                     r.forwarded = true;
                     r.forwarded_to = Some(owner);
                 }
-                self.metrics.transfw.forwarded += 1;
+                self.metrics.transfw.forwarded = self.metrics.transfw.forwarded.saturating_add(1);
                 let arrival = self.cpu_control_arrival(now);
                 self.send_message(req, arrival, Event::RemoteWalkArrive { gpu: owner, req });
             }
@@ -377,7 +377,7 @@ impl System {
                 if let Some(r) = self.reqs.get_mut(req) {
                     r.host_walk_started = true;
                 }
-                self.metrics.host_walks += 1;
+                self.metrics.host_walks = self.metrics.host_walks.saturating_add(1);
             }
             self.driver_batch = batch.faults;
             self.events.push(batch.done_at, Event::DriverBatchDone);

@@ -349,7 +349,7 @@ impl RunMetrics {
 
     /// L2 TLB hit rate.
     pub fn l2_hit_rate(&self) -> f64 {
-        sim_core::stats::ratio(self.l2_hits, self.l2_hits + self.l2_misses)
+        sim_core::stats::ratio(self.l2_hits, self.l2_hits.saturating_add(self.l2_misses))
     }
 
     /// Speedup of this run relative to `baseline` (>1 means faster).

@@ -196,12 +196,16 @@ pub struct OverloadStats {
 impl OverloadStats {
     /// Background work shed (prefetch + migration + borrowed remote walks).
     pub fn background_shed(&self) -> u64 {
-        self.prefetch_shed + self.migration_shed + self.remote_walks_shed
+        self.prefetch_shed
+            .saturating_add(self.migration_shed)
+            .saturating_add(self.remote_walks_shed)
     }
 
     /// Everything shed, deferred or rejected across all classes.
     pub fn total_shed(&self) -> u64 {
-        self.background_shed() + self.demand_deferred + self.demand_rejected
+        self.background_shed()
+            .saturating_add(self.demand_deferred)
+            .saturating_add(self.demand_rejected)
     }
 }
 
@@ -289,21 +293,21 @@ impl CircuitBreaker {
     ) -> ForwardDecision {
         if let BreakerState::Open { until } = self.state {
             if now < until {
-                stats.breaker_short_circuits += 1;
+                stats.breaker_short_circuits = stats.breaker_short_circuits.saturating_add(1);
                 return ForwardDecision::Skip;
             }
             self.state = BreakerState::HalfOpen;
-            stats.breaker_half_opens += 1;
+            stats.breaker_half_opens = stats.breaker_half_opens.saturating_add(1);
         }
         match self.state {
             BreakerState::Closed => ForwardDecision::Forward,
             BreakerState::HalfOpen => {
                 if self.probes.len() < cfg.breaker_probes {
                     self.probes.push(req);
-                    stats.breaker_probes += 1;
+                    stats.breaker_probes = stats.breaker_probes.saturating_add(1);
                     ForwardDecision::Probe
                 } else {
-                    stats.breaker_short_circuits += 1;
+                    stats.breaker_short_circuits = stats.breaker_short_circuits.saturating_add(1);
                     ForwardDecision::Skip
                 }
             }
@@ -349,7 +353,7 @@ impl CircuitBreaker {
                     self.successes = 0;
                     self.failures = 0;
                     self.probes.clear();
-                    stats.breaker_closes += 1;
+                    stats.breaker_closes = stats.breaker_closes.saturating_add(1);
                 } else {
                     self.trip(now, cfg, stats);
                 }
@@ -366,7 +370,7 @@ impl CircuitBreaker {
         self.successes = 0;
         self.failures = 0;
         self.probes.clear();
-        stats.breaker_opens += 1;
+        stats.breaker_opens = stats.breaker_opens.saturating_add(1);
     }
 
     /// The peer was evicted: drain the probe queue (those forwards can
@@ -379,9 +383,9 @@ impl CircuitBreaker {
         stats: &mut OverloadStats,
     ) -> Vec<ReqId> {
         let drained = std::mem::take(&mut self.probes);
-        stats.probe_drains += drained.len() as u64;
+        stats.probe_drains = stats.probe_drains.saturating_add(drained.len() as u64);
         if !matches!(self.state, BreakerState::Open { .. }) {
-            stats.breaker_opens += 1;
+            stats.breaker_opens = stats.breaker_opens.saturating_add(1);
         }
         self.state = BreakerState::Open {
             until: now + cfg.breaker_open_cycles,
@@ -487,11 +491,11 @@ impl OverloadControl {
             .is_some_and(TokenBucket::try_take);
         if granted {
             let delay = self.backoff.delay(attempt, &mut self.rng);
-            self.stats.retries_budgeted += 1;
-            self.stats.backoff_delay_total += delay;
+            self.stats.retries_budgeted = self.stats.retries_budgeted.saturating_add(1);
+            self.stats.backoff_delay_total = self.stats.backoff_delay_total.saturating_add(delay);
             RetryDecision::Retry { delay }
         } else {
-            self.stats.retry_tokens_denied += 1;
+            self.stats.retry_tokens_denied = self.stats.retry_tokens_denied.saturating_add(1);
             RetryDecision::Exhausted
         }
     }
@@ -540,7 +544,7 @@ impl OverloadControl {
             return ForwardDecision::Forward;
         }
         if down_backlog > self.cfg.peer_backlog_high {
-            self.stats.forward_skipped_congested += 1;
+            self.stats.forward_skipped_congested = self.stats.forward_skipped_congested.saturating_add(1);
             return ForwardDecision::Skip;
         }
         match self.breakers.get_mut(usize::from(owner)) {

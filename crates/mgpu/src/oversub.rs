@@ -231,13 +231,13 @@ impl OversubControl {
             None => false,
         };
         if refault {
-            self.stats.refaults += 1;
+            self.stats.refaults = self.stats.refaults.saturating_add(1);
             self.refaults[g].record(now);
         }
         let was_engaged = self.gates[g].engaged();
         let engaged = self.gates[g].observe(self.refaults[g].count(now));
         if engaged && !was_engaged {
-            self.stats.thrash_trips += 1;
+            self.stats.thrash_trips = self.stats.thrash_trips.saturating_add(1);
         }
         refault
     }
@@ -247,7 +247,7 @@ impl OversubControl {
     pub fn shed_background(&mut self, gpu: GpuId, class: TrafficClass) -> bool {
         let shed = class.is_background() && self.thrashing(gpu);
         if shed {
-            self.stats.background_shed += 1;
+            self.stats.background_shed = self.stats.background_shed.saturating_add(1);
         }
         shed
     }
@@ -264,19 +264,19 @@ impl OversubControl {
     ) -> bool {
         let fall_back = self.thrashing(gpu) && at_capacity && !was_refault;
         if fall_back {
-            self.stats.direct_fallbacks += 1;
+            self.stats.direct_fallbacks = self.stats.direct_fallbacks.saturating_add(1);
         }
         fall_back
     }
 
     /// Credits victim candidates skipped because they were pinned.
     pub fn note_pinned_skips(&mut self, n: u64) {
-        self.stats.pinned_skips += n;
+        self.stats.pinned_skips = self.stats.pinned_skips.saturating_add(n);
     }
 
     /// Credits a capacity-enforcement pass that found no evictable victim.
     pub fn note_no_victim(&mut self) {
-        self.stats.no_victim += 1;
+        self.stats.no_victim = self.stats.no_victim.saturating_add(1);
     }
 
     /// `gpu` went offline: its memory is gone, so recently-evicted history

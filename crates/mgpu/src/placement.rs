@@ -96,7 +96,7 @@ impl System {
         if self.overload.shed_background(uvm::TrafficClass::Prefetch) {
             // Admission control sheds prefetch traffic first: the demand
             // migration already happened, only the speculative pull is lost.
-            self.overload.stats.prefetch_shed += neighborhood.len() as u64;
+            self.overload.stats.prefetch_shed = self.overload.stats.prefetch_shed.saturating_add(neighborhood.len() as u64);
             return;
         }
         if self.oversub.shed_background(gpu, uvm::TrafficClass::Prefetch) {
@@ -125,7 +125,7 @@ impl System {
                 continue; // outside the workload footprint
             }
             if was_pending {
-                self.metrics.placement.prefetch_skipped_pending += 1;
+                self.metrics.placement.prefetch_skipped_pending = self.metrics.placement.prefetch_skipped_pending.saturating_add(1);
                 continue;
             }
             let Some(txn) = self.dir.prefetch_page(v, gpu, from) else {
@@ -135,7 +135,7 @@ impl System {
             self.map_on_gpu(gpu, v, Location::Gpu(gpu));
             let done = self.txn_transfer_done(&txn, now);
             self.record_migration(&txn, now, done);
-            self.metrics.placement.prefetched_pages += 1;
+            self.metrics.placement.prefetched_pages = self.metrics.placement.prefetched_pages.saturating_add(1);
         }
     }
 }

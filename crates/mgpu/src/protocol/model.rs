@@ -765,6 +765,7 @@ impl ProtocolState {
     }
 
     fn do_remote_walk_done(&mut self, i: usize) {
+        // simlint::allow(panic-reach): model-checker invariant assertion — a panic here is simcheck reporting a broken protocol state, not a simulator path
         let o = self.reqs[i].remote_at.take().expect("remote walk pending");
         if self.reqs[i].completed {
             return; // duplicate-arrival guard: no walk, no notify
@@ -780,6 +781,7 @@ impl ProtocolState {
     }
 
     fn do_deliver_supply(&mut self, i: usize) {
+        // simlint::allow(panic-reach): model-checker invariant assertion — a panic here is simcheck reporting a broken protocol state, not a simulator path
         let loc = self.reqs[i].supply.take().expect("supply pending");
         if self.reqs[i].completed {
             return; // idempotence guard
@@ -795,6 +797,7 @@ impl ProtocolState {
     }
 
     fn do_deliver_notify(&mut self, i: usize) {
+        // simlint::allow(panic-reach): model-checker invariant assertion — a panic here is simcheck reporting a broken protocol state, not a simulator path
         let success = self.reqs[i].notify.take().expect("notify pending");
         if self.reqs[i].remote_outcome {
             return; // idempotence guard
@@ -831,6 +834,7 @@ impl ProtocolState {
         let txn = self
             .dir
             .begin_fault_txn(vpn, g, is_write)
+            // simlint::allow(panic-reach): model-checker invariant assertion — a panic here is simcheck reporting a broken protocol state, not a simulator path
             .expect("model GPU ids are in range");
         protocol::commit_ownership(self, &txn);
         self.check_commit(&txn);
@@ -926,6 +930,7 @@ impl ProtocolState {
             self.reqs[i].phase = Phase::Done; // duplicate guard: no reply
             return;
         }
+        // simlint::allow(panic-reach): model-checker invariant assertion — a panic here is simcheck reporting a broken protocol state, not a simulator path
         let loc = self.reqs[i].resolved_loc.expect("resolving implies a location");
         protocol::map_page(self, g, vpn, loc);
         self.reqs[i].phase = Phase::ReplySent;
@@ -946,6 +951,7 @@ impl ProtocolState {
             self.reqs[i].phase = Phase::Done; // idempotence guard
             return;
         }
+        // simlint::allow(panic-reach): model-checker invariant assertion — a panic here is simcheck reporting a broken protocol state, not a simulator path
         let loc = self.reqs[i].resolved_loc.expect("reply implies a location");
         // No staleness probe here: the resolution was directory-blessed at
         // commit time, and an ownership invalidation may legitimately pass

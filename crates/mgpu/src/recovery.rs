@@ -134,7 +134,7 @@ impl System {
             | Event::RemoteSupply { .. }
             | Event::HostArrive { .. }
             | Event::DriverSubmit { .. } => {
-                self.metrics.recovery.deferred_events += 1;
+                self.metrics.recovery.deferred_events = self.metrics.recovery.deferred_events.saturating_add(1);
                 self.events.push(until, ev);
                 None
             }
@@ -143,7 +143,7 @@ impl System {
             // A forwarded walk reaching a dead GPU is refused immediately so
             // the host falls back to its own walk instead of waiting.
             Event::RemoteWalkArrive { req, .. } => {
-                self.metrics.transfw.remote_failed += 1;
+                self.metrics.transfw.remote_failed = self.metrics.transfw.remote_failed.saturating_add(1);
                 let at = self.cpu_control_arrival(self.now);
                 self.send_message(req, at, Event::RemoteNotify { req, success: false });
                 None
@@ -155,7 +155,7 @@ impl System {
                 if self.reqs[req].completed {
                     self.note_duplicate();
                 } else {
-                    self.metrics.recovery.deferred_events += 1;
+                    self.metrics.recovery.deferred_events = self.metrics.recovery.deferred_events.saturating_add(1);
                     let retry = self.host_entry_event(req);
                     self.events.push(until, retry);
                 }
@@ -186,7 +186,7 @@ impl System {
     /// GPU `g` drops off the fabric until `until`: drain, invalidate,
     /// migrate ownership, flush (the tentpole recovery sequence).
     pub(crate) fn gpu_offline(&mut self, g: u16, until: Cycle) {
-        self.metrics.recovery.gpu_offline_events += 1;
+        self.metrics.recovery.gpu_offline_events = self.metrics.recovery.gpu_offline_events.saturating_add(1);
         let gi = g as usize;
         if let Some(old) = self.offline_until[gi] {
             // Overlapping windows: the state was already drained; just
@@ -212,7 +212,7 @@ impl System {
             if job.remote {
                 // A borrowed walk dies with its borrower: refuse it so the
                 // host's own walk proceeds.
-                self.metrics.transfw.remote_failed += 1;
+                self.metrics.transfw.remote_failed = self.metrics.transfw.remote_failed.saturating_add(1);
                 let at = self.cpu_control_arrival(now);
                 self.send_message(job.req, at, Event::RemoteNotify { req: job.req, success: false });
             } else if !self.reqs[job.req].completed {
@@ -220,7 +220,7 @@ impl System {
                 // path once it rejoins.
                 self.reqs[job.req].fallback = true;
                 self.reqs[job.req].cancelled = false;
-                self.metrics.recovery.reissued_walks += 1;
+                self.metrics.recovery.reissued_walks = self.metrics.recovery.reissued_walks.saturating_add(1);
                 let entry = self.host_entry_event(job.req);
                 self.events.push(until, entry);
             }
@@ -239,7 +239,7 @@ impl System {
         for &vpn in &report.deferred {
             self.pending_evict.insert(vpn, g);
         }
-        self.metrics.recovery.deferred_evictions += report.deferred.len() as u64;
+        self.metrics.recovery.deferred_evictions = self.metrics.recovery.deferred_evictions.saturating_add(report.deferred.len() as u64);
         protocol::evict_tables(self, g, &report);
         if self.oversub.active() {
             self.evictor.on_gpu_offline(g);
@@ -270,7 +270,7 @@ impl System {
         }
         self.offline_until[gi] = None;
         self.offline_count -= 1;
-        self.metrics.recovery.gpu_rejoins += 1;
+        self.metrics.recovery.gpu_rejoins = self.metrics.recovery.gpu_rejoins.saturating_add(1);
         // PRT rebuild from the directory's authoritative residency list
         // (empty right after an eviction; pages repopulate it as the
         // re-issued and deferred walks migrate them back in).
@@ -290,7 +290,7 @@ impl System {
     /// traffic detours via the host (see
     /// [`Fabric::set_partitioned`](interconnect::Fabric::set_partitioned)).
     pub(crate) fn link_down(&mut self, a: u16, b: u16) {
-        self.metrics.recovery.link_partition_events += 1;
+        self.metrics.recovery.link_partition_events = self.metrics.recovery.link_partition_events.saturating_add(1);
         self.fabric.set_partitioned(a as usize, b as usize, true);
     }
 
@@ -302,7 +302,7 @@ impl System {
     /// The host MMU stops dispatching until `until` (failover to a standby
     /// walker complex). Overlapping windows extend.
     pub(crate) fn host_failover_start(&mut self, until: Cycle) {
-        self.metrics.recovery.host_failover_events += 1;
+        self.metrics.recovery.host_failover_events = self.metrics.recovery.host_failover_events.saturating_add(1);
         self.host_failover_until =
             Some(self.host_failover_until.map_or(until, |u| u.max(until)));
     }
@@ -337,7 +337,7 @@ impl System {
             // instead of compounding the failure with a second panic.
             sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record(cp);
         }
-        self.metrics.recovery.checkpoints_taken += 1;
+        self.metrics.recovery.checkpoints_taken = self.metrics.recovery.checkpoints_taken.saturating_add(1);
         if let Some(interval) = self.cfg.checkpoint_interval {
             if self.has_real_events() {
                 self.push_bookkeeping(self.now + interval, Event::Checkpoint);

@@ -278,6 +278,7 @@ impl System {
             reqs: ReqArena::new(),
             metrics: RunMetrics::default(),
             policy,
+            // simlint::allow(rng-stream-discipline): the system root stream — every subsystem forks a salted stream from this seed
             rng: SimRng::new(cfg.seed),
             cache_hit_rate: 0.5,
             injector: FaultInjector::new(cfg.faults.clone()),
@@ -620,7 +621,7 @@ impl System {
             r.remote_timed_out = true;
             (r.gpu, r.forwarded_to.take())
         };
-        self.metrics.resilience.remote_timeouts += 1;
+        self.metrics.resilience.remote_timeouts = self.metrics.resilience.remote_timeouts.saturating_add(1);
         // A forward that timed out is failure evidence for the peer's
         // breaker (no-op while overload control is off).
         if let Some(peer) = timed_out_peer {
@@ -647,7 +648,7 @@ impl System {
                 r.watchdog_retries += 1;
                 r.cancelled = false;
             }
-            self.metrics.resilience.retries += 1;
+            self.metrics.resilience.retries = self.metrics.resilience.retries.saturating_add(1);
             self.send_fault_to_host(req, now + delay);
         } else {
             // Graceful degradation: mark the request fallback (all of its
@@ -657,7 +658,7 @@ impl System {
                 r.fallback = true;
                 r.cancelled = false;
             }
-            self.metrics.resilience.fallback_walks += 1;
+            self.metrics.resilience.fallback_walks = self.metrics.resilience.fallback_walks.saturating_add(1);
             let arrival = self.cpu_control_arrival(now);
             if let Some(r) = self.reqs.get_mut(req) {
                 r.lat.network += arrival - now;
@@ -729,7 +730,7 @@ impl System {
         r.completed = true;
         r.retire_count += 1;
         let (born, vpn, gpu) = (r.born, r.vpn, r.gpu);
-        self.metrics.resilience.requests_retired += 1;
+        self.metrics.resilience.requests_retired = self.metrics.resilience.requests_retired.saturating_add(1);
         // Latency-tail accounting (recorded only while overload control is
         // enabled, so disabled metrics stay at `Default`).
         self.overload.note_demand_latency(self.now.saturating_sub(born));
@@ -784,7 +785,7 @@ impl System {
     /// not duplicates.
     pub(crate) fn note_duplicate(&mut self) {
         if self.injector.active() {
-            self.metrics.resilience.duplicates_suppressed += 1;
+            self.metrics.resilience.duplicates_suppressed = self.metrics.resilience.duplicates_suppressed.saturating_add(1);
         }
     }
 
@@ -838,7 +839,7 @@ impl System {
     fn wf_mem(&mut self, wf: WfRef) -> Result<(), SimError> {
         let a = self.pending_access(wf)?;
         let tvpn = self.cfg.translation_vpn(a.vpn);
-        self.metrics.mem_instructions += 1;
+        self.metrics.mem_instructions = self.metrics.mem_instructions.saturating_add(1);
         self.metrics.sharing.record(tvpn, wf.gpu, a.is_write);
 
         let l1_lat = self.cfg.l1_tlb_latency;
@@ -896,7 +897,7 @@ impl System {
                 let born = self.now + l2_lat;
                 let req = self.reqs.create(tvpn, wf.gpu, a.is_write, born);
                 *self.outstanding_vpns.entry(tvpn).or_insert(0) += 1;
-                self.metrics.translation_requests += 1;
+                self.metrics.translation_requests = self.metrics.translation_requests.saturating_add(1);
                 // Fresh demand traffic funds the GPU's retry budget.
                 self.overload.on_fresh_demand(wf.gpu);
                 self.start_translation(req, born);
@@ -915,7 +916,7 @@ impl System {
             None => false,
         };
         if short_circuit {
-            self.metrics.transfw.gmmu_bypassed += 1;
+            self.metrics.transfw.gmmu_bypassed = self.metrics.transfw.gmmu_bypassed.saturating_add(1);
             self.send_fault_to_host(req, at);
         } else {
             self.events.push(
@@ -950,7 +951,7 @@ impl System {
     /// backpressure) instead of hanging on the dead link.
     pub(crate) fn peer_control_arrival_between(&mut self, src: u16, dst: u16, at: Cycle) -> Cycle {
         if self.fabric.is_partitioned(src as usize, dst as usize) {
-            self.metrics.recovery.rerouted_messages += 1;
+            self.metrics.recovery.rerouted_messages = self.metrics.recovery.rerouted_messages.saturating_add(1);
             let at_host = self
                 .fabric
                 .send_gpu_to_cpu(src as usize, at, interconnect::msg::CONTROL);
@@ -1002,7 +1003,7 @@ impl System {
                 // while the host admission gate is engaged it is shed
                 // outright (a later access can always re-trigger it).
                 if self.overload.shed_background(uvm::TrafficClass::Migration) {
-                    self.overload.stats.migration_shed += 1;
+                    self.overload.stats.migration_shed = self.overload.stats.migration_shed.saturating_add(1);
                 } else if self.oversub.shed_background(gpu, uvm::TrafficClass::Migration) {
                     // Thrash gate: pulling more pages into a thrashing GPU
                     // only deepens the collapse; the access stays remote.
@@ -1239,11 +1240,11 @@ impl System {
         self.metrics.total_cycles = self.last_real_event;
         for gpu in &self.gpus {
             for cu in &gpu.cus {
-                self.metrics.l1_hits += cu.l1.hits();
-                self.metrics.l1_misses += cu.l1.misses();
+                self.metrics.l1_hits = self.metrics.l1_hits.saturating_add(cu.l1.hits());
+                self.metrics.l1_misses = self.metrics.l1_misses.saturating_add(cu.l1.misses());
             }
-            self.metrics.l2_hits += gpu.l2.hits();
-            self.metrics.l2_misses += gpu.l2.misses();
+            self.metrics.l2_hits = self.metrics.l2_hits.saturating_add(gpu.l2.hits());
+            self.metrics.l2_misses = self.metrics.l2_misses.saturating_add(gpu.l2.misses());
             self.metrics.gmmu_pwc.merge(gpu.pwc.stats());
         }
         self.metrics.host_pwc.merge(self.host.pwc.stats());
@@ -1264,7 +1265,7 @@ impl System {
         self.metrics.resilience.faults_injected = self.injector.stats();
         // Data transfers rerouted inside the fabric join the control
         // messages rerouted at the protocol layer.
-        self.metrics.recovery.rerouted_messages += self.fabric.rerouted_count();
+        self.metrics.recovery.rerouted_messages = self.metrics.recovery.rerouted_messages.saturating_add(self.fabric.rerouted_count());
         self.metrics.overload = self.overload.take_stats();
         self.metrics.oversub = self.oversub.take_stats();
         Ok(self.metrics)
@@ -1389,13 +1390,14 @@ impl ProtocolTables for System {
     }
 
     fn note(&mut self, note: ProtocolNote) {
-        match note {
-            ProtocolNote::TxnCommitted => self.metrics.placement.transactions += 1,
-            ProtocolNote::Collapse => self.metrics.placement.collapses += 1,
-            ProtocolNote::OwnershipMigration => self.metrics.recovery.ownership_migrations += 1,
-            ProtocolNote::FtInvalidation => self.metrics.recovery.ft_invalidations += 1,
-            ProtocolNote::PrtRebuild => self.metrics.recovery.prt_rebuilds += 1,
-            ProtocolNote::CapacityEviction => self.oversub.stats.evictions += 1,
-        }
+        let counter = match note {
+            ProtocolNote::TxnCommitted => &mut self.metrics.placement.transactions,
+            ProtocolNote::Collapse => &mut self.metrics.placement.collapses,
+            ProtocolNote::OwnershipMigration => &mut self.metrics.recovery.ownership_migrations,
+            ProtocolNote::FtInvalidation => &mut self.metrics.recovery.ft_invalidations,
+            ProtocolNote::PrtRebuild => &mut self.metrics.recovery.prt_rebuilds,
+            ProtocolNote::CapacityEviction => &mut self.oversub.stats.evictions,
+        };
+        *counter = counter.saturating_add(1);
     }
 }

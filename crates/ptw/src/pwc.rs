@@ -57,8 +57,8 @@ impl PwCacheStats {
         for (k, &h) in other.hits_at.iter().enumerate() {
             self.hits_at[k] += h;
         }
-        self.misses += other.misses;
-        self.lookups += other.lookups;
+        self.misses = self.misses.saturating_add(other.misses);
+        self.lookups = self.lookups.saturating_add(other.lookups);
     }
 }
 
@@ -210,7 +210,7 @@ impl Utc {
 
 impl PwCache for Utc {
     fn lookup(&mut self, vpn: u64) -> Option<u32> {
-        self.stats.lookups += 1;
+        self.stats.lookups = self.stats.lookups.saturating_add(1);
         for k in 2..=self.levels {
             if self.array.contains((k, tag(vpn, k))) {
                 self.array.touch((k, tag(vpn, k)));
@@ -218,7 +218,7 @@ impl PwCache for Utc {
                 return Some(k);
             }
         }
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         None
     }
 
@@ -309,7 +309,7 @@ impl Stc {
 
 impl PwCache for Stc {
     fn lookup(&mut self, vpn: u64) -> Option<u32> {
-        self.stats.lookups += 1;
+        self.stats.lookups = self.stats.lookups.saturating_add(1);
         for k in 2..=self.levels {
             let key = (k, tag(vpn, k));
             if self.arrays[(k - 2) as usize].contains(key) {
@@ -318,7 +318,7 @@ impl PwCache for Stc {
                 return Some(k);
             }
         }
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         None
     }
 
@@ -374,14 +374,14 @@ impl InfinitePwc {
 
 impl PwCache for InfinitePwc {
     fn lookup(&mut self, vpn: u64) -> Option<u32> {
-        self.stats.lookups += 1;
+        self.stats.lookups = self.stats.lookups.saturating_add(1);
         for k in 2..=self.levels {
             if self.entries.contains(&(k, tag(vpn, k))) {
                 self.stats.hits_at[k as usize] += 1;
                 return Some(k);
             }
         }
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
         None
     }
 

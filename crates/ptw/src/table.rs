@@ -149,7 +149,9 @@ impl PageTable {
         for l in 1..self.levels {
             let map = &mut self.nodes[(l - 1) as usize];
             let prefix = Self::prefix(vpn, l);
-            let count = map.get_mut(&prefix).expect("node accounting");
+            let Some(count) = map.get_mut(&prefix) else {
+                continue; // node already gone: nothing to decrement
+            };
             *count -= 1;
             if *count == 0 {
                 map.remove(&prefix);

@@ -204,21 +204,21 @@ impl Daemon {
         let mut st = self.lock();
         if let Some(runs) = st.cache.get(&key) {
             let runs = runs.clone();
-            st.stats.cache_hits += 1;
+            st.stats.cache_hits = st.stats.cache_hits.saturating_add(1);
             return SubmitOutcome::CacheHit { digest, runs };
         }
         if let Some(&id) = st.inflight.get(&key) {
-            st.stats.coalesced += 1;
+            st.stats.coalesced = st.stats.coalesced.saturating_add(1);
             return SubmitOutcome::Coalesced { id, digest };
         }
         let depth = st.queue.len();
         if st.admit.observe(depth) || !st.bucket.try_take() {
-            st.stats.shed += 1;
+            st.stats.shed = st.stats.shed.saturating_add(1);
             return SubmitOutcome::Shed;
         }
         let id = st.next_id;
         st.next_id += 1;
-        st.stats.submitted += 1;
+        st.stats.submitted = st.stats.submitted.saturating_add(1);
         st.jobs.insert(
             id,
             Job {
@@ -307,18 +307,18 @@ fn worker_loop(shared: &Arc<Shared>) {
         match outcome {
             Ok(Ok(runs)) => {
                 st.cache.insert(key, runs.clone());
-                st.stats.completed += 1;
+                st.stats.completed = st.stats.completed.saturating_add(1);
                 st.jobs.get_mut(&id).expect("running job exists").view = JobView::Done {
                     digest: key.0,
                     runs,
                 };
             }
             Ok(Err(msg)) => {
-                st.stats.failed += 1;
+                st.stats.failed = st.stats.failed.saturating_add(1);
                 st.jobs.get_mut(&id).expect("running job exists").view = JobView::Failed(msg);
             }
             Err(_) => {
-                st.stats.failed += 1;
+                st.stats.failed = st.stats.failed.saturating_add(1);
                 st.jobs.get_mut(&id).expect("running job exists").view =
                     JobView::Failed("run panicked".into());
             }

@@ -284,11 +284,11 @@ impl InjectStats {
     /// Total faults injected.
     pub fn total(&self) -> u64 {
         self.messages_dropped
-            + self.messages_delayed
-            + self.messages_duplicated
-            + self.walker_stalls
-            + self.table_updates_dropped
-            + self.host_burst_walks
+            .saturating_add(self.messages_delayed)
+            .saturating_add(self.messages_duplicated)
+            .saturating_add(self.walker_stalls)
+            .saturating_add(self.table_updates_dropped)
+            .saturating_add(self.host_burst_walks)
     }
 }
 
@@ -339,13 +339,13 @@ impl FaultInjector {
         let p_delay = p_drop + self.plan.message_delay_prob;
         let p_dup = p_delay + self.plan.message_duplicate_prob;
         if x < p_drop {
-            self.stats.messages_dropped += 1;
+            self.stats.messages_dropped = self.stats.messages_dropped.saturating_add(1);
             MessageFate::Drop
         } else if x < p_delay {
-            self.stats.messages_delayed += 1;
+            self.stats.messages_delayed = self.stats.messages_delayed.saturating_add(1);
             MessageFate::Delay(self.plan.message_delay_cycles)
         } else if x < p_dup {
-            self.stats.messages_duplicated += 1;
+            self.stats.messages_duplicated = self.stats.messages_duplicated.saturating_add(1);
             MessageFate::Duplicate
         } else {
             MessageFate::Deliver
@@ -358,7 +358,7 @@ impl FaultInjector {
             && self.plan.walker_stall_prob > 0.0
             && self.rng.chance(self.plan.walker_stall_prob)
         {
-            self.stats.walker_stalls += 1;
+            self.stats.walker_stalls = self.stats.walker_stalls.saturating_add(1);
             self.plan.walker_stall_cycles
         } else {
             0
@@ -371,7 +371,7 @@ impl FaultInjector {
             && self.plan.table_update_drop_prob > 0.0
             && self.rng.chance(self.plan.table_update_drop_prob)
         {
-            self.stats.table_updates_dropped += 1;
+            self.stats.table_updates_dropped = self.stats.table_updates_dropped.saturating_add(1);
             true
         } else {
             false
@@ -383,7 +383,7 @@ impl FaultInjector {
         let p = self.plan.host_burst_period;
         if self.active && p > 0 && now % p < self.plan.host_burst_len && self.plan.host_burst_extra > 0
         {
-            self.stats.host_burst_walks += 1;
+            self.stats.host_burst_walks = self.stats.host_burst_walks.saturating_add(1);
             self.plan.host_burst_extra
         } else {
             0

@@ -23,12 +23,15 @@ pub struct Tok {
     pub line: usize,
 }
 
-/// Token payload: the lints only distinguish identifiers (including
-/// keywords) from punctuation; literals and comments are dropped.
+/// Token payload: the lints distinguish identifiers (including keywords),
+/// numeric literals (the RNG-stream pass compares seed literals) and
+/// punctuation; string/char literals and comments are dropped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TokKind {
     /// An identifier or keyword.
     Ident(String),
+    /// A numeric literal, verbatim (`0xC0C0_0F11`, `1u64`, `0.5`).
+    Num(String),
     /// A single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
 }
@@ -38,7 +41,15 @@ impl Tok {
     pub fn ident(&self) -> Option<&str> {
         match &self.kind {
             TokKind::Ident(s) => Some(s),
-            TokKind::Punct(_) => None,
+            TokKind::Num(_) | TokKind::Punct(_) => None,
+        }
+    }
+
+    /// The numeric literal text, if this token is one.
+    pub fn num(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Num(s) => Some(s),
+            TokKind::Ident(_) | TokKind::Punct(_) => None,
         }
     }
 
@@ -127,6 +138,7 @@ pub fn lex(src: &str) -> Lexed {
             c if c.is_ascii_digit() => {
                 // Numeric literal: digits, alphanumeric suffixes, `_`, and
                 // a `.` only when followed by a digit (so `0..10` stops).
+                let start = i;
                 i += 1;
                 while i < chars.len() {
                     let d = chars[i];
@@ -140,6 +152,8 @@ pub fn lex(src: &str) -> Lexed {
                         break;
                     }
                 }
+                let lit: String = chars[start..i].iter().collect();
+                out.tokens.push(Tok { kind: TokKind::Num(lit), line });
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
@@ -147,10 +161,15 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let word: String = chars[start..i].iter().collect();
-                // Raw/byte string literals: r"..", r#".."#, b"..", br#".."#.
-                let is_str_prefix = matches!(word.as_str(), "r" | "b" | "br" | "rb");
-                if is_str_prefix && matches!(chars.get(i), Some('"') | Some('#')) {
+                // Raw string literals (no escapes): r".."/r#".."#, their
+                // byte (br, rb) and C-string (cr) forms.
+                let raw_prefix = matches!(word.as_str(), "r" | "br" | "rb" | "cr");
+                // Escaped string literals with a prefix: b"..", c"..".
+                let esc_prefix = matches!(word.as_str(), "b" | "c");
+                if raw_prefix && matches!(chars.get(i), Some('"') | Some('#')) {
                     i = skip_raw_string(&chars, i, &mut line);
+                } else if esc_prefix && chars.get(i) == Some(&'"') {
+                    i = skip_string(&chars, i, &mut line);
                 } else if word == "b" && chars.get(i) == Some(&'\'') {
                     i = skip_char_or_lifetime(&chars, i, &mut line);
                 } else {
@@ -172,7 +191,15 @@ fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
     i += 1; // opening quote
     while i < chars.len() {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // An escaped newline (line-continuation) still ends a
+                // source line; skipping it without counting would shift
+                // every later violation's line number.
+                if chars.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             c => {
                 if c == '\n' {
@@ -239,7 +266,12 @@ fn skip_char_or_lifetime(chars: &[char], mut i: usize, line: &mut usize) -> usiz
     // Char literal: consume to the closing quote, honouring escapes.
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '\'' => return j + 1,
             c => {
                 if c == '\n' {
@@ -254,11 +286,18 @@ fn skip_char_or_lifetime(chars: &[char], mut i: usize, line: &mut usize) -> usiz
 }
 
 /// Extracts `simlint::allow(name[, name…])` directives from one comment.
-fn harvest_allows(comment: &[char], line: usize, out: &mut Vec<AllowDirective>) {
+///
+/// `start_line` is the comment's first line; a directive inside a
+/// multi-line block comment is attributed to the line it actually appears
+/// on, so the same-line-or-next-line waiver rule keeps working.
+fn harvest_allows(comment: &[char], start_line: usize, out: &mut Vec<AllowDirective>) {
+    const NEEDLE: &str = "simlint::allow(";
     let text: String = comment.iter().collect();
-    let mut rest = text.as_str();
-    while let Some(pos) = rest.find("simlint::allow(") {
-        let after = &rest[pos + "simlint::allow(".len()..];
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(NEEDLE) {
+        let abs = from + pos;
+        let line = start_line + text[..abs].matches('\n').count();
+        let after = &text[abs + NEEDLE.len()..];
         let Some(close) = after.find(')') else {
             return;
         };
@@ -268,7 +307,7 @@ fn harvest_allows(comment: &[char], line: usize, out: &mut Vec<AllowDirective>) 
                 out.push(AllowDirective { line, lint: name.to_string() });
             }
         }
-        rest = &after[close..];
+        from = abs + NEEDLE.len() + close;
     }
 }
 
@@ -458,5 +497,60 @@ fn also_live() {}\n";
         let src = "#[test]\n#[should_panic]\nfn boom() {\n  x();\n}\n";
         let lexed = lex(src);
         assert_eq!(test_regions(&lexed.tokens), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn numeric_literals_are_tokens() {
+        let src = "let s = SimRng::new(0xC0C0_0F11); let f = 0.5; let n = 7u64;";
+        let nums: Vec<String> = lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.num().map(str::to_string))
+            .collect();
+        assert_eq!(nums, ["0xC0C0_0F11", "0.5", "7u64"]);
+    }
+
+    #[test]
+    fn c_strings_are_stripped() {
+        let src = r##"let a = c"HashMap"; let b = cr#"HashMap "x""#; real();"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+    }
+
+    #[test]
+    fn byte_string_escaped_quote_does_not_derail() {
+        let src = "let a = b\"x\\\"y\"; after();";
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_the_line() {
+        let src = "let s = \"a\\\nb\";\nmarker();\n";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("marker"))
+            .expect("marker lexed");
+        assert_eq!(marker.line, 3, "line after a \\-continued string");
+    }
+
+    #[test]
+    fn allow_in_multiline_block_comment_uses_its_own_line() {
+        let src = "/* intro\n   simlint::allow(panic-freedom) here\n*/\nx.unwrap();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].line, 2, "directive sits on comment line 2");
+    }
+
+    #[test]
+    fn two_allows_in_one_comment_both_harvested() {
+        let src = "// simlint::allow(det-wallclock) and simlint::allow(panic-freedom)\n";
+        let lexed = lex(src);
+        let names: Vec<&str> = lexed.allows.iter().map(|a| a.lint.as_str()).collect();
+        assert_eq!(names, ["det-wallclock", "panic-freedom"]);
     }
 }

@@ -26,6 +26,23 @@
 //!   in the `run_json` serializer, so counters cannot silently vanish from
 //!   published results.
 //!
+//! On top of the token lints sits a flow-aware layer ([`hir`] parses
+//! items, [`symbols`] builds the workspace symbol table and call graph,
+//! [`passes`] runs the analyses):
+//!
+//! * **`digest-complete`** — every field of a digest-bearing sim-state
+//!   struct must flow into its crate's `StateDigest` path (the digest
+//!   methods plus everything they transitively call); derived/cache-only
+//!   fields carry inline waivers.
+//! * **`rng-stream-discipline`** — every `SimRng` stream is salted per
+//!   subsystem, literal seeds are unique, and raw streams never cross a
+//!   public boundary outside `sim-core`.
+//! * **`counter-saturation`** — `u64` counters of `RunMetrics`/`*Stats`
+//!   structs are bumped with `saturating_add`, never raw `+`.
+//! * **`panic-reach`** — no `.unwrap()`/`.expect()` in any function the
+//!   protected mgpu hot paths can transitively reach, cross-crate
+//!   included.
+//!
 //! Violations are diffed against a checked-in ratchet file
 //! (`simlint.baseline.toml`, entries carry written justifications; new
 //! violations fail) and can be waived inline with a
@@ -48,8 +65,11 @@
 //! ```
 
 pub mod baseline;
+pub mod hir;
 pub mod lexer;
 pub mod lints;
+pub mod passes;
+pub mod symbols;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -72,6 +92,14 @@ pub enum Lint {
     ProtocolTransition,
     /// A `RunMetrics` field missing from the `run_json` serializer.
     MetricsComplete,
+    /// A sim-state struct field that never reaches its digest path.
+    DigestComplete,
+    /// An unsalted, shared, or boundary-crossing `SimRng` stream.
+    RngStream,
+    /// A raw `+` on a `u64` counter field of a metrics/stats struct.
+    CounterSaturation,
+    /// A panic site reachable from the protected mgpu hot paths.
+    PanicReach,
 }
 
 impl Lint {
@@ -84,6 +112,10 @@ impl Lint {
             Lint::ProtocolExhaustive => "protocol-exhaustive",
             Lint::ProtocolTransition => "protocol-transition",
             Lint::MetricsComplete => "metrics-complete",
+            Lint::DigestComplete => "digest-complete",
+            Lint::RngStream => "rng-stream-discipline",
+            Lint::CounterSaturation => "counter-saturation",
+            Lint::PanicReach => "panic-reach",
         }
     }
 
@@ -96,6 +128,10 @@ impl Lint {
             "protocol-exhaustive" => Lint::ProtocolExhaustive,
             "protocol-transition" => Lint::ProtocolTransition,
             "metrics-complete" => Lint::MetricsComplete,
+            "digest-complete" => Lint::DigestComplete,
+            "rng-stream-discipline" => Lint::RngStream,
+            "counter-saturation" => Lint::CounterSaturation,
+            "panic-reach" => Lint::PanicReach,
             _ => return None,
         })
     }
@@ -103,11 +139,14 @@ impl Lint {
     /// Whether the lint guards determinism (the class the acceptance
     /// criteria require a zero-entry baseline for).
     pub fn is_determinism_class(self) -> bool {
-        matches!(self, Lint::DetCollections | Lint::DetWallclock)
+        matches!(
+            self,
+            Lint::DetCollections | Lint::DetWallclock | Lint::DigestComplete | Lint::RngStream
+        )
     }
 
     /// Every lint, for `--list`-style output.
-    pub fn all() -> [Lint; 6] {
+    pub fn all() -> [Lint; 10] {
         [
             Lint::DetCollections,
             Lint::DetWallclock,
@@ -115,6 +154,10 @@ impl Lint {
             Lint::ProtocolExhaustive,
             Lint::ProtocolTransition,
             Lint::MetricsComplete,
+            Lint::DigestComplete,
+            Lint::RngStream,
+            Lint::CounterSaturation,
+            Lint::PanicReach,
         ]
     }
 }
@@ -202,6 +245,18 @@ pub struct Config {
     pub metrics_struct: (String, String),
     /// `(file, fn)` serializing the run metrics.
     pub metrics_serializer: (String, String),
+    /// Crate dirs under the digest-completeness audit: any struct here
+    /// with a digest method must mix every field (or waive it inline).
+    pub digest_crates: Vec<String>,
+    /// Method names that count as digest entry points.
+    pub digest_fn_names: Vec<String>,
+    /// Crate dirs under the RNG-stream discipline lint.
+    pub rng_crates: Vec<String>,
+    /// The one file allowed to construct raw `SimRng` streams: the
+    /// generator's own home, where forking/salting is implemented.
+    pub rng_home: String,
+    /// Crate dirs the panic-reach call graph spans.
+    pub reach_crates: Vec<String>,
 }
 
 impl Config {
@@ -228,6 +283,39 @@ impl Config {
             transition_home: c("mgpu/src/protocol"),
             metrics_struct: (c("mgpu/src/metrics.rs"), "RunMetrics".into()),
             metrics_serializer: (c("experiments/src/runner.rs"), "run_json".into()),
+            digest_crates: [
+                "core", "cuckoo", "tlb", "ptw", "uvm", "mgpu", "sim-core", "interconnect",
+            ]
+            .iter()
+            .map(|s| c(s))
+            .collect(),
+            digest_fn_names: ["digest", "state_digest", "digest_into", "epoch_digest"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            rng_crates: [
+                "core", "cuckoo", "tlb", "ptw", "uvm", "mgpu", "sim-core", "workloads",
+            ]
+            .iter()
+            .map(|s| c(s))
+            .collect(),
+            rng_home: c("sim-core/src/rng.rs"),
+            // scn/scnd deliberately excluded: their generic `run`/`parse`
+            // helper names would pollute name-based call resolution.
+            reach_crates: [
+                "core",
+                "cuckoo",
+                "tlb",
+                "ptw",
+                "uvm",
+                "mgpu",
+                "sim-core",
+                "interconnect",
+                "workloads",
+            ]
+            .iter()
+            .map(|s| c(s))
+            .collect(),
         }
     }
 }
@@ -249,38 +337,69 @@ pub struct Report {
 /// # Errors
 ///
 /// Returns a message when the workspace cannot be read (missing root, or
-/// an unreadable metrics/serializer file).
+/// an unreadable source file).
 pub fn run_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
-    let mut report = Report::default();
     let files = workspace_rs_files(root, cfg)?;
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let abs = root.join(rel);
         let src = std::fs::read_to_string(&abs)
             .map_err(|e| format!("read {}: {e}", abs.display()))?;
-        let ctx = FileCtx::new(rel);
-        report.files_scanned += 1;
-        for v in lints::lint_file_with_allows(&ctx, &src, cfg) {
+        sources.push((FileCtx::new(rel), src));
+    }
+    Ok(run_sources(&sources, cfg))
+}
+
+/// Lints a set of in-memory sources: the per-file token lints, the
+/// metrics-completeness pass (when both its files are present), and the
+/// flow-aware workspace passes from [`passes`]. This is the shared core of
+/// [`run_workspace`] and the multi-file fixture tests.
+pub fn run_sources(sources: &[(FileCtx, String)], cfg: &Config) -> Report {
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    for (ctx, src) in sources {
+        for v in lints::lint_file_with_allows(ctx, src, cfg) {
             match v {
                 lints::Outcome::Fires(v) => report.violations.push(v),
                 lints::Outcome::Waived(v) => report.waived.push(v),
             }
         }
     }
-    // Workspace-level pass: metrics completeness.
-    let (metrics_file, _) = &cfg.metrics_struct;
-    let (ser_file, _) = &cfg.metrics_serializer;
-    let metrics_src = std::fs::read_to_string(root.join(metrics_file))
-        .map_err(|e| format!("read {metrics_file}: {e}"))?;
-    let ser_src = std::fs::read_to_string(root.join(ser_file))
-        .map_err(|e| format!("read {ser_file}: {e}"))?;
-    report
-        .violations
-        .extend(lint_metrics(&metrics_src, &ser_src, cfg));
+    // Metrics completeness needs both the struct and serializer files.
+    let find = |path: &str| sources.iter().find(|(c, _)| c.rel_path == path);
+    if let (Some((_, metrics_src)), Some((_, ser_src))) =
+        (find(&cfg.metrics_struct.0), find(&cfg.metrics_serializer.0))
+    {
+        report
+            .violations
+            .extend(lint_metrics(metrics_src, ser_src, cfg));
+    }
+    // Flow-aware passes over the whole workspace, then the same
+    // same-line-or-line-above inline-waiver rule as the token lints.
+    let ws = symbols::Workspace::build(sources);
+    for v in passes::run(&ws, cfg) {
+        let waived = ws
+            .units
+            .iter()
+            .find(|u| u.ctx.rel_path == v.file)
+            .is_some_and(|u| {
+                u.lexed.allows.iter().any(|a| {
+                    a.lint == v.lint.name() && (a.line == v.line || a.line + 1 == v.line)
+                })
+            });
+        if waived {
+            report.waived.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
     // Deterministic output order, whatever the directory walk produced.
     report.violations.sort_by(|a, b| {
         (&a.file, a.line, a.lint, &a.key).cmp(&(&b.file, b.line, b.lint, &b.key))
     });
-    Ok(report)
+    report
 }
 
 /// Collects the workspace-relative paths of every `.rs` file the linter
@@ -365,11 +484,15 @@ mod tests {
     }
 
     #[test]
-    fn determinism_class_is_the_two_det_lints() {
+    fn determinism_class_covers_det_digest_and_rng() {
         assert!(Lint::DetCollections.is_determinism_class());
         assert!(Lint::DetWallclock.is_determinism_class());
+        assert!(Lint::DigestComplete.is_determinism_class());
+        assert!(Lint::RngStream.is_determinism_class());
         assert!(!Lint::PanicFreedom.is_determinism_class());
         assert!(!Lint::ProtocolExhaustive.is_determinism_class());
         assert!(!Lint::MetricsComplete.is_determinism_class());
+        assert!(!Lint::CounterSaturation.is_determinism_class());
+        assert!(!Lint::PanicReach.is_determinism_class());
     }
 }

@@ -185,7 +185,7 @@ fn panic_freedom(
                             !NON_INDEX_PRECEDERS.contains(&prev.as_str())
                         }
                         TokKind::Punct(')') | TokKind::Punct(']') => true,
-                        TokKind::Punct(_) => false,
+                        TokKind::Punct(_) | TokKind::Num(_) => false,
                     };
                 if is_index {
                     out.push(Violation {

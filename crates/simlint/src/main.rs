@@ -2,14 +2,20 @@
 //!
 //! ```text
 //! cargo run -p simlint                      # lint, diff against simlint.baseline.toml
+//! cargo run -p simlint -- --json            # machine-readable report on stdout
+//! cargo run -p simlint -- --deny-stale      # stale baseline entries are errors (CI)
+//! cargo run -p simlint -- --write-bench     # append a findings snapshot to BENCH_LINT.json
+//! cargo run -p simlint -- --check-bench     # diff per-lint counts against the last snapshot
 //! cargo run -p simlint -- --write-baseline  # regenerate the baseline (justifications = TODO)
 //! cargo run -p simlint -- --root /path --baseline other.toml
 //! ```
 //!
-//! Exit codes: 0 clean (all findings baselined/waived), 1 new violations
-//! (or a broken baseline file), 2 usage error.
+//! Exit codes: 0 clean (all findings baselined/waived), 1 new violations,
+//! stale entries under `--deny-stale`, a bench regression under
+//! `--check-bench`, or a broken baseline file; 2 usage error.
 
-use simlint::{Baseline, Config, Lint};
+use simlint::{Baseline, Config, Lint, Report};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +24,10 @@ struct Args {
     baseline: PathBuf,
     write_baseline: bool,
     verbose: bool,
+    json: bool,
+    deny_stale: bool,
+    write_bench: bool,
+    check_bench: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +35,10 @@ fn parse_args() -> Result<Args, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline = false;
     let mut verbose = false;
+    let mut json = false;
+    let mut deny_stale = false;
+    let mut write_bench = false;
+    let mut check_bench = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -36,10 +50,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--write-baseline" => write_baseline = true,
             "--verbose" | "-v" => verbose = true,
+            "--json" => json = true,
+            "--deny-stale" => deny_stale = true,
+            "--write-bench" => write_bench = true,
+            "--check-bench" => check_bench = true,
             "--help" | "-h" => {
                 println!(
                     "simlint — workspace determinism & protocol linter\n\n\
-                     USAGE: simlint [--root DIR] [--baseline FILE] [--write-baseline] [-v]\n\n\
+                     USAGE: simlint [--root DIR] [--baseline FILE] [--write-baseline]\n\
+                     \x20              [--json] [--deny-stale] [--write-bench] [--check-bench] [-v]\n\n\
                      Lints:"
                 );
                 for lint in Lint::all() {
@@ -66,7 +85,126 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let baseline = baseline.unwrap_or_else(|| root.join("simlint.baseline.toml"));
-    Ok(Args { root, baseline, write_baseline, verbose })
+    Ok(Args {
+        root,
+        baseline,
+        write_baseline,
+        verbose,
+        json,
+        deny_stale,
+        write_bench,
+        check_bench,
+    })
+}
+
+/// Findings per lint name (zero-filled so trends never drop a series).
+fn per_lint_counts(report: &Report) -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = Lint::all().iter().map(|l| (l.name(), 0)).collect();
+    for v in report.violations.iter().chain(&report.waived) {
+        *counts.entry(v.lint.name()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Minimal JSON string escaping (the only strings we emit are paths,
+/// lint names, keys and messages — no exotic control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The machine-readable report: totals, per-lint counts, and every
+/// finding (new, baselined, and waived) with its disposition.
+fn render_json(report: &Report, diff: &simlint::Diff) -> String {
+    let counts = per_lint_counts(report);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"findings\": {},\n",
+        report.violations.len() + report.waived.len()
+    ));
+    out.push_str(&format!("  \"waived\": {},\n", report.waived.len()));
+    out.push_str(&format!("  \"new\": {},\n", diff.new.len()));
+    out.push_str(&format!("  \"stale\": {},\n", diff.stale.len()));
+    out.push_str("  \"per_lint\": {");
+    let body: Vec<String> = counts
+        .iter()
+        .map(|(name, n)| format!("{}: {n}", json_str(name)))
+        .collect();
+    out.push_str(&body.join(", "));
+    out.push_str("},\n  \"violations\": [\n");
+    let mut rows = Vec::new();
+    for v in &report.violations {
+        let disposition = if diff.new.contains(v) { "new" } else { "baselined" };
+        rows.push((v, disposition));
+    }
+    for v in &report.waived {
+        rows.push((v, "waived"));
+    }
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|(v, disposition)| {
+            format!(
+                "    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"key\": {}, \
+                 \"disposition\": {}, \"message\": {}}}",
+                json_str(v.lint.name()),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.key),
+                json_str(disposition),
+                json_str(&v.message)
+            )
+        })
+        .collect();
+    out.push_str(&rendered.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// One `BENCH_LINT.json` trajectory snapshot.
+fn render_bench_entry(seq: usize, report: &Report) -> String {
+    let counts = per_lint_counts(report);
+    let body: Vec<String> = counts
+        .iter()
+        .map(|(name, n)| format!("{}: {n}", json_str(name)))
+        .collect();
+    format!(
+        "  {{\"seq\": {seq}, \"files\": {}, \"findings\": {}, \"waived\": {}, \"per_lint\": {{{}}}}}",
+        report.files_scanned,
+        report.violations.len() + report.waived.len(),
+        report.waived.len(),
+        body.join(", ")
+    )
+}
+
+/// Pulls `"per_lint": {...}` maps out of `BENCH_LINT.json` with a hand
+/// scanner (the file is machine-written, flat, and dependency-free
+/// parsing is a crate constraint). Returns the *last* snapshot's map.
+fn last_bench_counts(text: &str) -> Option<BTreeMap<String, usize>> {
+    let start = text.rfind("\"per_lint\"")?;
+    let open = text[start..].find('{')? + start;
+    let close = text[open..].find('}')? + open;
+    let mut map = BTreeMap::new();
+    for pair in text[open + 1..close].split(',') {
+        let (k, v) = pair.split_once(':')?;
+        let name = k.trim().trim_matches('"').to_string();
+        let n: usize = v.trim().parse().ok()?;
+        map.insert(name, n);
+    }
+    Some(map)
 }
 
 fn main() -> ExitCode {
@@ -116,34 +254,90 @@ fn main() -> ExitCode {
     };
 
     let diff = baseline.diff(&report.violations);
-    if args.verbose {
-        for v in &report.waived {
-            println!("waived: {v}");
+    let bench_path = args.root.join("BENCH_LINT.json");
+
+    if args.write_bench {
+        let existing = std::fs::read_to_string(&bench_path).unwrap_or_default();
+        let seq = existing.matches("\"seq\"").count() + 1;
+        let entry = render_bench_entry(seq, &report);
+        let merged = match existing.trim_end().strip_suffix(']') {
+            Some(head) if head.trim_end().ends_with('}') => {
+                format!("{},\n{entry}\n]\n", head.trim_end())
+            }
+            _ => format!("[\n{entry}\n]\n"),
+        };
+        if let Err(e) = std::fs::write(&bench_path, merged) {
+            eprintln!("simlint: write {}: {e}", bench_path.display());
+            return ExitCode::from(2);
         }
-        for v in &report.violations {
-            if !diff.new.contains(v) {
-                println!("baselined: {v}");
+        eprintln!("simlint: appended snapshot #{seq} to {}", bench_path.display());
+    }
+
+    let mut bench_regressed = false;
+    if args.check_bench {
+        match std::fs::read_to_string(&bench_path) {
+            Ok(text) => match last_bench_counts(&text) {
+                Some(last) => {
+                    let now = per_lint_counts(&report);
+                    for (name, &n) in &now {
+                        let then = last.get(*name).copied().unwrap_or(0);
+                        if n > then {
+                            eprintln!(
+                                "bench regression: {name} findings grew {then} -> {n} \
+                                 (run --write-bench after a justified increase)"
+                            );
+                            bench_regressed = true;
+                        }
+                    }
+                }
+                None => {
+                    eprintln!("simlint: {}: no per_lint snapshot found", bench_path.display());
+                    bench_regressed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("simlint: read {}: {e}", bench_path.display());
+                bench_regressed = true;
             }
         }
     }
-    for e in &diff.stale {
+
+    if args.json {
+        print!("{}", render_json(&report, &diff));
+    } else {
+        if args.verbose {
+            for v in &report.waived {
+                println!("waived: {v}");
+            }
+            for v in &report.violations {
+                if !diff.new.contains(v) {
+                    println!("baselined: {v}");
+                }
+            }
+        }
+        for e in &diff.stale {
+            println!(
+                "stale baseline entry: {} {} {} (count {}) — tighten the ratchet",
+                e.lint, e.file, e.key, e.count
+            );
+        }
+        for v in &diff.new {
+            println!("error: {v}");
+        }
         println!(
-            "stale baseline entry: {} {} {} (count {}) — tighten the ratchet",
-            e.lint, e.file, e.key, e.count
+            "simlint: {} files, {} findings ({} baselined, {} waived inline), {} new",
+            report.files_scanned,
+            report.violations.len() + report.waived.len(),
+            report.violations.len() - diff.new.len(),
+            report.waived.len(),
+            diff.new.len()
         );
     }
-    for v in &diff.new {
-        println!("error: {v}");
+    let stale_fails = args.deny_stale && !diff.stale.is_empty();
+    if stale_fails && args.json {
+        eprintln!("simlint: {} stale baseline entries (--deny-stale)", diff.stale.len());
     }
-    println!(
-        "simlint: {} files, {} findings ({} baselined, {} waived inline), {} new",
-        report.files_scanned,
-        report.violations.len() + report.waived.len(),
-        report.violations.len() - diff.new.len(),
-        report.waived.len(),
-        diff.new.len()
-    );
-    if diff.new.is_empty() {
+    if diff.new.is_empty() && !stale_fails && !bench_regressed {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

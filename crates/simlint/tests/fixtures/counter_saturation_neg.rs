@@ -1,0 +1,20 @@
+//! Negative counter-saturation fixture: every counter bump saturates.
+
+pub struct WalkerStats {
+    pub issued: u64,
+    pub replayed: u64,
+}
+
+pub struct Walker {
+    stats: WalkerStats,
+}
+
+impl Walker {
+    pub fn issue(&mut self) {
+        self.stats.issued = self.stats.issued.saturating_add(1);
+    }
+
+    pub fn activity(&self) -> u64 {
+        self.stats.issued.saturating_add(self.stats.replayed)
+    }
+}

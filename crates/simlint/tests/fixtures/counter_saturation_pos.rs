@@ -1,0 +1,21 @@
+//! Positive counter-saturation fixture: raw `+=` and a raw `+` total on
+//! `u64` counter fields of a `*Stats` struct.
+
+pub struct WalkerStats {
+    pub issued: u64,
+    pub replayed: u64,
+}
+
+pub struct Walker {
+    stats: WalkerStats,
+}
+
+impl Walker {
+    pub fn issue(&mut self) {
+        self.stats.issued += 1;
+    }
+
+    pub fn activity(&self) -> u64 {
+        self.stats.issued + self.stats.replayed
+    }
+}

@@ -1,0 +1,20 @@
+//! Negative digest-completeness fixture: every field is mixed (one
+//! transitively, through a helper) and derived state is waived inline.
+
+pub struct WalkCache {
+    entries: u64,
+    evictions: u64,
+    pressure: u64,
+    // simlint::allow(digest-complete): derived from entries/evictions on demand
+    hit_rate_cache: u64,
+}
+
+impl WalkCache {
+    fn counters_digest(&self) -> u64 {
+        self.evictions ^ self.pressure
+    }
+
+    pub fn state_digest(&self) -> u64 {
+        self.entries ^ self.counters_digest()
+    }
+}

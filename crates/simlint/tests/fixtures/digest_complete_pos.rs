@@ -1,0 +1,18 @@
+//! Positive digest-completeness fixture: `WalkCache.pressure` never flows
+//! into the digest path, even transitively.
+
+pub struct WalkCache {
+    entries: u64,
+    evictions: u64,
+    pressure: u64,
+}
+
+impl WalkCache {
+    fn counters_digest(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn state_digest(&self) -> u64 {
+        self.entries ^ self.counters_digest()
+    }
+}

@@ -1,0 +1,28 @@
+//! Negative lexer fixture: every forbidden name below is inert text inside
+//! raw strings, byte/C strings, nested block comments, or escapes — a lexer
+//! that mis-tracks any of them will leak a false `det-collections` or
+//! `det-wallclock` finding.
+
+/* outer comment
+   /* nested: HashMap::new() and Instant::now() live here */
+   still commented: thread_rng()
+*/
+
+pub fn banners() -> Vec<String> {
+    vec![
+        r#"raw: HashMap<K, V> with a " quote"#.to_string(),
+        r##"rawer: "# SystemTime::now() "# inside"##.to_string(),
+        br#"byte raw: HashSet::from([1])"#.escape_ascii().to_string(),
+        c"c string: rand::random()".to_string_lossy().into_owned(),
+        "escaped quote \" then HashMap, still a string".to_string(),
+        "escaped newline spans \
+         a line: Instant::now()"
+            .to_string(),
+    ]
+}
+
+pub fn not_a_lifetime() -> char {
+    let b = b'\'';
+    let c = '\u{48}'; // 'H', not the start of HashMap
+    char::from(b).max(c)
+}

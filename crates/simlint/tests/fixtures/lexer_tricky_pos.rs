@@ -1,0 +1,15 @@
+//! Positive lexer fixture: the same tricky literals as the negative twin,
+//! but real forbidden code *after* them — a lexer derailed by the raw
+//! strings or nested comments would miss these.
+
+/* outer /* nested: HashMap::new() */ done */
+
+pub fn decoy() -> String {
+    r#"HashMap in a raw string is fine"#.to_string()
+}
+
+use std::collections::HashMap;
+
+pub fn state() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,9 @@
+//! Negative panic-reach fixture: the helper degrades instead of panicking.
+
+fn translate(vpn: u64) -> Option<u64> {
+    if vpn == 0 { None } else { Some(vpn << 12) }
+}
+
+pub fn helper_lookup(vpn: u64) -> u64 {
+    translate(vpn).unwrap_or(0)
+}

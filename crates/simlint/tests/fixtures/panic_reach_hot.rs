@@ -1,0 +1,7 @@
+//! Panic-reach fixture root: a hot-path event handler that calls a helper
+//! living one crate over. The hot file itself is clean — the hazard is in
+//! what it reaches.
+
+pub fn dispatch_walk(vpn: u64) -> u64 {
+    helper_lookup(vpn)
+}

@@ -1,0 +1,25 @@
+//! Negative RNG-stream fixture: salted per-subsystem streams, a unique
+//! literal seed, and a seed (not a stream) crossing the public boundary.
+
+use sim_core::rng::SimRng;
+
+const WALKER_SALT: u64 = 0x57A1_14E5;
+
+pub struct Walker {
+    rng: SimRng,
+}
+
+impl Walker {
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SimRng::new(seed ^ WALKER_SALT) }
+    }
+}
+
+fn fixed_stream() -> SimRng {
+    SimRng::new(0xBEEF_0002)
+}
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = SimRng::new(seed ^ 0x0717_7E55);
+    rng.next_u64()
+}

@@ -1,0 +1,27 @@
+//! Positive RNG-stream fixture: an unsalted stream over a shared seed, a
+//! literal seed reused by two streams, and a raw stream handed across a
+//! public boundary.
+
+use sim_core::rng::SimRng;
+
+pub struct Walker {
+    rng: SimRng,
+}
+
+impl Walker {
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SimRng::new(seed) }
+    }
+}
+
+fn stream_a() -> SimRng {
+    SimRng::new(0xDEAD_0001)
+}
+
+fn stream_b() -> SimRng {
+    SimRng::new(0xDEAD_0001)
+}
+
+pub fn jitter(rng: &mut SimRng) -> u64 {
+    rng.next_u64()
+}

@@ -147,6 +147,123 @@ fn metrics_complete_fixture_pair() {
     assert!(neg.is_empty(), "clean fixture flagged: {neg:?}");
 }
 
+/// Runs the full pipeline (token lints + flow-aware passes) over fixture
+/// files mounted at the given workspace paths.
+fn run_fixture_sources(files: &[(&str, &str)]) -> simlint::Report {
+    let sources: Vec<(FileCtx, String)> = files
+        .iter()
+        .map(|(path, src)| (FileCtx::new(path), (*src).to_string()))
+        .collect();
+    simlint::run_sources(&sources, &Config::trans_fw())
+}
+
+#[test]
+fn lexer_tricky_fixture_pair() {
+    // Raw strings, nested block comments, byte/C strings and escapes must
+    // neither hide real violations nor manufacture false ones.
+    let neg = lint_fixture(
+        include_str!("fixtures/lexer_tricky_neg.rs"),
+        "crates/tlb/src/state.rs",
+    );
+    assert!(neg.is_empty(), "literal-only fixture flagged: {neg:?}");
+    let pos = lint_fixture(
+        include_str!("fixtures/lexer_tricky_pos.rs"),
+        "crates/tlb/src/state.rs",
+    );
+    assert!(
+        !pos.is_empty() && pos.iter().all(|v| v.lint == Lint::DetCollections),
+        "expected the post-decoy HashMap findings, got {pos:?}"
+    );
+}
+
+#[test]
+fn digest_complete_fixture_pair() {
+    let pos = run_fixture_sources(&[(
+        "crates/tlb/src/state.rs",
+        include_str!("fixtures/digest_complete_pos.rs"),
+    )]);
+    assert_eq!(lints_of(&pos.violations), [Lint::DigestComplete], "{pos:?}");
+    assert_eq!(pos.violations[0].key, "undigested(WalkCache.pressure)");
+    let neg = run_fixture_sources(&[(
+        "crates/tlb/src/state.rs",
+        include_str!("fixtures/digest_complete_neg.rs"),
+    )]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+    // The derived field is waived, not silently ignored.
+    assert_eq!(lints_of(&neg.waived), [Lint::DigestComplete], "{:?}", neg.waived);
+    assert_eq!(neg.waived[0].key, "undigested(WalkCache.hit_rate_cache)");
+}
+
+#[test]
+fn rng_stream_fixture_pair() {
+    let pos = run_fixture_sources(&[(
+        "crates/uvm/src/stream.rs",
+        include_str!("fixtures/rng_stream_pos.rs"),
+    )]);
+    let mut keys: Vec<&str> = pos.violations.iter().map(|v| v.key.as_str()).collect();
+    keys.sort_unstable();
+    assert!(pos.violations.iter().all(|v| v.lint == Lint::RngStream), "{pos:?}");
+    assert_eq!(
+        keys,
+        [
+            "rng-across-boundary",
+            "shared-stream-seed",
+            "shared-stream-seed",
+            "unsalted-stream"
+        ],
+        "{:?}",
+        pos.violations
+    );
+    let neg = run_fixture_sources(&[(
+        "crates/uvm/src/stream.rs",
+        include_str!("fixtures/rng_stream_neg.rs"),
+    )]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+}
+
+#[test]
+fn counter_saturation_fixture_pair() {
+    let pos = run_fixture_sources(&[(
+        "crates/ptw/src/stats.rs",
+        include_str!("fixtures/counter_saturation_pos.rs"),
+    )]);
+    assert_eq!(
+        lints_of(&pos.violations),
+        [Lint::CounterSaturation, Lint::CounterSaturation],
+        "{pos:?}"
+    );
+    assert!(pos.violations.iter().all(|v| v.key == "raw-add(issued)"), "{pos:?}");
+    let neg = run_fixture_sources(&[(
+        "crates/ptw/src/stats.rs",
+        include_str!("fixtures/counter_saturation_neg.rs"),
+    )]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+}
+
+#[test]
+fn panic_reach_fixture_pair() {
+    // The hazard sits one crate over from the hot path that reaches it.
+    let hot = include_str!("fixtures/panic_reach_hot.rs");
+    let pos = run_fixture_sources(&[
+        ("crates/mgpu/src/system.rs", hot),
+        (
+            "crates/ptw/src/helper.rs",
+            include_str!("fixtures/panic_reach_helper_pos.rs"),
+        ),
+    ]);
+    assert_eq!(lints_of(&pos.violations), [Lint::PanicReach], "{pos:?}");
+    assert_eq!(pos.violations[0].file, "crates/ptw/src/helper.rs");
+    assert_eq!(pos.violations[0].key, "reach(helper_lookup.unwrap)");
+    let neg = run_fixture_sources(&[
+        ("crates/mgpu/src/system.rs", hot),
+        (
+            "crates/ptw/src/helper.rs",
+            include_str!("fixtures/panic_reach_helper_neg.rs"),
+        ),
+    ]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+}
+
 /// The real workspace must lint clean against the checked-in baseline —
 /// the same check CI's static-analysis job runs, wired into `cargo test`
 /// so a violation can never land without also failing the test suite.
@@ -199,4 +316,29 @@ fn workspace_matches_checked_in_baseline() {
             "baseline entry without a real justification: {e:?}"
         );
     }
+    // The flow-aware lint classes hold at zero unwaived findings on the
+    // real tree: hazards are fixed or carry an inline waiver, never
+    // grandfathered through the baseline.
+    let flow_lints = [
+        Lint::DigestComplete,
+        Lint::RngStream,
+        Lint::CounterSaturation,
+        Lint::PanicReach,
+    ];
+    let flow_violations: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| flow_lints.contains(&v.lint))
+        .collect();
+    assert!(
+        flow_violations.is_empty(),
+        "flow-aware findings must be fixed or waived inline: {flow_violations:?}"
+    );
+    assert!(
+        !baseline
+            .entries
+            .iter()
+            .any(|e| Lint::from_name(&e.lint).is_some_and(|l| flow_lints.contains(&l))),
+        "flow-aware lints are never grandfathered in the baseline"
+    );
 }

@@ -100,10 +100,10 @@ impl<V> Tlb<V> {
         let ways = &mut self.sets[set];
         if let Some(way) = ways.iter_mut().find(|w| w.vpn == vpn) {
             way.tick = tick;
-            self.hits += 1;
+            self.hits = self.hits.saturating_add(1);
             Some(&way.value)
         } else {
-            self.misses += 1;
+            self.misses = self.misses.saturating_add(1);
             None
         }
     }
@@ -131,12 +131,14 @@ impl<V> Tlb<V> {
             ways.push(Way { vpn, value, tick });
             return None;
         }
-        let lru = ways
+        let Some(lru) = ways
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.tick)
             .map(|(i, _)| i)
-            .expect("non-empty set");
+        else {
+            return None; // zero-way set: nothing to evict into
+        };
         let victim = std::mem::replace(&mut ways[lru], Way { vpn, value, tick });
         Some((victim.vpn, victim.value))
     }
@@ -178,7 +180,7 @@ impl<V> Tlb<V> {
 
     /// Hit rate over all lookups so far (0 when no lookups).
     pub fn hit_rate(&self) -> f64 {
-        sim_core::stats::ratio(self.hits, self.hits + self.misses)
+        sim_core::stats::ratio(self.hits, self.hits.saturating_add(self.misses))
     }
 
     /// Number of currently valid entries.

@@ -350,7 +350,7 @@ impl PageDirectory {
                 page.home = Location::Gpu(gpu);
                 page.fault_counts.fill(0);
                 page.access_counts.fill(0);
-                stats.migrations += 1;
+                stats.migrations = stats.migrations.saturating_add(1);
                 OwnershipTransaction {
                     vpn,
                     kind: TxnKind::Migrate,
@@ -379,9 +379,9 @@ impl PageDirectory {
                         invalidate.push(g);
                     }
                 }
-                stats.write_invalidations += invalidate.len() as u64;
+                stats.write_invalidations = stats.write_invalidations.saturating_add(invalidate.len() as u64);
                 if source != Location::Gpu(gpu) {
-                    stats.migrations += 1;
+                    stats.migrations = stats.migrations.saturating_add(1);
                 }
                 page.home = Location::Gpu(gpu);
                 page.replicas = 0;
@@ -407,7 +407,7 @@ impl PageDirectory {
             PolicyDecision::Replicate => {
                 let source = page.home;
                 page.replicas |= 1 << gpu;
-                stats.replications += 1;
+                stats.replications = stats.replications.saturating_add(1);
                 OwnershipTransaction {
                     vpn,
                     kind: TxnKind::Replicate,
@@ -420,7 +420,7 @@ impl PageDirectory {
             PolicyDecision::RemoteMap => {
                 let source = page.home;
                 page.remote_maps |= 1 << gpu;
-                stats.remote_maps += 1;
+                stats.remote_maps = stats.remote_maps.saturating_add(1);
                 OwnershipTransaction {
                     vpn,
                     kind: TxnKind::RemoteMap,
@@ -468,7 +468,7 @@ impl PageDirectory {
         }
         let source = page.home;
         page.home = Location::Gpu(gpu);
-        self.stats.prefetches += 1;
+        self.stats.prefetches = self.stats.prefetches.saturating_add(1);
         Some(OwnershipTransaction {
             vpn,
             kind: TxnKind::Prefetch,
@@ -534,8 +534,8 @@ impl PageDirectory {
         page.remote_maps = 0;
         page.access_counts.fill(0);
         page.fault_counts.fill(0);
-        stats.promotions += 1;
-        stats.migrations += 1;
+        stats.promotions = stats.promotions.saturating_add(1);
+        stats.migrations = stats.migrations.saturating_add(1);
         Some(OwnershipTransaction {
             vpn,
             kind: TxnKind::Migrate,
@@ -617,7 +617,7 @@ impl PageDirectory {
                         Location::Gpu(g)
                     });
                 page.home = new_home;
-                self.stats.migrations += 1;
+                self.stats.migrations = self.stats.migrations.saturating_add(1);
                 // Data moved (or ceased to exist on the old owner): remote
                 // mappings on survivors now dangle and must be shot down.
                 for g in 0..self.gpu_count {
@@ -679,7 +679,7 @@ impl PageDirectory {
                     Location::Gpu(g)
                 });
             page.home = new_home;
-            self.stats.migrations += 1;
+            self.stats.migrations = self.stats.migrations.saturating_add(1);
             for g in 0..gpu_count {
                 if g != gpu && page.remote_maps & (1 << g) != 0 {
                     report.invalidate.push((vpn, g));

@@ -116,7 +116,7 @@ impl<F> UvmDriver<F> {
         let duration = self.config.batch_overhead + work;
         self.busy = true;
         self.batches += 1;
-        self.faults += n as u64;
+        self.faults = self.faults.saturating_add(n as u64);
         self.busy_cycles += duration;
         Some(DriverBatch {
             faults,
