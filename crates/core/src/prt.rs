@@ -136,7 +136,7 @@ impl Prt {
     /// A 64-bit digest of the table's current membership and counters, for
     /// epoch checkpoints. Deterministic across runs with the same history.
     pub fn state_digest(&self) -> u64 {
-        let mut sm = self.filter.len() as u64
+        let mut sm = self.filter.state_digest()
             ^ (self.lookups << 24)
             ^ (self.hits << 48)
             ^ (u64::from(self.mask_bits) << 8);

@@ -1,6 +1,6 @@
 //! The Cuckoo filter data structure.
 
-use sim_core::SimRng;
+use sim_core::{SimRng, StateDigest};
 
 use crate::hash::metro_mix;
 
@@ -273,6 +273,24 @@ impl CuckooFilter {
         self.cells.fill(0);
         self.stash.clear();
         self.len = 0;
+    }
+
+    /// A 64-bit digest of the filter's full state — geometry, every cell,
+    /// the stash, the overflow counter and the eviction RNG position — for
+    /// epoch checkpoints. Two filters that answer queries identically from
+    /// here on produce the same digest.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(self.bucket_count as u64)
+            .mix(self.slots as u64)
+            .mix(u64::from(self.fp_bits))
+            .mix(u64::from(self.fp_mask))
+            .mix(self.len as u64)
+            .mix(self.overflows)
+            .mix(self.rng.state_digest())
+            .mix_all(self.cells.iter().map(|&c| u64::from(c)))
+            .mix_all(self.stash.iter().map(|&(b, fp)| ((b as u64) << 16) | u64::from(fp)));
+        d.finish()
     }
 }
 

@@ -18,7 +18,7 @@
 //! assert_eq!(second, 150 + 512);
 //! ```
 
-use sim_core::Cycle;
+use sim_core::{Cycle, StateDigest};
 
 /// A simplex link with fixed propagation latency and finite bandwidth.
 #[derive(Debug, Clone)]
@@ -99,6 +99,19 @@ impl Link {
     /// congestion signal before committing traffic to a path.
     pub fn backlog(&self, now: Cycle) -> Cycle {
         self.busy_until.saturating_sub(now)
+    }
+
+    /// A 64-bit digest of the link's full state (configuration and live
+    /// serialisation front) for epoch checkpoints.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(self.latency)
+            .mix(self.bytes_per_cycle)
+            .mix(self.busy_until)
+            .mix(self.messages)
+            .mix(self.bytes)
+            .mix(self.busy_cycles);
+        d.finish()
     }
 }
 
@@ -262,6 +275,21 @@ impl Fabric {
             .chain(&self.peer)
             .map(Link::message_count)
             .sum()
+    }
+
+    /// A 64-bit digest of the fabric's full state — every `up`/`down`/`peer`
+    /// link, the partition masks and the reroute counter — for epoch
+    /// checkpoints. Cross-shard traffic serialises on these links, so the
+    /// fabric belongs to the epoch digest the same way the page directory
+    /// does.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix_all(self.up.iter().map(Link::state_digest))
+            .mix_all(self.down.iter().map(Link::state_digest))
+            .mix_all(self.peer.iter().map(Link::state_digest))
+            .mix_all(self.partitions.iter().copied())
+            .mix(self.rerouted);
+        d.finish()
     }
 }
 

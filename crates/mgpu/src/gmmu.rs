@@ -150,22 +150,6 @@ impl System {
         }
     }
 
-    /// The Fig. 8 study: on each local fault, would a *remote* GPU's
-    /// PW-cache have provided a prefix for this translation?
-    fn record_remote_probe(&mut self, faulting_gpu: u16, vpn: u64) {
-        self.metrics.remote_probe.faults = self.metrics.remote_probe.faults.saturating_add(1);
-        let best = (0..self.gpus.len())
-            .filter(|&g| g != faulting_gpu as usize)
-            .filter_map(|g| self.gpus[g].pwc.probe(vpn))
-            .min();
-        if let Some(k) = best {
-            self.metrics.remote_probe.hits = self.metrics.remote_probe.hits.saturating_add(1);
-            if k <= 3 {
-                self.metrics.remote_probe.lower_hits = self.metrics.remote_probe.lower_hits.saturating_add(1);
-            }
-        }
-    }
-
     /// A forwarded request arrived at the owner GPU: join its PW-queue and
     /// borrow a walker (§IV-C "how to borrow").
     pub(crate) fn remote_walk_arrive(&mut self, gpu: u16, req: ReqId) {

@@ -347,9 +347,12 @@ impl System {
 
     /// A 64-bit digest over everything that determines the rest of the run:
     /// cycle, RNG stream position, request states, per-GPU cache/queue/
-    /// walker/table state, host MMU state, the page directory and the key
-    /// counters. Two runs in the same state produce the same digest, and a
-    /// divergence anywhere shows up in every later digest.
+    /// walker/table/CU state, host MMU state, the fabric links, the UVM
+    /// driver, the page directory and the key counters. Two runs in the
+    /// same state produce the same digest, and a divergence anywhere shows
+    /// up in every later digest. Coverage is machine-checked: simlint's
+    /// `epoch-digest-coverage` pass walks every struct reachable from
+    /// `System`'s fields and fails on any field that never flows in.
     pub(crate) fn state_digest(&self) -> u64 {
         let mut d = StateDigest::new();
         d.mix(self.now)
@@ -366,6 +369,14 @@ impl System {
                     ^ (u64::from(req.retire_count) << 48)
                     ^ (u64::from(req.gpu) << 40),
             );
+            d.mix(
+                (u64::from(req.is_write) << 63)
+                    ^ (u64::from(req.remote_timed_out) << 62)
+                    ^ (req.forwarded_to.map_or(0, |g| u64::from(g) + 1) << 44)
+                    ^ (u64::from(req.watchdog_retries) << 24)
+                    ^ req.born,
+            );
+            d.mix(req.host_submit_time).mix(req.lat.total());
         }
         for gpu in &self.gpus {
             d.mix(gpu.l2.hits())
@@ -373,8 +384,34 @@ impl System {
                 .mix(gpu.mshr.len() as u64)
                 .mix(gpu.queue.len() as u64)
                 .mix(gpu.walkers.busy() as u64)
-                .mix(gpu.pt.mapped_pages() as u64)
-                .mix(u64::from(gpu.gen));
+                .mix(gpu.pt.state_digest())
+                .mix(u64::from(gpu.gen))
+                .mix(gpu.pwc.stats().lookups)
+                .mix(gpu.pwc.stats().misses)
+                .mix_all(gpu.ctas.iter().map(|&cta| cta as u64));
+            for job in &gpu.inflight {
+                d.mix(
+                    job.req as u64
+                        ^ (u64::from(job.remote) << 63)
+                        ^ (u64::from(job.gen) << 40),
+                );
+            }
+            for cu in &gpu.cus {
+                d.mix(cu.l1.hits()).mix(cu.l1.misses());
+                for wf in &cu.wfs {
+                    d.mix(u64::from(wf.stream.is_some()));
+                    if let Some(a) = wf.pending.as_ref() {
+                        d.mix(
+                            a.vpn
+                                ^ (u64::from(a.is_write) << 63)
+                                ^ a.compute.rotate_left(16),
+                        );
+                    }
+                }
+            }
+            if let Some(asap) = gpu.asap.as_ref() {
+                d.mix(asap.state_digest());
+            }
             if let Some(prt) = gpu.prt.as_ref() {
                 d.mix(prt.state_digest());
             }
@@ -383,10 +420,18 @@ impl System {
             .mix(self.host.tlb.misses())
             .mix(self.host.queue.len() as u64)
             .mix(self.host.walkers.busy() as u64)
-            .mix(self.host.pt.mapped_pages() as u64);
+            .mix(self.host.pt.state_digest())
+            .mix(self.host.pwc.stats().lookups)
+            .mix(self.host.pwc.stats().misses);
+        if let Some(asap) = self.host.asap.as_ref() {
+            d.mix(asap.state_digest());
+        }
         if let Some(ft) = self.host.ft.as_ref() {
             d.mix(ft.state_digest());
         }
+        d.mix(self.fabric.state_digest());
+        d.mix(self.driver.state_digest());
+        d.mix_all(self.driver_batch.iter().map(|&r| r as u64));
         d.mix(self.dir.state_digest());
         d.mix(self.overload.digest());
         d.mix(self.oversub.digest());

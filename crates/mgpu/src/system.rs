@@ -403,7 +403,9 @@ impl System {
         let n_gpus = self.cfg.gpus as usize;
         for cta in 0..n_ctas {
             let g = cta * n_gpus / n_ctas.max(1);
-            self.gpus[g].ctas.push_back(cta);
+            if let Some(gpu) = self.gpus.get_mut(g) {
+                gpu.ctas.push_back(cta);
+            }
         }
 
         // Kick every wavefront slot.
@@ -705,7 +707,7 @@ impl System {
     /// is what guarantees forward progress after the watchdog gives up on
     /// the lossy fast path.
     pub(crate) fn send_message(&mut self, req: ReqId, at: Cycle, ev: Event) {
-        if !self.injector.active() || self.reqs[req].fallback {
+        if !self.injector.active() || self.reqs.get(req).is_some_and(|r| r.fallback) {
             self.events.push(at, ev);
             return;
         }
@@ -793,19 +795,30 @@ impl System {
 
     fn wf_start(&mut self, wf: WfRef, workload: &dyn Workload) -> Result<(), SimError> {
         loop {
-            let gpu = &mut self.gpus[wf.gpu as usize];
-            let slot = &mut gpu.cus[wf.cu as usize].wfs[wf.wf as usize];
+            let seed = self.cfg.seed;
+            let Some(gpu) = self.gpus.get_mut(wf.gpu as usize) else {
+                return Ok(()); // misrouted wavefront reference: discard
+            };
+            let Some(slot) = gpu
+                .cus
+                .get_mut(wf.cu as usize)
+                .and_then(|cu| cu.wfs.get_mut(wf.wf as usize))
+            else {
+                return Ok(());
+            };
             if slot.stream.is_none() {
                 match gpu.ctas.pop_front() {
                     Some(cta) => {
                         slot.stream =
-                            Some(workload.make_stream(cta, self.cfg.seed ^ (cta as u64) << 1));
+                            Some(workload.make_stream(cta, seed ^ (cta as u64) << 1));
                     }
                     None => return Ok(()), // wavefront retires
                 }
             }
             let now = self.now;
-            let slot = &mut self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize];
+            let Some(slot) = self.wf_slot_mut(wf) else {
+                return Ok(());
+            };
             let Some(stream) = slot.stream.as_mut() else {
                 return Err(SimError::Protocol {
                     cycle: now,
@@ -825,11 +838,33 @@ impl System {
         }
     }
 
+    /// The wavefront slot addressed by `wf`, or `None` when any index is
+    /// out of range (a corrupted or misrouted wavefront reference).
+    fn wf_slot(&self, wf: WfRef) -> Option<&Wavefront> {
+        self.gpus
+            .get(wf.gpu as usize)?
+            .cus
+            .get(wf.cu as usize)?
+            .wfs
+            .get(wf.wf as usize)
+    }
+
+    /// Mutable twin of [`wf_slot`](Self::wf_slot).
+    fn wf_slot_mut(&mut self, wf: WfRef) -> Option<&mut Wavefront> {
+        self.gpus
+            .get_mut(wf.gpu as usize)?
+            .cus
+            .get_mut(wf.cu as usize)?
+            .wfs
+            .get_mut(wf.wf as usize)
+    }
+
     /// The pending access of a wavefront slot, as a typed error when the
-    /// slot is empty (a duplicated or misrouted wavefront event).
+    /// slot is missing or empty (a duplicated or misrouted wavefront
+    /// event).
     fn pending_access(&self, wf: WfRef) -> Result<Access, SimError> {
-        self.gpus[wf.gpu as usize].cus[wf.cu as usize].wfs[wf.wf as usize]
-            .pending
+        self.wf_slot(wf)
+            .and_then(|slot| slot.pending)
             .ok_or_else(|| SimError::Protocol {
                 cycle: self.now,
                 what: format!("wavefront {wf:?} woken with no pending access"),
@@ -843,10 +878,11 @@ impl System {
         self.metrics.sharing.record(tvpn, wf.gpu, a.is_write);
 
         let l1_lat = self.cfg.l1_tlb_latency;
-        let hit = self.gpus[wf.gpu as usize].cus[wf.cu as usize]
-            .l1
-            .lookup(tvpn)
-            .copied();
+        let hit = self
+            .gpus
+            .get_mut(wf.gpu as usize)
+            .and_then(|gpu| gpu.cus.get_mut(wf.cu as usize))
+            .and_then(|cu| cu.l1.lookup(tvpn).copied());
         match hit {
             Some(entry) => {
                 let lat = l1_lat + self.data_latency(wf.gpu, tvpn, entry);
@@ -863,9 +899,12 @@ impl System {
         let a = self.pending_access(wf)?;
         let tvpn = self.cfg.translation_vpn(a.vpn);
         let l2_lat = self.cfg.l2_tlb_latency;
-        let hit = self.gpus[wf.gpu as usize].l2.lookup(tvpn).copied();
+        let hit = self
+            .gpus
+            .get_mut(wf.gpu as usize)
+            .and_then(|gpu| gpu.l2.lookup(tvpn).copied());
         if let Some(entry) = hit {
-            self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(tvpn, entry);
+            self.l1_fill(wf, tvpn, entry);
             let lat = l2_lat + self.data_latency(wf.gpu, tvpn, entry);
             self.events.push(self.now + lat, Event::DataDone(wf));
             return Ok(());
@@ -874,20 +913,29 @@ impl System {
         // Least-TLB (§V-I): the GPUs' L2 TLBs behave as one distributed TLB;
         // probe peers before walking.
         if self.cfg.least_tlb {
-            let peer_hit = (0..self.gpus.len())
-                .filter(|&g| g != wf.gpu as usize)
-                .find_map(|g| self.gpus[g].l2.probe(tvpn).copied());
+            let peer_hit = self
+                .gpus
+                .iter()
+                .enumerate()
+                .filter(|&(g, _)| g != wf.gpu as usize)
+                .find_map(|(_, gpu)| gpu.l2.probe(tvpn).copied());
             if let Some(entry) = peer_hit {
                 let rtt = 2 * self.cfg.peer_link_latency;
-                self.gpus[wf.gpu as usize].l2.fill(tvpn, entry);
-                self.gpus[wf.gpu as usize].cus[wf.cu as usize].l1.fill(tvpn, entry);
+                if let Some(gpu) = self.gpus.get_mut(wf.gpu as usize) {
+                    gpu.l2.fill(tvpn, entry);
+                }
+                self.l1_fill(wf, tvpn, entry);
                 let lat = l2_lat + rtt + self.data_latency(wf.gpu, tvpn, entry);
                 self.events.push(self.now + lat, Event::DataDone(wf));
                 return Ok(());
             }
         }
 
-        match self.gpus[wf.gpu as usize].mshr.register(tvpn, wf) {
+        let outcome = match self.gpus.get_mut(wf.gpu as usize) {
+            Some(gpu) => gpu.mshr.register(tvpn, wf),
+            None => return Ok(()), // misrouted wavefront reference: discard
+        };
+        match outcome {
             MshrOutcome::Merged => {}
             MshrOutcome::Full => {
                 // Stall and retry shortly.
@@ -906,15 +954,32 @@ impl System {
         Ok(())
     }
 
+    /// Fills the L1 TLB of the CU addressed by `wf`, ignoring a misrouted
+    /// reference (the fill is a performance hint, not a protocol step).
+    fn l1_fill(&mut self, wf: WfRef, vpn: u64, entry: TransEntry) {
+        if let Some(cu) = self
+            .gpus
+            .get_mut(wf.gpu as usize)
+            .and_then(|gpu| gpu.cus.get_mut(wf.cu as usize))
+        {
+            cu.l1.fill(vpn, entry);
+        }
+    }
+
     /// Entry point of the translation machinery for a fresh L2 TLB miss:
     /// baseline goes to the GMMU; Trans-FW consults the PRT first.
     fn start_translation(&mut self, req: ReqId, at: Cycle) {
-        let vpn = self.reqs[req].vpn;
-        let g = self.reqs[req].gpu;
-        let short_circuit = match self.gpus[g as usize].prt.as_mut() {
-            Some(prt) => !prt.may_be_local(vpn),
-            None => false,
+        let Some((vpn, g)) = self.reqs.get(req).map(|r| (r.vpn, r.gpu)) else {
+            return; // stale request id: discard
         };
+        let Some(gen) = self.gpus.get(g as usize).map(|gpu| gpu.gen) else {
+            return;
+        };
+        let short_circuit = self
+            .gpus
+            .get_mut(g as usize)
+            .and_then(|gpu| gpu.prt.as_mut())
+            .is_some_and(|prt| !prt.may_be_local(vpn));
         if short_circuit {
             self.metrics.transfw.gmmu_bypassed = self.metrics.transfw.gmmu_bypassed.saturating_add(1);
             self.send_fault_to_host(req, at);
@@ -926,7 +991,7 @@ impl System {
                     job: GmmuJob {
                         req,
                         remote: false,
-                        gen: self.gpus[g as usize].gen,
+                        gen,
                     },
                 },
             );
@@ -960,6 +1025,28 @@ impl System {
                 .send_cpu_to_gpu(dst as usize, at_host, interconnect::msg::CONTROL);
         }
         self.peer_control_arrival(at)
+    }
+
+    /// The Fig. 8 study: on each local fault, would a *remote* GPU's
+    /// PW-cache have provided a prefix for this translation? Probes every
+    /// peer's PW-cache read-only, so it is inherently cross-shard — it
+    /// lives here in the `System` boundary layer (under the epoch barrier
+    /// it becomes a barrier-time measurement pass).
+    pub(crate) fn record_remote_probe(&mut self, faulting_gpu: u16, vpn: u64) {
+        self.metrics.remote_probe.faults = self.metrics.remote_probe.faults.saturating_add(1);
+        let best = self
+            .gpus
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| g != faulting_gpu as usize)
+            .filter_map(|(_, gpu)| gpu.pwc.probe(vpn))
+            .min();
+        if let Some(k) = best {
+            self.metrics.remote_probe.hits = self.metrics.remote_probe.hits.saturating_add(1);
+            if k <= 3 {
+                self.metrics.remote_probe.lower_hits = self.metrics.remote_probe.lower_hits.saturating_add(1);
+            }
+        }
     }
 
     /// Ships a far fault (or short-circuited request) to the host side.

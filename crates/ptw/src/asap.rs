@@ -8,7 +8,7 @@
 //! a misprediction falls back to the full sequential walk (plus the wasted
 //! parallel fetches, which we account as extra memory traffic).
 
-use sim_core::SimRng;
+use sim_core::{SimRng, StateDigest};
 
 /// ASAP prefetcher model.
 ///
@@ -92,6 +92,19 @@ impl Asap {
     /// Speculative memory accesses issued (traffic overhead).
     pub fn extra_access_count(&self) -> u64 {
         self.extra_accesses
+    }
+
+    /// A 64-bit digest of the prefetcher's full state — the configured
+    /// accuracy, the coin-flip RNG position and the outcome counters — for
+    /// epoch checkpoints.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(self.accuracy.to_bits())
+            .mix(self.rng.state_digest())
+            .mix(self.predictions)
+            .mix(self.correct)
+            .mix(self.extra_accesses);
+        d.finish()
     }
 }
 

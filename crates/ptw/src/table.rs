@@ -1,6 +1,7 @@
 //! Radix page tables with walk-cost accounting.
 
 use sim_core::det::DetMap;
+use sim_core::StateDigest;
 
 use crate::BITS_PER_LEVEL;
 
@@ -224,6 +225,27 @@ impl PageTable {
             pte: self.leaves.get(&vpn).copied(),
             reached_level: reached,
         }
+    }
+
+    /// A 64-bit digest of the table's full state — geometry, every leaf
+    /// mapping (vpn, ppn, location) and the interior-node refcounts — for
+    /// epoch checkpoints. Iteration is key-ordered (`DetMap`), so the
+    /// digest is stable across runs and shard layouts.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(u64::from(self.levels));
+        d.mix(self.leaves.len() as u64);
+        for (&vpn, pte) in self.leaves.iter() {
+            let loc = pte.loc.gpu().map_or(0, |g| u64::from(g) + 1);
+            d.mix(vpn).mix(pte.ppn ^ (loc << 48));
+        }
+        for level in &self.nodes {
+            d.mix(level.len() as u64);
+            for (&prefix, &leaves_below) in level.iter() {
+                d.mix(prefix ^ (u64::from(leaves_below) << 40));
+            }
+        }
+        d.finish()
     }
 }
 

@@ -69,6 +69,7 @@ pub mod hir;
 pub mod lexer;
 pub mod lints;
 pub mod passes;
+pub mod shard;
 pub mod symbols;
 
 use std::fmt;
@@ -100,6 +101,15 @@ pub enum Lint {
     CounterSaturation,
     /// A panic site reachable from the protected mgpu hot paths.
     PanicReach,
+    /// A fn touching per-GPU component state keyed by more than one (or
+    /// no) `GpuId`, outside the designated boundary modules.
+    ShardConfinement,
+    /// A struct reachable through the epoch `StateDigest` with a field
+    /// that never flows into any digest path.
+    EpochDigestCoverage,
+    /// A `DetMap`/`DetSet` iteration closure mutating captured sim state
+    /// outside the iterated map.
+    OrderDependentIteration,
 }
 
 impl Lint {
@@ -116,6 +126,9 @@ impl Lint {
             Lint::RngStream => "rng-stream-discipline",
             Lint::CounterSaturation => "counter-saturation",
             Lint::PanicReach => "panic-reach",
+            Lint::ShardConfinement => "shard-confinement",
+            Lint::EpochDigestCoverage => "epoch-digest-coverage",
+            Lint::OrderDependentIteration => "order-dependent-iteration",
         }
     }
 
@@ -132,21 +145,33 @@ impl Lint {
             "rng-stream-discipline" => Lint::RngStream,
             "counter-saturation" => Lint::CounterSaturation,
             "panic-reach" => Lint::PanicReach,
+            "shard-confinement" => Lint::ShardConfinement,
+            "epoch-digest-coverage" => Lint::EpochDigestCoverage,
+            "order-dependent-iteration" => Lint::OrderDependentIteration,
             _ => return None,
         })
     }
 
     /// Whether the lint guards determinism (the class the acceptance
-    /// criteria require a zero-entry baseline for).
+    /// criteria require a zero-entry baseline for). The shard-safety
+    /// classes belong here: an unconfined cross-shard access or an
+    /// uncovered epoch field breaks bit-identity under the parallel
+    /// engine just as surely as a raw `HashMap` does sequentially.
     pub fn is_determinism_class(self) -> bool {
         matches!(
             self,
-            Lint::DetCollections | Lint::DetWallclock | Lint::DigestComplete | Lint::RngStream
+            Lint::DetCollections
+                | Lint::DetWallclock
+                | Lint::DigestComplete
+                | Lint::RngStream
+                | Lint::ShardConfinement
+                | Lint::EpochDigestCoverage
+                | Lint::OrderDependentIteration
         )
     }
 
     /// Every lint, for `--list`-style output.
-    pub fn all() -> [Lint; 10] {
+    pub fn all() -> [Lint; 13] {
         [
             Lint::DetCollections,
             Lint::DetWallclock,
@@ -158,6 +183,9 @@ impl Lint {
             Lint::RngStream,
             Lint::CounterSaturation,
             Lint::PanicReach,
+            Lint::ShardConfinement,
+            Lint::EpochDigestCoverage,
+            Lint::OrderDependentIteration,
         ]
     }
 }
@@ -257,6 +285,21 @@ pub struct Config {
     pub rng_home: String,
     /// Crate dirs the panic-reach call graph spans.
     pub reach_crates: Vec<String>,
+    /// Names of containers indexed by GPU id (`self.<name>[g]` or
+    /// `.get(g)`): accesses into these are what shard confinement tracks.
+    pub per_gpu_containers: Vec<String>,
+    /// Crate dirs under the shard-confinement analysis.
+    pub shard_crates: Vec<String>,
+    /// Path prefixes where cross-shard access is legal (the forwarding
+    /// protocol, recovery, placement, the fabric, and the epoch layer).
+    pub shard_boundary_modules: Vec<String>,
+    /// `(file, fn)` of the epoch digest root the transitive coverage
+    /// audit starts from.
+    pub epoch_root: (String, String),
+    /// Types the epoch coverage audit treats as opaque (config,
+    /// metrics/accounting, injection plumbing — behavior-neutral by
+    /// construction or audited by their own lint).
+    pub epoch_exempt_types: Vec<String>,
 }
 
 impl Config {
@@ -316,6 +359,73 @@ impl Config {
             .iter()
             .map(|s| c(s))
             .collect(),
+            per_gpu_containers: [
+                "gpus",
+                "offline_until",
+                "retry",
+                "gpu_queue_gates",
+                "mshr_gates",
+                "breakers",
+                "gates",
+                "refaults",
+                "recently_evicted",
+                "resident",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
+            shard_crates: ["core", "tlb", "ptw", "uvm", "mgpu", "interconnect"]
+                .iter()
+                .map(|s| c(s))
+                .collect(),
+            shard_boundary_modules: [
+                "mgpu/src/protocol",
+                "mgpu/src/recovery.rs",
+                "mgpu/src/placement.rs",
+                "mgpu/src/system.rs",
+                "interconnect/src",
+            ]
+            .iter()
+            .map(|s| c(s))
+            .collect(),
+            epoch_root: (c("mgpu/src/recovery.rs"), "state_digest".into()),
+            epoch_exempt_types: [
+                // Behavior-neutral by construction, or audited elsewhere.
+                "SystemConfig",
+                "RunMetrics",
+                "FaultInjector",
+                "CheckpointLog",
+                "MigrationLog",
+                "ForwardPolicy",
+                // Deterministic plumbing: ordered by construction, its
+                // contents are digested at the call sites that drain it.
+                "DetMap",
+                "DetSet",
+                "EventQueue",
+                "Entry",
+                // Derived accounting (histograms, latency attribution).
+                "Histogram",
+                "LatencyAccumulator",
+                "LatencyBreakdown",
+                // Microarchitectural warm state: summary counters are mixed
+                // at every call site (`hits()`/`misses()`/`len()`/`busy()`)
+                // and replay-restore rebuilds contents from cycle zero.
+                "Tlb",
+                "Way",
+                "Mshr",
+                "PwQueue",
+                "WalkerPool",
+                // Overload-control primitives: their live state reaches the
+                // digest through `OverloadControl::digest` via
+                // `level_milli()`/`engaged()` summaries.
+                "ExponentialBackoff",
+                "Hysteresis",
+                "TokenBucket",
+                "WindowedCount",
+            ]
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect(),
         }
     }
 }
@@ -328,6 +438,10 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Violations waived by a `simlint::allow` directive.
     pub waived: Vec<Violation>,
+    /// Every cross-shard access site with its disposition — the shard
+    /// boundary contract (`shard_boundary.json`) the parallel engine
+    /// builds against. Sorted by (file, line, kind, what).
+    pub shard_sites: Vec<shard::ShardSite>,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -379,26 +493,48 @@ pub fn run_sources(sources: &[(FileCtx, String)], cfg: &Config) -> Report {
     // Flow-aware passes over the whole workspace, then the same
     // same-line-or-line-above inline-waiver rule as the token lints.
     let ws = symbols::Workspace::build(sources);
-    for v in passes::run(&ws, cfg) {
-        let waived = ws
-            .units
+    let is_waived = |v: &Violation| {
+        ws.units
             .iter()
             .find(|u| u.ctx.rel_path == v.file)
             .is_some_and(|u| {
                 u.lexed.allows.iter().any(|a| {
                     a.lint == v.lint.name() && (a.line == v.line || a.line + 1 == v.line)
                 })
-            });
-        if waived {
+            })
+    };
+    for v in passes::run(&ws, cfg) {
+        if is_waived(&v) {
             report.waived.push(v);
         } else {
             report.violations.push(v);
         }
     }
-    // Deterministic output order, whatever the directory walk produced.
-    report.violations.sort_by(|a, b| {
-        (&a.file, a.line, a.lint, &a.key).cmp(&(&b.file, b.line, b.lint, &b.key))
-    });
+    // Shard-safety layer: confinement, epoch coverage, iteration order.
+    // Waived confinement findings still land in the boundary report (as
+    // disposition `waived`) so the contract stays complete.
+    let shard_out = shard::analyze(&ws, cfg);
+    report.shard_sites = shard_out.sites;
+    for v in shard_out.violations {
+        if is_waived(&v) {
+            if v.lint == Lint::ShardConfinement {
+                report.shard_sites.push(shard::ShardSite::waived_from(&v));
+            }
+            report.waived.push(v);
+        } else {
+            report.violations.push(v);
+        }
+    }
+    // Deterministic output order, whatever the directory walk produced —
+    // violations, waived findings and the boundary contract alike, so
+    // archived CI reports diff cleanly across runs.
+    let by_site =
+        |a: &Violation, b: &Violation| (&a.file, a.line, a.lint, &a.key).cmp(&(&b.file, b.line, b.lint, &b.key));
+    report.violations.sort_by(by_site);
+    report.waived.sort_by(by_site);
+    report
+        .shard_sites
+        .sort_by(|a, b| (&a.file, a.line, &a.kind, &a.what).cmp(&(&b.file, b.line, &b.kind, &b.what)));
     report
 }
 
@@ -484,11 +620,14 @@ mod tests {
     }
 
     #[test]
-    fn determinism_class_covers_det_digest_and_rng() {
+    fn determinism_class_covers_det_digest_rng_and_shard() {
         assert!(Lint::DetCollections.is_determinism_class());
         assert!(Lint::DetWallclock.is_determinism_class());
         assert!(Lint::DigestComplete.is_determinism_class());
         assert!(Lint::RngStream.is_determinism_class());
+        assert!(Lint::ShardConfinement.is_determinism_class());
+        assert!(Lint::EpochDigestCoverage.is_determinism_class());
+        assert!(Lint::OrderDependentIteration.is_determinism_class());
         assert!(!Lint::PanicFreedom.is_determinism_class());
         assert!(!Lint::ProtocolExhaustive.is_determinism_class());
         assert!(!Lint::MetricsComplete.is_determinism_class());

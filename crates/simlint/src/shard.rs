@@ -1,0 +1,711 @@
+//! Shard-safety analysis: certifies the simulator is partitionable into
+//! per-GPU shards.
+//!
+//! ROADMAP item 1 (the deterministic parallel engine) assumes the Trans-FW
+//! property: translation state is per-GPU except at explicit
+//! forwarding/fabric boundaries, so shards only interact via
+//! latency-bounded messages (classic conservative-PDES lookahead). This
+//! module makes that assumption *statically checkable* with three passes
+//! over the [`crate::symbols::Workspace`]:
+//!
+//! * **`shard-confinement`** — any function that reads or mutates a
+//!   per-GPU container ([`crate::Config::per_gpu_containers`]) must key
+//!   every access off a *single* value flowing from its signature (the
+//!   owning `GpuId` or a request id that resolves to one). Sweeping a
+//!   container, keying it off nothing the signature provides, or keying
+//!   two accesses off two distinct signature roots is cross-shard access —
+//!   legal only inside the designated boundary modules
+//!   ([`crate::Config::shard_boundary_modules`]) and the epoch digest
+//!   functions (which run at the epoch barrier by construction). A small
+//!   derivation fixpoint follows `let`/`for` bindings so `let gi = g as
+//!   usize; self.gpus[gi]` still counts as keyed by `g`, while `for g in
+//!   0..self.gpus.len()` poisons `g` into a sweep.
+//! * **`epoch-digest-coverage`** — generalizes `digest-complete`
+//!   transitively: every struct reachable through fields of a struct mixed
+//!   into the epoch `StateDigest` ([`crate::Config::epoch_root`]) must
+//!   have all its fields covered by the epoch digest path. Structs with
+//!   their own digest method are audited field-by-field by
+//!   `digest-complete` already, so this pass only checks the *nested*
+//!   plain structs that PR 9's top-level check was blind to — and it
+//!   excludes constructor-named functions (`new`/`default`/`clone`) from
+//!   the mention union, which would otherwise cover every field
+//!   vacuously.
+//! * **`order-dependent-iteration`** — a closure passed to
+//!   `retain`/`for_each` over a `DetMap`/`DetSet`-typed field that
+//!   mutates captured sim state outside the iterated map. Sequentially
+//!   the key-ordered iteration hides the hazard; under sharding the
+//!   per-shard sub-maps iterate in a different global order and
+//!   bit-identity breaks.
+//!
+//! Besides violations, the confinement pass emits [`ShardSite`]s — every
+//! cross-shard access inside a boundary module, with its disposition.
+//! Rendered to `shard_boundary.json`, that list *is* the shard boundary
+//! contract the parallel-engine PR builds against: anything not in it is
+//! statically confined to one shard.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::lexer::TokKind;
+use crate::symbols::{CallGraph, FnNode, Workspace};
+use crate::{Config, Lint, Violation};
+
+/// One cross-shard access site in the boundary contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the access.
+    pub line: usize,
+    /// Access kind: `sweep`, `unkeyed` or `multi-key`.
+    pub kind: String,
+    /// The container swept/accessed, or the fn for `multi-key`.
+    pub what: String,
+    /// `boundary:<module prefix>`, `boundary:epoch-digest`, or `waived`.
+    pub disposition: String,
+}
+
+impl ShardSite {
+    /// A site recording an inline-waived shard finding, so the boundary
+    /// contract stays complete even where a human overrode the lint.
+    pub fn waived_from(v: &Violation) -> Self {
+        let (kind, what) = v
+            .key
+            .split_once('(')
+            .map(|(k, rest)| (k.to_string(), rest.trim_end_matches(')').to_string()))
+            .unwrap_or_else(|| (v.key.clone(), String::new()));
+        Self {
+            file: v.file.clone(),
+            line: v.line,
+            kind,
+            what,
+            disposition: "waived".to_string(),
+        }
+    }
+}
+
+/// Output of the shard-safety layer.
+#[derive(Debug, Default)]
+pub struct ShardOutput {
+    /// Findings subject to the inline-waiver rule and baseline diffing.
+    pub violations: Vec<Violation>,
+    /// Boundary-module cross-shard sites (dispositioned, not violations).
+    pub sites: Vec<ShardSite>,
+}
+
+/// Runs the three shard-safety passes over `ws`.
+pub fn analyze(ws: &Workspace, cfg: &Config) -> ShardOutput {
+    let mut out = ShardOutput::default();
+    shard_confinement(ws, cfg, &mut out);
+    epoch_digest_coverage(ws, cfg, &mut out.violations);
+    order_dependent_iteration(ws, cfg, &mut out.violations);
+    out
+}
+
+/// Renders the boundary contract as deterministic JSON (the caller has
+/// already sorted the sites).
+pub fn render_report(sites: &[ShardSite]) -> String {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("[\n");
+    for (i, s) in sites.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"what\": \"{}\", \"disposition\": \"{}\"}}{}\n",
+            esc(&s.file),
+            s.line,
+            esc(&s.kind),
+            esc(&s.what),
+            esc(&s.disposition),
+            if i + 1 == sites.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// How one access into a per-GPU container is keyed.
+#[derive(Debug)]
+enum AccessKind {
+    /// Keyed off these signature roots (derivation followed).
+    Keyed(BTreeSet<String>),
+    /// Iterates/touches every GPU's slot.
+    Sweep,
+    /// Keyed off nothing the signature provides.
+    Unkeyed,
+}
+
+/// One detected container access.
+#[derive(Debug)]
+struct Access {
+    line: usize,
+    container: String,
+    kind: AccessKind,
+}
+
+/// Container methods that address a single key.
+const KEYED_METHODS: &[&str] =
+    &["get", "get_mut", "insert", "remove", "contains_key", "entry", "contains"];
+/// Container methods that read only the shard count, not per-GPU state.
+const NEUTRAL_METHODS: &[&str] = &["len", "is_empty"];
+/// Constructor-shaped fns whose bodies mention every field by definition;
+/// including them makes any coverage audit vacuous.
+const CONSTRUCTOR_NAMES: &[&str] = &["new", "default", "clone"];
+
+/// The poison origin: a binding derived from a container sweep.
+const POISON: &str = "*";
+
+/// Type idents that mark a field as a per-GPU *collection*. A scalar field
+/// that merely shares a container's name (`SystemConfig.gpus: u16`, the GPU
+/// *count*) is not per-GPU state.
+const COLLECTION_TYPES: &[&str] = &["Vec", "VecDeque", "DetMap", "DetSet"];
+
+/// `shard-confinement`: see module docs.
+fn shard_confinement(ws: &Workspace, cfg: &Config, out: &mut ShardOutput) {
+    // (crate, struct) -> names of its non-collection fields, so a method on
+    // `SystemConfig` reading `self.gpus: u16` is not mistaken for an access
+    // into `System.gpus: Vec<Gpu>`.
+    let mut scalar_fields: BTreeMap<(String, String), BTreeSet<String>> = BTreeMap::new();
+    for unit in &ws.units {
+        if !cfg.shard_crates.contains(&unit.ctx.crate_dir) {
+            continue;
+        }
+        for s in &unit.hir.structs {
+            let scalars = scalar_fields
+                .entry((unit.ctx.crate_dir.clone(), s.name.clone()))
+                .or_default();
+            for field in &s.fields {
+                if !field.ty.iter().any(|t| COLLECTION_TYPES.contains(&t.as_str())) {
+                    scalars.insert(field.name.clone());
+                }
+            }
+        }
+    }
+    for unit in &ws.units {
+        if !cfg.shard_crates.contains(&unit.ctx.crate_dir)
+            || unit.ctx.is_test_file
+            || !unit.ctx.rel_path.contains("/src/")
+        {
+            continue;
+        }
+        let boundary = cfg
+            .shard_boundary_modules
+            .iter()
+            .find(|m| unit.ctx.rel_path.starts_with(m.as_str()));
+        for f in &unit.hir.fns {
+            if f.in_test || f.body == (0, 0) {
+                continue;
+            }
+            let origins = bind_origins(f, &cfg.per_gpu_containers);
+            // Container names shadowed by a scalar field on the receiver
+            // type are not per-GPU state for this fn's `self.` accesses.
+            let shadowed = f
+                .self_ty
+                .as_ref()
+                .and_then(|ty| {
+                    scalar_fields.get(&(unit.ctx.crate_dir.clone(), ty.clone()))
+                })
+                .cloned()
+                .unwrap_or_default();
+            let accesses = scan_accesses(
+                &unit.lexed.tokens,
+                f.body,
+                &cfg.per_gpu_containers,
+                &origins,
+                &shadowed,
+            );
+            // The epoch digest fns run only at the epoch barrier, under
+            // the `System` epoch layer — their sweeps are boundary sites.
+            let digest_fn = cfg.digest_fn_names.contains(&f.name);
+            let mut fn_keys: BTreeSet<String> = BTreeSet::new();
+            let mut cross: Vec<(usize, String, &'static str)> = Vec::new();
+            for a in &accesses {
+                match &a.kind {
+                    AccessKind::Keyed(ks) => fn_keys.extend(ks.iter().cloned()),
+                    AccessKind::Sweep => cross.push((a.line, a.container.clone(), "sweep")),
+                    AccessKind::Unkeyed => {
+                        cross.push((a.line, a.container.clone(), "unkeyed"));
+                    }
+                }
+            }
+            if fn_keys.len() > 1 {
+                cross.push((f.line, f.name.clone(), "multi-key"));
+            }
+            for (line, what, kind) in cross {
+                let disposition = match (boundary, digest_fn) {
+                    (Some(m), _) => Some(format!("boundary:{m}")),
+                    (None, true) => Some("boundary:epoch-digest".to_string()),
+                    (None, false) => None,
+                };
+                match disposition {
+                    Some(disposition) => out.sites.push(ShardSite {
+                        file: unit.ctx.rel_path.clone(),
+                        line,
+                        kind: kind.to_string(),
+                        what,
+                        disposition,
+                    }),
+                    None => out.violations.push(Violation {
+                        lint: Lint::ShardConfinement,
+                        file: unit.ctx.rel_path.clone(),
+                        line,
+                        key: format!("{kind}({what})"),
+                        message: confinement_message(kind, &what, &f.name, &fn_keys),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+fn confinement_message(
+    kind: &str,
+    what: &str,
+    fn_name: &str,
+    keys: &BTreeSet<String>,
+) -> String {
+    match kind {
+        "sweep" => format!(
+            "`{fn_name}` sweeps per-GPU container `{what}` outside a boundary \
+             module; a shard owns exactly one GPU's state — route cross-GPU \
+             scans through the protocol/recovery/placement boundary or the \
+             `System` epoch layer"
+        ),
+        "unkeyed" => format!(
+            "`{fn_name}` accesses per-GPU container `{what}` with no key \
+             flowing from its signature; take the owning `GpuId` as a \
+             parameter so the access is provably confined to one shard"
+        ),
+        _ => format!(
+            "`{fn_name}` keys per-GPU state off more than one signature root \
+             ({}); touching two GPUs' state is cross-shard and belongs in a \
+             boundary module",
+            keys.iter().cloned().collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+/// Derivation fixpoint over a fn's `let`/`for` bindings: which signature
+/// parameters each binding's value flows from. Origins only grow
+/// (rebinding unions, conservatively), so the iteration terminates. A
+/// binding whose initializer touches a per-GPU container is poisoned —
+/// `for g in 0..self.gpus.len()` ranges over every shard.
+fn bind_origins(
+    f: &crate::hir::FnDef,
+    containers: &[String],
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut map: BTreeMap<String, BTreeSet<String>> = f
+        .param_names
+        .iter()
+        .map(|p| (p.clone(), BTreeSet::from([p.clone()])))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (names, rhs) in &f.lets {
+            let mut set: BTreeSet<String> = BTreeSet::new();
+            for id in rhs {
+                match id.strip_prefix('.') {
+                    Some(field) if containers.contains(&field.to_string()) => {
+                        set.insert(POISON.to_string());
+                    }
+                    Some(_) => {}
+                    None if containers.contains(id) => {
+                        set.insert(POISON.to_string());
+                    }
+                    None => {
+                        if id != "self" {
+                            if let Some(o) = map.get(id) {
+                                let o = o.clone();
+                                set.extend(o);
+                            }
+                        }
+                    }
+                }
+            }
+            for name in names {
+                let entry = map.entry(name.clone()).or_default();
+                let before = entry.len();
+                entry.extend(set.iter().cloned());
+                changed |= entry.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    map
+}
+
+/// Scans a body token range for accesses into the per-GPU containers and
+/// classifies each one. Only direct `self.<container>` receivers count: a
+/// same-named field of a *nested* struct (`self.stats.refaults`) is that
+/// struct's business, and local re-borrows of a container surface at the
+/// `let` that created them via [`bind_origins`] poisoning.
+fn scan_accesses(
+    toks: &[crate::lexer::Tok],
+    body: (usize, usize),
+    containers: &[String],
+    origins: &BTreeMap<String, BTreeSet<String>>,
+    shadowed: &BTreeSet<String>,
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for i in body.0..body.1 {
+        let TokKind::Ident(name) = &toks[i].kind else { continue };
+        if !containers.contains(name) || shadowed.contains(name) || i < 2 {
+            continue;
+        }
+        if !toks[i - 1].is_punct('.') || toks[i - 2].ident() != Some("self") {
+            continue;
+        }
+        let line = toks[i].line;
+        let kind = match toks.get(i + 1).map(|t| &t.kind) {
+            Some(TokKind::Punct('[')) => {
+                classify_keys(toks, i + 1, body.1, '[', ']', origins)
+            }
+            Some(TokKind::Punct('.')) => {
+                let method = toks.get(i + 2).and_then(|t| t.ident()).unwrap_or("");
+                let called = toks.get(i + 3).is_some_and(|t| t.is_punct('('));
+                if called && NEUTRAL_METHODS.contains(&method) {
+                    continue; // shard count, not per-GPU state
+                } else if called && KEYED_METHODS.contains(&method) {
+                    classify_keys(toks, i + 3, body.1, '(', ')', origins)
+                } else {
+                    AccessKind::Sweep
+                }
+            }
+            // Bare container use: iterated, borrowed whole, or moved.
+            _ => AccessKind::Sweep,
+        };
+        out.push(Access { line, container: name.clone(), kind });
+    }
+    out
+}
+
+/// Classifies a bracketed/parenthesized key expression: the union of the
+/// origins of its root identifiers.
+fn classify_keys(
+    toks: &[crate::lexer::Tok],
+    open: usize,
+    end: usize,
+    open_ch: char,
+    close_ch: char,
+    origins: &BTreeMap<String, BTreeSet<String>>,
+) -> AccessKind {
+    let mut set: BTreeSet<String> = BTreeSet::new();
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < end {
+        match &toks[j].kind {
+            TokKind::Punct(c) if *c == open_ch => depth += 1,
+            TokKind::Punct(c) if *c == close_ch => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident(id)
+                if !toks[j - 1].is_punct('.') && !toks[j - 1].is_punct(':') =>
+            {
+                if let Some(o) = origins.get(id) {
+                    set.extend(o.iter().cloned());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if set.contains(POISON) {
+        AccessKind::Sweep
+    } else if set.is_empty() {
+        AccessKind::Unkeyed
+    } else {
+        AccessKind::Keyed(set)
+    }
+}
+
+/// `epoch-digest-coverage`: see module docs.
+fn epoch_digest_coverage(ws: &Workspace, cfg: &Config, out: &mut Vec<Violation>) {
+    let unit_ids = ws.units_in(&cfg.digest_crates);
+    if unit_ids.is_empty() {
+        return;
+    }
+    let graph = CallGraph::build(ws, &unit_ids);
+    // The epoch root: the state_digest fn in the configured file.
+    let mut roots: Vec<FnNode> = Vec::new();
+    let mut root_ty: Option<String> = None;
+    for &ui in &unit_ids {
+        let unit = &ws.units[ui];
+        if unit.ctx.rel_path != cfg.epoch_root.0 {
+            continue;
+        }
+        for (fi, f) in unit.hir.fns.iter().enumerate() {
+            if !f.in_test && f.name == cfg.epoch_root.1 {
+                roots.push((ui, fi));
+                root_ty = root_ty.or_else(|| f.self_ty.clone());
+            }
+        }
+    }
+    let (Some(root_ty), false) = (root_ty, roots.is_empty()) else {
+        return;
+    };
+    let root_crate = ws.units[roots[0].0].ctx.crate_dir.clone();
+    // Closure over the epoch digest path: stay in the root crate or step
+    // into digest-named fns of component crates; never into constructors.
+    let mut seen: BTreeSet<FnNode> = roots.iter().copied().collect();
+    let mut queue: VecDeque<FnNode> = roots.iter().copied().collect();
+    while let Some(node) = queue.pop_front() {
+        for callee in &ws.fn_def(node).callees {
+            if CONSTRUCTOR_NAMES.contains(&callee.as_str()) {
+                continue;
+            }
+            for crate_dir in &cfg.digest_crates {
+                for &t in graph.named_in(crate_dir, callee) {
+                    let td = ws.fn_def(t);
+                    let on_path = ws.units[t.0].ctx.crate_dir == root_crate
+                        || cfg.digest_fn_names.contains(&td.name);
+                    if on_path && seen.insert(t) {
+                        queue.push_back(t);
+                    }
+                }
+            }
+        }
+    }
+    let mut mentions: BTreeSet<&str> = BTreeSet::new();
+    for &node in &seen {
+        let f = ws.fn_def(node);
+        if CONSTRUCTOR_NAMES.contains(&f.name.as_str()) {
+            continue;
+        }
+        mentions.extend(f.sig_idents.iter().map(String::as_str));
+        mentions.extend(f.body_idents.iter().map(|(id, _)| id.as_str()));
+    }
+    // Struct tables over the digest crates.
+    let mut structs_by_name: BTreeMap<&str, Vec<(usize, &crate::hir::StructDef)>> =
+        BTreeMap::new();
+    let mut digest_bearing: BTreeSet<&str> = BTreeSet::new();
+    for &ui in &unit_ids {
+        let unit = &ws.units[ui];
+        for s in &unit.hir.structs {
+            if !s.in_test {
+                structs_by_name.entry(s.name.as_str()).or_default().push((ui, s));
+            }
+        }
+        for f in &unit.hir.fns {
+            if !f.in_test && cfg.digest_fn_names.contains(&f.name) {
+                if let Some(ty) = f.self_ty.as_deref() {
+                    digest_bearing.insert(ty);
+                }
+            }
+        }
+    }
+    // BFS over the field-type graph from the root struct.
+    let mut tseen: BTreeSet<String> = BTreeSet::new();
+    let mut tqueue: VecDeque<String> = VecDeque::from([root_ty]);
+    while let Some(ty) = tqueue.pop_front() {
+        // `*Config` never changes mid-run and `*Stats` is derived
+        // accounting; neither determines the rest of the run, so neither
+        // belongs in the epoch digest contract.
+        if !tseen.insert(ty.clone())
+            || cfg.epoch_exempt_types.contains(&ty)
+            || ty.ends_with("Config")
+            || ty.ends_with("Stats")
+        {
+            continue;
+        }
+        let Some(defs) = structs_by_name.get(ty.as_str()) else {
+            continue; // enum, alias, or foreign type: opaque to the audit
+        };
+        for &(ui, s) in defs {
+            for field in &s.fields {
+                for t in &field.ty {
+                    if structs_by_name.contains_key(t.as_str()) {
+                        tqueue.push_back(t.clone());
+                    }
+                }
+            }
+            // Digest-bearing structs are audited by digest-complete; this
+            // pass owns the nested plain structs it cannot see.
+            if digest_bearing.contains(ty.as_str()) {
+                continue;
+            }
+            for field in &s.fields {
+                if !mentions.contains(field.name.as_str()) {
+                    out.push(Violation {
+                        lint: Lint::EpochDigestCoverage,
+                        file: ws.units[ui].ctx.rel_path.clone(),
+                        line: field.line,
+                        key: format!("uncovered({}.{})", s.name, field.name),
+                        message: format!(
+                            "`{}.{}` is reachable from the epoch `StateDigest` \
+                             but never flows into its digest path; nested \
+                             uncovered state is silent nondeterminism under \
+                             sharded checkpoint/restore — mix it or waive it \
+                             as derived/accounting-only",
+                            s.name, field.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Methods that mutate a collection in place.
+const MUTATING_METHODS: &[&str] = &["push", "push_back", "insert", "remove", "clear"];
+
+/// `order-dependent-iteration`: see module docs.
+fn order_dependent_iteration(ws: &Workspace, cfg: &Config, out: &mut Vec<Violation>) {
+    // Field names whose declared type is a DetMap/DetSet anywhere in the
+    // shard crates — the receivers whose iteration order the parallel
+    // engine re-partitions.
+    let mut det_fields: BTreeSet<&str> = BTreeSet::new();
+    for unit in &ws.units {
+        if !cfg.shard_crates.contains(&unit.ctx.crate_dir) {
+            continue;
+        }
+        for s in &unit.hir.structs {
+            for f in &s.fields {
+                if f.ty.iter().any(|t| t == "DetMap" || t == "DetSet") {
+                    det_fields.insert(f.name.as_str());
+                }
+            }
+        }
+    }
+    if det_fields.is_empty() {
+        return;
+    }
+    for unit in &ws.units {
+        if !cfg.shard_crates.contains(&unit.ctx.crate_dir)
+            || unit.ctx.is_test_file
+            || !unit.ctx.rel_path.contains("/src/")
+        {
+            continue;
+        }
+        let toks = &unit.lexed.tokens;
+        for i in 1..toks.len() {
+            let TokKind::Ident(m) = &toks[i].kind else { continue };
+            if (m != "retain" && m != "for_each")
+                || !toks[i - 1].is_punct('.')
+                || !toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                || crate::lexer::in_regions(&unit.regions, toks[i].line)
+            {
+                continue;
+            }
+            // The receiver chain: a DetMap/DetSet field a few tokens back
+            // (allowing `.iter()`/`.values_mut()` adapters in between).
+            let field = (i.saturating_sub(12)..i.saturating_sub(1)).rev().find_map(|j| {
+                let TokKind::Ident(id) = &toks[j].kind else { return None };
+                (det_fields.contains(id.as_str()) && j > 0 && toks[j - 1].is_punct('.'))
+                    .then(|| id.clone())
+            });
+            let Some(field) = field else { continue };
+            // The closure body: does it reach back into `self` and mutate?
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut has_self = false;
+            let mut mutates = false;
+            while j < toks.len() {
+                match &toks[j].kind {
+                    TokKind::Punct('(') => depth += 1,
+                    TokKind::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokKind::Ident(id) if id == "self" => has_self = true,
+                    TokKind::Ident(id)
+                        if MUTATING_METHODS.contains(&id.as_str())
+                            && toks[j - 1].is_punct('.') =>
+                    {
+                        mutates = true;
+                    }
+                    TokKind::Punct('=')
+                        if !toks.get(j + 1).is_some_and(|t| {
+                            t.is_punct('=') || t.is_punct('>')
+                        }) && !matches!(
+                            &toks[j - 1].kind,
+                            TokKind::Punct('=')
+                                | TokKind::Punct('<')
+                                | TokKind::Punct('>')
+                                | TokKind::Punct('!')
+                        ) =>
+                    {
+                        mutates = true;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_self && mutates {
+                out.push(Violation {
+                    lint: Lint::OrderDependentIteration,
+                    file: unit.ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    key: format!("order-dep({field})"),
+                    message: format!(
+                        "closure passed to `.{m}` over `DetMap`/`DetSet` \
+                         field `{field}` mutates captured sim state; the \
+                         effect order follows iteration order, which \
+                         re-partitions under sharding — collect the keys \
+                         first, then mutate outside the iteration"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileCtx;
+
+    fn fn_origins(src: &str) -> BTreeMap<String, BTreeSet<String>> {
+        let ws = Workspace::build(&[(FileCtx::new("crates/mgpu/src/gmmu.rs"), src.to_string())]);
+        let cfg = Config::trans_fw();
+        bind_origins(&ws.units[0].hir.fns[0], &cfg.per_gpu_containers)
+    }
+
+    #[test]
+    fn derivation_follows_let_chains() {
+        let o = fn_origins(
+            "fn f(&mut self, gpu: u16) { let gi = gpu as usize; let gj = gi + 1; }\n",
+        );
+        assert_eq!(o["gi"], BTreeSet::from(["gpu".to_string()]));
+        assert_eq!(o["gj"], BTreeSet::from(["gpu".to_string()]));
+    }
+
+    #[test]
+    fn container_ranges_poison_bindings() {
+        let o = fn_origins(
+            "fn f(&mut self, gpu: u16) { for g in 0..self.gpus.len() { touch(g); } }\n",
+        );
+        assert!(o["g"].contains(POISON));
+    }
+
+    #[test]
+    fn waived_site_parses_the_key() {
+        let v = Violation {
+            lint: Lint::ShardConfinement,
+            file: "crates/mgpu/src/overload.rs".into(),
+            line: 7,
+            key: "sweep(retry)".into(),
+            message: String::new(),
+        };
+        let s = ShardSite::waived_from(&v);
+        assert_eq!((s.kind.as_str(), s.what.as_str()), ("sweep", "retry"));
+        assert_eq!(s.disposition, "waived");
+    }
+
+    #[test]
+    fn report_renders_stable_json() {
+        let sites = vec![ShardSite {
+            file: "a.rs".into(),
+            line: 3,
+            kind: "sweep".into(),
+            what: "gpus".into(),
+            disposition: "boundary:crates/mgpu/src/system.rs".into(),
+        }];
+        let json = render_report(&sites);
+        assert!(json.contains("\"kind\": \"sweep\""));
+        assert!(json.ends_with("]\n"));
+    }
+}

@@ -186,6 +186,59 @@ mod tests {
     }
 
     #[test]
+    fn trait_object_calls_resolve_by_name() {
+        // `p.decide()` through `Box<dyn Policy>` has no static receiver
+        // type; name-based resolution must conservatively edge into every
+        // same-named method so reachability (panic-reach, the shard
+        // confinement contract) over-approximates rather than misses.
+        let w = ws(&[(
+            "crates/mgpu/src/lib.rs",
+            "trait Policy { fn decide(&mut self); }\n\
+             struct Greedy;\n\
+             impl Policy for Greedy { fn decide(&mut self) { greedy_inner(); } }\n\
+             fn greedy_inner() {}\n\
+             fn drive(p: &mut Box<dyn Policy>) { p.decide(); }\n",
+        )]);
+        let ids: Vec<usize> = (0..w.units.len()).collect();
+        let g = CallGraph::build(&w, &ids);
+        let root = g.named_in("crates/mgpu", "drive").to_vec();
+        let reach = g.reachable(&root, false);
+        let names: Vec<&str> = reach.iter().map(|&n| w.fn_def(n).name.as_str()).collect();
+        assert!(
+            names.contains(&"decide") && names.contains(&"greedy_inner"),
+            "dyn dispatch must over-approximate: {names:?}"
+        );
+    }
+
+    #[test]
+    fn generic_bound_calls_resolve_by_name() {
+        // Monomorphized `t.decide()` under `T: Policy` likewise edges into
+        // every impl — and the over-approximation stays conservative: a
+        // method the driver never names is NOT pulled into the closure.
+        let w = ws(&[(
+            "crates/mgpu/src/lib.rs",
+            "trait Policy { fn decide(&mut self); fn audit(&self); }\n\
+             struct Greedy;\n\
+             impl Policy for Greedy {\n\
+                 fn decide(&mut self) {}\n\
+                 fn audit(&self) { audit_inner(); }\n\
+             }\n\
+             fn audit_inner() {}\n\
+             fn run<T: Policy>(t: &mut T) { t.decide(); }\n",
+        )]);
+        let ids: Vec<usize> = (0..w.units.len()).collect();
+        let g = CallGraph::build(&w, &ids);
+        let root = g.named_in("crates/mgpu", "run").to_vec();
+        let reach = g.reachable(&root, false);
+        let names: Vec<&str> = reach.iter().map(|&n| w.fn_def(n).name.as_str()).collect();
+        assert!(names.contains(&"decide"), "{names:?}");
+        assert!(
+            !names.contains(&"audit") && !names.contains(&"audit_inner"),
+            "uncalled trait method leaked into the closure: {names:?}"
+        );
+    }
+
+    #[test]
     fn test_fns_are_not_nodes() {
         let w = ws(&[(
             "crates/tlb/src/lib.rs",

@@ -1,0 +1,6 @@
+//! Fixture (hot path): the event loop drives a policy through a trait
+//! object — the static receiver type is erased at the call site.
+
+pub fn tick(p: &mut Box<dyn Policy>) {
+    p.decide();
+}

@@ -1,0 +1,25 @@
+//! Fixture: the over-approximation stays conservative — the dyn-called
+//! method is panic-free, and the panicking method `audit` is never named
+//! by anything the hot path reaches, so nothing fires.
+
+pub trait Policy {
+    fn decide(&mut self);
+    fn audit(&self);
+}
+
+pub struct Greedy {
+    slots: Vec<u64>,
+}
+
+impl Policy for Greedy {
+    fn decide(&mut self) {
+        if let Some(head) = self.slots.first() {
+            consume(*head);
+        }
+    }
+
+    fn audit(&self) {
+        let head = self.slots.first().unwrap();
+        consume(*head);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: a panic hidden behind dyn dispatch. Name-based call-graph
+//! resolution must still edge `tick -> decide` and flag the unwrap.
+
+pub trait Policy {
+    fn decide(&mut self);
+}
+
+pub struct Greedy {
+    slots: Vec<u64>,
+}
+
+impl Policy for Greedy {
+    fn decide(&mut self) {
+        let head = self.slots.first().unwrap();
+        consume(*head);
+    }
+}

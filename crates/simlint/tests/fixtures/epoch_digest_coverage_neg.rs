@@ -1,0 +1,18 @@
+//! Fixture: every field of every struct reachable from the epoch root's
+//! digest is mentioned somewhere in the traversed digest code — clean.
+
+pub struct System {
+    now: u64,
+    inner: Inner,
+}
+
+pub struct Inner {
+    covered: u64,
+    hidden: u64,
+}
+
+impl System {
+    pub fn state_digest(&self) -> u64 {
+        self.now ^ self.inner.covered ^ self.inner.hidden
+    }
+}

@@ -1,0 +1,20 @@
+//! Fixture: the epoch digest reaches a nested struct but leaves one of
+//! its fields out — transitive coverage must flag `Inner.hidden` even
+//! though the *top-level* digest mentions every `System` field (the PR 9
+//! digest-complete pass is blind to this).
+
+pub struct System {
+    now: u64,
+    inner: Inner,
+}
+
+pub struct Inner {
+    covered: u64,
+    hidden: u64,
+}
+
+impl System {
+    pub fn state_digest(&self) -> u64 {
+        self.now ^ self.inner.covered
+    }
+}

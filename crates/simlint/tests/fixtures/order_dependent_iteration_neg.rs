@@ -1,0 +1,18 @@
+//! Fixture: collect-then-mutate. The iteration closures are pure over
+//! their arguments; captured sim state is only touched after the
+//! iterator has been drained into a plain Vec — clean.
+
+pub struct Tracker {
+    owners: DetMap<u64, u16>,
+    moved: Vec<u64>,
+}
+
+impl Tracker {
+    fn evict_all(&mut self) {
+        let doomed: Vec<u64> = self.owners.iter().map(|(vpn, _owner)| *vpn).collect();
+        for vpn in doomed {
+            self.moved.push(vpn);
+        }
+        self.owners.retain(|_vpn, owner| *owner != 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: closures run under DetMap iteration mutate captured sim
+//! state — even over a deterministic map this couples per-element effects
+//! to visitation order and blocks sharded execution.
+
+pub struct Tracker {
+    owners: DetMap<u64, u16>,
+    moved: Vec<u64>,
+}
+
+impl Tracker {
+    fn evict_all(&mut self) {
+        self.owners.retain(|vpn, _owner| {
+            self.moved.push(*vpn);
+            false
+        });
+    }
+
+    fn log_each(&mut self) {
+        self.owners.iter().for_each(|(vpn, _owner)| {
+            self.moved.push(*vpn);
+        });
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture mounted at a boundary module (`mgpu::protocol`): the same
+//! sweep that is a violation elsewhere is a *dispositioned boundary site*
+//! here — it lands in the shard boundary contract, not in the findings.
+
+pub struct Router {
+    gpus: Vec<Peer>,
+}
+
+impl Router {
+    /// Cross-shard by design: protocol broadcast to every peer.
+    fn broadcast(&mut self) {
+        for peer in &mut self.gpus {
+            peer.poke();
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: every per-GPU access is keyed off a single GpuId flowing from
+//! the signature (directly, through a `let` derivation, or via a keyed
+//! method), or reads only the shard count — all confined, nothing fires.
+
+pub struct System {
+    gpus: Vec<Gpu>,
+}
+
+impl System {
+    fn keyed(&mut self, gpu: u16) {
+        let gi = gpu as usize;
+        self.gpus[gi].tick();
+        if let Some(g) = self.gpus.get_mut(gi) {
+            g.tick();
+        }
+    }
+
+    fn derived_key(&mut self, req: ReqId) {
+        let owner = owner_of(req);
+        let slot = owner as usize;
+        self.gpus[slot].tick();
+    }
+
+    fn shard_count(&self) -> usize {
+        self.gpus.len()
+    }
+}

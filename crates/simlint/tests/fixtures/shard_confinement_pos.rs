@@ -1,0 +1,30 @@
+//! Fixture: cross-shard accesses outside a boundary module. All three
+//! shapes must fire: a sweep, an unkeyed access, and a fn keying per-GPU
+//! state off two distinct signature roots.
+
+pub struct System {
+    gpus: Vec<Gpu>,
+}
+
+impl System {
+    /// Sweep: iterates every GPU's state.
+    fn sweep_all(&mut self) {
+        for gpu in &mut self.gpus {
+            gpu.tick();
+        }
+    }
+
+    /// Unkeyed: the index is conjured locally, nothing flows from the
+    /// signature.
+    fn unkeyed_touch(&mut self) {
+        let g = 0;
+        self.gpus[g].tick();
+    }
+
+    /// Multi-key: two distinct GpuIds from the signature — this fn can
+    /// observe two shards at once.
+    fn two_gpus(&mut self, a: u16, b: u16) {
+        self.gpus[a as usize].tick();
+        self.gpus[b as usize].tick();
+    }
+}

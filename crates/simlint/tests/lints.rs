@@ -264,6 +264,129 @@ fn panic_reach_fixture_pair() {
     assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
 }
 
+#[test]
+fn panic_reach_through_dyn_dispatch_fixture_pair() {
+    // Dyn dispatch erases the receiver type; the name-resolved call graph
+    // must still carry `tick -> decide` into the impl (pos) without
+    // dragging in trait methods the hot path never names (neg).
+    let hot = include_str!("fixtures/callgraph_dyn_hot.rs");
+    let pos = run_fixture_sources(&[
+        ("crates/mgpu/src/system.rs", hot),
+        (
+            "crates/ptw/src/policy_impl.rs",
+            include_str!("fixtures/callgraph_dyn_pos.rs"),
+        ),
+    ]);
+    assert_eq!(lints_of(&pos.violations), [Lint::PanicReach], "{:?}", pos.violations);
+    assert_eq!(pos.violations[0].key, "reach(decide.unwrap)");
+    let neg = run_fixture_sources(&[
+        ("crates/mgpu/src/system.rs", hot),
+        (
+            "crates/ptw/src/policy_impl.rs",
+            include_str!("fixtures/callgraph_dyn_neg.rs"),
+        ),
+    ]);
+    assert!(neg.violations.is_empty(), "uncalled `audit` flagged: {:?}", neg.violations);
+}
+
+#[test]
+fn shard_confinement_fixture_pair() {
+    // Outside a boundary module all three cross-shard shapes fire.
+    let pos = run_fixture_sources(&[(
+        "crates/mgpu/src/gmmu.rs",
+        include_str!("fixtures/shard_confinement_pos.rs"),
+    )]);
+    let keys: Vec<&str> = pos.violations.iter().map(|v| v.key.as_str()).collect();
+    assert!(
+        pos.violations.iter().all(|v| v.lint == Lint::ShardConfinement),
+        "{:?}",
+        pos.violations
+    );
+    assert_eq!(
+        keys,
+        ["sweep(gpus)", "unkeyed(gpus)", "multi-key(two_gpus)"],
+        "{:?}",
+        pos.violations
+    );
+    assert!(pos.shard_sites.is_empty(), "non-boundary fixture produced sites");
+    // Keyed through the signature (directly or via a `let` derivation),
+    // or reading only the shard count: confined, nothing fires.
+    let neg = run_fixture_sources(&[(
+        "crates/mgpu/src/gmmu.rs",
+        include_str!("fixtures/shard_confinement_neg.rs"),
+    )]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+}
+
+#[test]
+fn shard_confinement_boundary_becomes_site_not_violation() {
+    // The exact sweep that violates elsewhere is a dispositioned boundary
+    // site inside `mgpu::protocol` — it lands in the shard contract.
+    let report = run_fixture_sources(&[(
+        "crates/mgpu/src/protocol/mod.rs",
+        include_str!("fixtures/shard_confinement_boundary.rs"),
+    )]);
+    assert!(
+        !report.violations.iter().any(|v| v.lint == Lint::ShardConfinement),
+        "boundary module flagged: {:?}",
+        report.violations
+    );
+    assert_eq!(report.shard_sites.len(), 1, "{:?}", report.shard_sites);
+    let site = &report.shard_sites[0];
+    assert_eq!(
+        (site.kind.as_str(), site.what.as_str(), site.disposition.as_str()),
+        ("sweep", "gpus", "boundary:crates/mgpu/src/protocol"),
+        "{site:?}"
+    );
+}
+
+#[test]
+fn epoch_digest_coverage_fixture_pair() {
+    // The top-level digest mentions every `System` field, so PR 9's
+    // digest-complete is clean on both fixtures — only the transitive
+    // audit can see the nested hole.
+    let pos = run_fixture_sources(&[(
+        "crates/mgpu/src/recovery.rs",
+        include_str!("fixtures/epoch_digest_coverage_pos.rs"),
+    )]);
+    assert_eq!(
+        lints_of(&pos.violations),
+        [Lint::EpochDigestCoverage],
+        "{:?}",
+        pos.violations
+    );
+    assert_eq!(pos.violations[0].key, "uncovered(Inner.hidden)");
+    let neg = run_fixture_sources(&[(
+        "crates/mgpu/src/recovery.rs",
+        include_str!("fixtures/epoch_digest_coverage_neg.rs"),
+    )]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+}
+
+#[test]
+fn order_dependent_iteration_fixture_pair() {
+    let pos = run_fixture_sources(&[(
+        "crates/mgpu/src/policy.rs",
+        include_str!("fixtures/order_dependent_iteration_pos.rs"),
+    )]);
+    assert_eq!(
+        lints_of(&pos.violations),
+        [Lint::OrderDependentIteration, Lint::OrderDependentIteration],
+        "{:?}",
+        pos.violations
+    );
+    assert!(
+        pos.violations.iter().all(|v| v.key == "order-dep(owners)"),
+        "{:?}",
+        pos.violations
+    );
+    let neg = run_fixture_sources(&[(
+        "crates/mgpu/src/policy.rs",
+        include_str!("fixtures/order_dependent_iteration_neg.rs"),
+    )]);
+    assert!(neg.violations.is_empty(), "clean fixture flagged: {:?}", neg.violations);
+}
+
 /// The real workspace must lint clean against the checked-in baseline —
 /// the same check CI's static-analysis job runs, wired into `cargo test`
 /// so a violation can never land without also failing the test suite.
@@ -324,6 +447,9 @@ fn workspace_matches_checked_in_baseline() {
         Lint::RngStream,
         Lint::CounterSaturation,
         Lint::PanicReach,
+        Lint::ShardConfinement,
+        Lint::EpochDigestCoverage,
+        Lint::OrderDependentIteration,
     ];
     let flow_violations: Vec<_> = report
         .violations
@@ -340,5 +466,49 @@ fn workspace_matches_checked_in_baseline() {
             .iter()
             .any(|e| Lint::from_name(&e.lint).is_some_and(|l| flow_lints.contains(&l))),
         "flow-aware lints are never grandfathered in the baseline"
+    );
+}
+
+/// The shard-safety certificate: zero unwaived shard-confinement findings
+/// outside the boundary modules, and the committed `shard_boundary.json`
+/// is exactly the contract the analyzer derives from today's tree. A
+/// cross-shard access can only land by showing up in the contract diff.
+#[test]
+fn workspace_matches_shard_boundary_contract() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint has a workspace root two levels up")
+        .to_path_buf();
+    let cfg = Config::trans_fw();
+    let report = simlint::run_workspace(&root, &cfg).expect("workspace lints");
+    // Every cross-shard access outside a boundary module is a violation;
+    // none may exist — this is the partitionability certificate ROADMAP
+    // item 1's parallel engine builds on.
+    let escapes: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.lint == Lint::ShardConfinement)
+        .collect();
+    assert!(
+        escapes.is_empty(),
+        "cross-shard access outside protocol/recovery/placement/fabric/epoch \
+         boundaries: {escapes:?}"
+    );
+    // Every boundary-module site is enumerated and dispositioned.
+    for site in &report.shard_sites {
+        assert!(
+            site.disposition.starts_with("boundary:") || site.disposition == "waived",
+            "undispositioned shard site: {site:?}"
+        );
+    }
+    // The committed contract matches the derived one byte-for-byte.
+    let committed = std::fs::read_to_string(root.join("shard_boundary.json"))
+        .expect("shard_boundary.json is checked in");
+    let derived = simlint::shard::render_report(&report.shard_sites);
+    assert_eq!(
+        committed, derived,
+        "shard_boundary.json is stale — regenerate with \
+         `cargo run -p simlint -- --write-shard-report` and review the diff"
     );
 }

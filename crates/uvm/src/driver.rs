@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use sim_core::{Cycle, SimError};
+use sim_core::{Cycle, SimError, StateDigest};
 
 /// Tunable costs of the software fault path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +171,24 @@ impl<F> UvmDriver<F> {
     /// Largest fault backlog observed.
     pub fn peak_pending(&self) -> usize {
         self.peak_pending
+    }
+
+    /// A 64-bit digest of the driver's state — configuration, backlog
+    /// depth, busy flag and the batch/fault counters — for epoch
+    /// checkpoints. The `pending` queue's *contents* are digested by the
+    /// caller, which knows how to hash `F`; here only its shape is mixed.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = StateDigest::new();
+        d.mix(self.config.batch_size as u64)
+            .mix(self.config.walk_threads as u64)
+            .mix(self.config.batch_overhead)
+            .mix(self.pending.len() as u64)
+            .mix(u64::from(self.busy))
+            .mix(self.batches)
+            .mix(self.faults)
+            .mix(self.busy_cycles)
+            .mix(self.peak_pending as u64);
+        d.finish()
     }
 }
 
